@@ -1,0 +1,131 @@
+//! The shared error type for reconciliation protocols.
+//!
+//! The paper distinguishes several failure modes; each gets an explicit variant so
+//! tests and the experiment harness can assert on *which* failure occurred:
+//!
+//! * **peeling failures** — the IBLT's 2-core is non-empty and keys remain that
+//!   cannot be extracted (detectable; probability `1/poly(m)`, Theorem 2.1),
+//! * **checksum failures** — a cell with count ±1 actually contained several keys
+//!   whose checksums collided (probability `1/poly(u)`; guarded by whole-set hashes),
+//! * **matching failures** — a child IBLT in `E_A \ E_B` does not decode against any
+//!   child IBLT in `E_B \ E_A` (Algorithm 1 "report failure"),
+//! * **estimation failures** — the difference bound supplied or estimated was too
+//!   small for the actual difference,
+//! * **separation failures** — a random graph fails to be `(h, a, b)`-separated or
+//!   its degree neighborhoods are not `(m, k)`-disjoint, so signature-based labeling
+//!   cannot be trusted (Theorems 5.3, 5.5).
+
+use crate::wire::WireError;
+use std::fmt;
+
+/// Error type shared by all reconciliation protocols in this workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconError {
+    /// IBLT peeling stopped with keys still in the table (non-empty 2-core).
+    PeelingFailure {
+        /// How many cells remained non-empty when peeling stalled.
+        remaining_cells: usize,
+    },
+    /// A recovered set failed verification against its hash, indicating an
+    /// (otherwise undetectable) checksum failure inside an IBLT.
+    ChecksumFailure,
+    /// A child IBLT recovered from the outer table could not be decoded against any
+    /// of the other party's differing child sets.
+    NoMatchingChild {
+        /// Hash of the child encoding that could not be matched.
+        child_hash: u64,
+    },
+    /// The claimed or estimated difference bound was too small for the actual data.
+    DifferenceBoundTooSmall {
+        /// The bound that was used.
+        bound: usize,
+    },
+    /// The protocol exhausted its retry/doubling budget without succeeding.
+    RetriesExhausted {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// A random graph was not sufficiently separated / disjoint for signature-based
+    /// reconciliation (Definitions 5.1 and 5.4).
+    SeparationFailure(String),
+    /// The input violated a protocol precondition (e.g. element outside the universe,
+    /// non-forest edit, mismatched vertex counts).
+    InvalidInput(String),
+    /// A message failed to deserialize.
+    Wire(WireError),
+    /// The characteristic-polynomial interpolation produced an inconsistent system
+    /// (more differences than evaluation points).
+    InterpolationFailure,
+}
+
+impl fmt::Display for ReconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconError::PeelingFailure { remaining_cells } => {
+                write!(f, "IBLT peeling failure ({remaining_cells} cells undecodable)")
+            }
+            ReconError::ChecksumFailure => write!(f, "IBLT checksum failure detected"),
+            ReconError::NoMatchingChild { child_hash } => {
+                write!(f, "no matching child set for child encoding {child_hash:#x}")
+            }
+            ReconError::DifferenceBoundTooSmall { bound } => {
+                write!(f, "difference bound {bound} too small for actual difference")
+            }
+            ReconError::RetriesExhausted { attempts } => {
+                write!(f, "protocol failed after {attempts} attempts")
+            }
+            ReconError::SeparationFailure(why) => write!(f, "graph separation failure: {why}"),
+            ReconError::InvalidInput(why) => write!(f, "invalid input: {why}"),
+            ReconError::Wire(e) => write!(f, "wire decode error: {e}"),
+            ReconError::InterpolationFailure => {
+                write!(f, "characteristic polynomial interpolation failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReconError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ReconError {
+    fn from(e: WireError) -> Self {
+        ReconError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_information() {
+        let e = ReconError::PeelingFailure { remaining_cells: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = ReconError::DifferenceBoundTooSmall { bound: 8 };
+        assert!(e.to_string().contains('8'));
+        let e = ReconError::NoMatchingChild { child_hash: 0xABCD };
+        assert!(e.to_string().contains("abcd"));
+    }
+
+    #[test]
+    fn wire_errors_convert() {
+        let e: ReconError = WireError::UnexpectedEnd.into();
+        assert!(matches!(e, ReconError::Wire(WireError::UnexpectedEnd)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ReconError::ChecksumFailure, ReconError::ChecksumFailure);
+        assert_ne!(
+            ReconError::ChecksumFailure,
+            ReconError::PeelingFailure { remaining_cells: 0 }
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Hash families used by the reconciliation protocols.
+//!
+//! The paper relies on three kinds of hashing, all realized here:
+//!
+//! * **Pairwise-independent hashing** ([`PairwiseHash`]) for child-set hashes
+//!   (Algorithm 1 and 2 use an `O(log s)`-bit pairwise independent hash of each child
+//!   set) and for level assignment in the ℓ0 estimator (Appendix A). Implemented as
+//!   `((a·x + b) mod p) mod 2^bits` over the Mersenne prime `p = 2^61 − 1`, which is
+//!   the textbook pairwise-independent family.
+//! * **Strong 64-bit mixing** ([`hash64`], [`hash_bytes`]) for IBLT bucket selection
+//!   and checksums. These need to behave like random functions on the keys actually
+//!   inserted; we use a Murmur3/SplitMix-style finalizer for integers and a simple
+//!   multiply-rotate scheme (an FxHash/wyhash hybrid) for byte strings.
+//! * **Composite hashing of sets** ([`hash_u64_set`]) — an order-independent hash of
+//!   a set of 64-bit elements, used to ward against IBLT checksum failures by
+//!   verifying a recovered set against a hash of the original (Section 2, "we often
+//!   ward against checksum failures by augmenting the set recovery process with a
+//!   hash of each of the sets").
+
+use crate::rng::split_seed;
+
+/// The Mersenne prime `2^61 − 1` used as the modulus of the pairwise-independent
+/// hash family (and, in `recon-field`, as the field characteristic).
+pub const MERSENNE61: u64 = (1u64 << 61) - 1;
+
+/// Reduce a 128-bit product modulo `2^61 − 1` using the Mersenne structure.
+#[inline]
+pub fn mod_mersenne61(x: u128) -> u64 {
+    // Split into low 61 bits and the rest; since 2^61 ≡ 1 (mod p) this folds quickly.
+    let lo = (x & ((1u128 << 61) - 1)) as u64;
+    let hi = (x >> 61) as u64;
+    let mut r = lo.wrapping_add(hi & MERSENNE61).wrapping_add(hi >> 61);
+    if r >= MERSENNE61 {
+        r -= MERSENNE61;
+    }
+    if r >= MERSENNE61 {
+        r -= MERSENNE61;
+    }
+    r
+}
+
+/// A pairwise-independent hash function `x ↦ ((a·x + b) mod p) >> shift`,
+/// producing `bits` output bits, with `p = 2^61 − 1`.
+///
+/// The coefficients `a ∈ [1, p)`, `b ∈ [0, p)` are derived deterministically from a
+/// seed, so Alice and Bob construct identical functions from their shared public
+/// coins without communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    bits: u32,
+}
+
+impl PairwiseHash {
+    /// Construct a hash function with `bits` output bits (1 ≤ bits ≤ 61) from a seed.
+    pub fn from_seed(seed: u64, bits: u32) -> Self {
+        assert!((1..=61).contains(&bits), "bits must be in 1..=61, got {bits}");
+        let mut a = split_seed(seed, 0x61) % MERSENNE61;
+        if a == 0 {
+            a = 1;
+        }
+        let b = split_seed(seed, 0x62) % MERSENNE61;
+        Self { a, b, bits }
+    }
+
+    /// Number of output bits.
+    #[inline]
+    pub fn output_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Hash a 64-bit value to `bits` bits.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = x % MERSENNE61;
+        let prod = (self.a as u128) * (x as u128) + (self.b as u128);
+        let v = mod_mersenne61(prod);
+        // Take the high-order bits of the 61-bit value: (v >> (61 - bits)).
+        v >> (61 - self.bits)
+    }
+}
+
+/// Strong 64-bit integer mixing (SplitMix64 finalizer seeded by `seed`).
+///
+/// Used wherever the protocols need a hash that behaves like a random function on the
+/// inserted keys: IBLT bucket selection, checksums, signature hashing.
+#[inline]
+pub fn hash64(x: u64, seed: u64) -> u64 {
+    let mut z = x ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash an arbitrary byte string to 64 bits with the given seed.
+///
+/// A simple multiply–rotate–xor scheme processing 8 bytes at a time, finished with the
+/// SplitMix64 finalizer. Not cryptographic, but well-distributed on the structured
+/// keys used here (serialized IBLTs, encoded sets, signature strings).
+pub fn hash_bytes(bytes: &[u8], seed: u64) -> u64 {
+    const K: u64 = 0x517C_C1B7_2722_0A95;
+    let mut h = seed ^ (bytes.len() as u64).wrapping_mul(K);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let v = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+        h = (h ^ v).rotate_left(29).wrapping_mul(K);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        let v = u64::from_le_bytes(buf);
+        h = (h ^ v).rotate_left(29).wrapping_mul(K);
+    }
+    hash64(h, seed ^ 0xA5A5_A5A5_5A5A_5A5A)
+}
+
+/// Order-independent hash of a set of 64-bit elements.
+///
+/// Each element is mixed with [`hash64`] and the results are combined with addition
+/// and XOR, so the hash does not depend on iteration order. Used as the whole-set
+/// hash that guards against undetected checksum failures (Section 2) and as the child
+/// set hash in the set-of-sets protocols.
+pub fn hash_u64_set<I>(elements: I, seed: u64) -> u64
+where
+    I: IntoIterator<Item = u64>,
+{
+    let mut sum: u64 = 0;
+    let mut xor: u64 = 0;
+    let mut count: u64 = 0;
+    for x in elements {
+        let h = hash64(x, seed);
+        sum = sum.wrapping_add(h);
+        xor ^= h.rotate_left(17);
+        count += 1;
+    }
+    hash64(sum ^ xor.rotate_left(23) ^ count.wrapping_mul(0x2545_F491_4F6C_DD1D), seed)
+}
+
+/// Truncate a 64-bit hash to `bits` bits (used for the `O(log s)`-bit child hashes).
+#[inline]
+pub fn truncate_bits(h: u64, bits: u32) -> u64 {
+    if bits >= 64 {
+        h
+    } else {
+        h & ((1u64 << bits) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mod_mersenne_agrees_with_naive() {
+        for x in [0u128, 1, 5, 1 << 61, (1 << 61) - 1, u64::MAX as u128, u128::MAX >> 3] {
+            assert_eq!(mod_mersenne61(x), (x % (MERSENNE61 as u128)) as u64, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn pairwise_hash_range_respected() {
+        let h = PairwiseHash::from_seed(1, 10);
+        for x in 0..1000u64 {
+            assert!(h.hash(x) < 1024);
+        }
+    }
+
+    #[test]
+    fn pairwise_hash_is_deterministic_per_seed() {
+        let h1 = PairwiseHash::from_seed(7, 32);
+        let h2 = PairwiseHash::from_seed(7, 32);
+        let h3 = PairwiseHash::from_seed(8, 32);
+        assert_eq!(h1.hash(12345), h2.hash(12345));
+        assert_ne!(h1.hash(12345), h3.hash(12345), "different seeds should differ (whp)");
+    }
+
+    #[test]
+    fn pairwise_hash_spreads_values() {
+        // With 16 output bits and 2^12 inputs, collisions should be rare (birthday ~ 12%).
+        let h = PairwiseHash::from_seed(3, 20);
+        let outputs: HashSet<u64> = (0..4096u64).map(|x| h.hash(x)).collect();
+        assert!(outputs.len() > 4000, "only {} distinct outputs", outputs.len());
+    }
+
+    #[test]
+    fn hash64_avalanche() {
+        // Flipping one input bit should flip roughly half the output bits on average.
+        let mut total = 0u32;
+        let samples = 256;
+        for i in 0..samples {
+            let x = hash64(i, 0) ^ i; // arbitrary input
+            let a = hash64(x, 42);
+            let b = hash64(x ^ 1, 42);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / samples as f64;
+        assert!((20.0..44.0).contains(&avg), "avalanche average {avg}");
+    }
+
+    #[test]
+    fn hash_bytes_depends_on_content_and_length() {
+        assert_ne!(hash_bytes(b"abc", 0), hash_bytes(b"abd", 0));
+        assert_ne!(hash_bytes(b"abc", 0), hash_bytes(b"abc\0", 0));
+        assert_ne!(hash_bytes(b"abc", 0), hash_bytes(b"abc", 1));
+        assert_eq!(hash_bytes(b"hello world", 9), hash_bytes(b"hello world", 9));
+    }
+
+    #[test]
+    fn hash_bytes_handles_all_lengths() {
+        let data: Vec<u8> = (0..64).collect();
+        let mut seen = HashSet::new();
+        for len in 0..=64 {
+            assert!(seen.insert(hash_bytes(&data[..len], 5)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn set_hash_is_order_independent() {
+        let a = hash_u64_set([1u64, 2, 3, 500, 9999], 77);
+        let b = hash_u64_set([9999u64, 500, 3, 2, 1], 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_hash_distinguishes_sets() {
+        let a = hash_u64_set([1u64, 2, 3], 77);
+        let b = hash_u64_set([1u64, 2, 4], 77);
+        let c = hash_u64_set([1u64, 2], 77);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn set_hash_of_empty_set_is_stable() {
+        assert_eq!(hash_u64_set(std::iter::empty(), 3), hash_u64_set(std::iter::empty(), 3));
+        assert_ne!(hash_u64_set(std::iter::empty(), 3), hash_u64_set([0u64], 3));
+    }
+
+    #[test]
+    fn truncate_bits_masks_correctly() {
+        assert_eq!(truncate_bits(u64::MAX, 8), 255);
+        assert_eq!(truncate_bits(u64::MAX, 64), u64::MAX);
+        assert_eq!(truncate_bits(0b1011, 2), 0b11);
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment E-2.3: characteristic-polynomial set reconciliation (Theorem 2.3) —
+//! the `O(nd + d^3)` computation cost that motivates IBLTs, swept over `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_bench::set_pair;
+use recon_set::{reconcile_known, reconcile_known_charpoly};
+use std::hint::black_box;
+
+fn bench_charpoly_vs_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("charpoly_reconciliation_vs_d");
+    group.sample_size(10);
+    for d in [4usize, 16, 64, 128] {
+        let (alice, bob) = set_pair(5_000, d, 100 + d as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| black_box(reconcile_known_charpoly(&alice, &bob, d, 3).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_charpoly_vs_iblt(c: &mut Criterion) {
+    // The computational gap the paper highlights: same workload, both protocols.
+    let mut group = c.benchmark_group("charpoly_vs_iblt_same_workload");
+    group.sample_size(10);
+    let d = 64;
+    let (alice, bob) = set_pair(20_000, d, 5);
+    group.bench_function("charpoly", |b| {
+        b.iter(|| black_box(reconcile_known_charpoly(&alice, &bob, d, 3).unwrap()));
+    });
+    group.bench_function("iblt", |b| {
+        b.iter(|| black_box(reconcile_known(&alice, &bob, d, 3).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_charpoly_vs_d, bench_charpoly_vs_iblt);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiment E-3.1: set difference estimators (Theorem 3.1 vs the strata baseline):
+//! update and query throughput. Accuracy and sketch sizes are reported by
+//! `experiments estimator`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_estimator::{L0Config, L0Estimator, Side, StrataConfig, StrataEstimator};
+use std::hint::black_box;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_update_100k_elements");
+    group.bench_function("l0", |b| {
+        b.iter(|| {
+            let mut est = L0Estimator::new(&L0Config::default().with_seed(1));
+            for x in 0..100_000u64 {
+                est.update(x, Side::A);
+            }
+            black_box(est)
+        });
+    });
+    group.bench_function("strata", |b| {
+        b.iter(|| {
+            let mut est = StrataEstimator::new(&StrataConfig::default().with_seed(1));
+            for x in 0..100_000u64 {
+                est.update(x, Side::A);
+            }
+            black_box(est)
+        });
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_merge_and_query");
+    for d in [16usize, 256, 4096] {
+        let l0_cfg = L0Config::default().with_seed(2);
+        let strata_cfg = StrataConfig::default().with_seed(2);
+        let mut a_l0 = L0Estimator::new(&l0_cfg);
+        let mut b_l0 = L0Estimator::new(&l0_cfg);
+        let mut a_st = StrataEstimator::new(&strata_cfg);
+        let mut b_st = StrataEstimator::new(&strata_cfg);
+        for x in 0..50_000u64 {
+            a_l0.update(x, Side::A);
+            b_l0.update(x + d as u64, Side::B);
+            a_st.update(x, Side::A);
+            b_st.update(x + d as u64, Side::B);
+        }
+        group.bench_with_input(BenchmarkId::new("l0", d), &d, |bch, _| {
+            bch.iter(|| black_box(a_l0.merge(&b_l0).unwrap().estimate()));
+        });
+        group.bench_with_input(BenchmarkId::new("strata", d), &d, |bch, _| {
+            bch.iter(|| black_box(a_st.merge(&b_st).unwrap().estimate()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment E-6.1: forest reconciliation (Theorem 6.1), timed over the number of
+//! vertices and the perturbation size. Communication vs `d·σ` is reported by
+//! `experiments forest`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_base::rng::Xoshiro256;
+use recon_graph::forest::{self, Forest};
+use std::hint::black_box;
+
+fn bench_forest_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_reconciliation_vs_n");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000, 20_000] {
+        let mut rng = Xoshiro256::new(n as u64);
+        let base = Forest::random(n, 0.1, 6, &mut rng);
+        let alice = base.perturb(2, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(forest::reconcile(&alice, &base, 4, 7, 9).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_vs_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_reconciliation_vs_d");
+    group.sample_size(10);
+    let mut rng = Xoshiro256::new(3);
+    let base = Forest::random(5_000, 0.1, 6, &mut rng);
+    for d in [1usize, 4, 16] {
+        let alice = base.perturb(d, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| black_box(forest::reconcile(&alice, &base, 2 * d, 7, 11).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest_vs_n, bench_forest_vs_d);
+criterion_main!(benches);

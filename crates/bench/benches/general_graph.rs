@@ -1,0 +1,35 @@
+//! Experiments E-4.1 / E-4.3: the general-graph protocols of Section 4. The
+//! exhaustive reconciliation time explodes with `d` even on 7-vertex graphs, which
+//! is exactly the motivation for the Section 5 schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_base::rng::Xoshiro256;
+use recon_graph::general;
+use recon_graph::Graph;
+use std::hint::black_box;
+
+fn bench_isomorphism_fingerprint(c: &mut Criterion) {
+    let mut rng = Xoshiro256::new(1);
+    let a = Graph::gnp(7, 0.5, &mut rng);
+    let b = a.relabel(&[3, 1, 0, 6, 2, 5, 4]);
+    c.bench_function("isomorphism_fingerprint_n7", |bch| {
+        bch.iter(|| black_box(general::isomorphism_protocol(&a, &b, 5)));
+    });
+}
+
+fn bench_exhaustive_reconciliation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_graph_reconciliation_n7");
+    group.sample_size(10);
+    let mut rng = Xoshiro256::new(2);
+    let base = Graph::gnp(7, 0.4, &mut rng);
+    for d in [1usize, 2] {
+        let alice = base.perturb(d, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| black_box(general::reconcile_exhaustive(&alice, &base, d, 7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isomorphism_fingerprint, bench_exhaustive_reconciliation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiments E-5.2 / E-5.6: random-graph reconciliation with the two signature
+//! schemes of Section 5, timed over `n` and `d`. Success rates, separation
+//! statistics and communication are reported by `experiments graph` and
+//! `experiments separation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_base::rng::Xoshiro256;
+use recon_graph::degree_neighborhood::{self, DegreeNeighborhoodParams};
+use recon_graph::degree_order::{self, DegreeOrderParams};
+use recon_graph::Graph;
+use std::hint::black_box;
+
+fn bench_degree_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degree_order_reconciliation");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let mut rng = Xoshiro256::new(n as u64);
+        let base = Graph::gnp(n, 0.35, &mut rng);
+        let params = DegreeOrderParams { h: 48.min(n / 4), seed: 3 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(degree_order::reconcile(&base, &base, 4, &params)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_degree_neighborhood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degree_neighborhood_reconciliation");
+    group.sample_size(10);
+    for n in [96usize, 160] {
+        let p = 0.12;
+        let mut rng = Xoshiro256::new(n as u64);
+        let base = Graph::gnp(n, p, &mut rng);
+        let alice = base.perturb(1, &mut rng);
+        let params = DegreeNeighborhoodParams::for_gnp(n, p, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(degree_neighborhood::reconcile(&alice, &base, 2, &params)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_degree_order, bench_degree_neighborhood);
+criterion_main!(benches);

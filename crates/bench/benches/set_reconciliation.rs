@@ -1,0 +1,33 @@
+//! Experiment E-2.2: IBLT set reconciliation (Corollary 2.2) — time vs `n` and `d`.
+//! The paper claims `O(n)` time and `O(d log u)` communication; the companion
+//! communication numbers are printed by `experiments set`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_bench::set_pair;
+use recon_set::reconcile_known;
+use std::hint::black_box;
+
+fn bench_vs_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_reconciliation_vs_d");
+    for d in [4usize, 16, 64, 256, 1024] {
+        let (alice, bob) = set_pair(100_000, d, d as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| black_box(reconcile_known(&alice, &bob, d, 7).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_reconciliation_vs_n");
+    for n in [10_000usize, 50_000, 200_000] {
+        let (alice, bob) = set_pair(n, 32, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(reconcile_known(&alice, &bob, 32, 9).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_d, bench_vs_n);
+criterion_main!(benches);

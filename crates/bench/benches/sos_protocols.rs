@@ -1,0 +1,52 @@
+//! Experiments E-3.3 / E-3.5 / E-3.7 / E-3.9: the four set-of-sets protocols on a
+//! common workload, swept over `d` and the child size `h`. The companion
+//! communication table is printed by `experiments sos`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_sos::workload::{generate_pair, WorkloadParams};
+use recon_sos::{cascading, iblt_of_iblts, multiround, naive, SosParams};
+use std::hint::black_box;
+
+fn bench_vs_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sos_protocols_vs_d");
+    group.sample_size(10);
+    let workload = WorkloadParams::new(512, 16, 1 << 30);
+    let params = SosParams::new(5, workload.max_child_size);
+    for d in [4usize, 16, 64] {
+        let (alice, bob) = generate_pair(&workload, d, d as u64);
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |b, &d| {
+            b.iter(|| black_box(naive::run_known(&alice, &bob, d, &params).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("iblt_of_iblts", d), &d, |b, &d| {
+            b.iter(|| black_box(iblt_of_iblts::run_known(&alice, &bob, d, d, &params).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("cascading", d), &d, |b, &d| {
+            b.iter(|| black_box(cascading::run_known(&alice, &bob, d, &params).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("multiround", d), &d, |b, &d| {
+            b.iter(|| black_box(multiround::run_known(&alice, &bob, d, d, &params).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_child_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sos_protocols_vs_child_size");
+    group.sample_size(10);
+    let d = 8;
+    for h in [8usize, 32, 96] {
+        let workload = WorkloadParams::new(256, h, 1 << 30);
+        let params = SosParams::new(9, workload.max_child_size);
+        let (alice, bob) = generate_pair(&workload, d, 70 + h as u64);
+        group.bench_with_input(BenchmarkId::new("naive", h), &h, |b, _| {
+            b.iter(|| black_box(naive::run_known(&alice, &bob, d, &params).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("cascading", h), &h, |b, _| {
+            b.iter(|| black_box(cascading::run_known(&alice, &bob, d, &params).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_d, bench_vs_child_size);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Experiment E-T1: the Table 1 comparison, measured. Binary-database workload with
+//! `h = Θ(u)`, `n = Θ(su)`, small `d`; one bench per protocol so Criterion reports
+//! the computation-time ordering (Thm 3.3 fastest … Thm 3.7 slowest among the
+//! one-round protocols), while `experiments table1` reports the communication
+//! ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_apps::database::SosProtocolKind;
+use recon_bench::database_pair;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_database_workload");
+    group.sample_size(10);
+    let (s, u) = (256usize, 128u32);
+    for d in [4usize, 16] {
+        let (alice, bob) = database_pair(s, u, d, d as u64);
+        for (name, kind) in [
+            ("naive_thm33", SosProtocolKind::Naive),
+            ("iblt_of_iblts_thm35", SosProtocolKind::IbltOfIblts),
+            ("cascading_thm37", SosProtocolKind::Cascading),
+            ("multiround_thm39", SosProtocolKind::MultiRound),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, d), &d, |b, &d| {
+                b.iter(|| black_box(bob.reconcile_from(&alice, d, kind, 7).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,375 @@
+//! Regenerate the paper's evaluation artifacts as measured tables.
+//!
+//! Usage: `cargo run -p recon-bench --release --bin experiments [subcommand]`
+//!
+//! Subcommands (default `all`):
+//!
+//! | subcommand  | paper artifact / experiment id |
+//! |-------------|--------------------------------|
+//! | `table1`    | Table 1 — SSRK protocol comparison on the binary-database workload |
+//! | `figure1`   | Figure 1 — merge ambiguity instance |
+//! | `set`       | E-2.2 — IBLT set reconciliation scaling |
+//! | `charpoly`  | E-2.3 — characteristic-polynomial scaling |
+//! | `estimator` | E-3.1 — ℓ0 vs strata estimator accuracy and size |
+//! | `sos`       | E-3.3/3.5/3.7/3.9 — set-of-sets protocol sweep |
+//! | `separation`| E-5.3 — empirical (h, d+1, 2d+1)-separation probability |
+//! | `graph`     | E-5.2/5.6 — random-graph reconciliation success and communication |
+//! | `general`   | E-4.1/4.3 — general-graph protocols |
+//! | `forest`    | E-6.1 — forest reconciliation vs d·σ |
+
+use recon_apps::database::SosProtocolKind;
+use recon_base::rng::Xoshiro256;
+use recon_bench::{database_pair, set_pair};
+use recon_estimator::{L0Config, L0Estimator, Side, StrataConfig, StrataEstimator};
+use recon_graph::degree_neighborhood::{self, DegreeNeighborhoodParams};
+use recon_graph::degree_order::{self, DegreeOrderParams};
+use recon_graph::forest::Forest;
+use recon_graph::{forest, general, Graph};
+use recon_set::{reconcile_known, reconcile_known_charpoly};
+use recon_sos::workload::{generate_pair, WorkloadParams};
+use recon_sos::{cascading, iblt_of_iblts, multiround, naive, SosParams};
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "table1" {
+        table1();
+    }
+    if all || which == "figure1" {
+        figure1();
+    }
+    if all || which == "set" {
+        set_scaling();
+    }
+    if all || which == "charpoly" {
+        charpoly_scaling();
+    }
+    if all || which == "estimator" {
+        estimator_accuracy();
+    }
+    if all || which == "sos" {
+        sos_sweep();
+    }
+    if all || which == "separation" {
+        separation_probability();
+    }
+    if all || which == "graph" {
+        graph_reconciliation();
+    }
+    if all || which == "general" {
+        general_graphs();
+    }
+    if all || which == "forest" {
+        forest_scaling();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// E-T1: Table 1, measured.
+fn table1() {
+    header("Table 1 (measured): SSRK protocols on the binary-database workload");
+    println!("workload: s rows x u=128 columns, density 1/2 (h = Θ(u), n = Θ(su))");
+    println!(
+        "{:<10} {:>6} {:>28} {:>12} {:>10} {:>8}",
+        "s", "d", "protocol", "bytes", "ms", "rounds"
+    );
+    for &s in &[256usize, 1024] {
+        for &d in &[4usize, 16] {
+            let (alice, bob) = database_pair(s, 128, d, (s + d) as u64);
+            for (name, kind) in [
+                ("naive (Thm 3.3)", SosProtocolKind::Naive),
+                ("IBLT of IBLTs (Thm 3.5)", SosProtocolKind::IbltOfIblts),
+                ("cascading (Thm 3.7)", SosProtocolKind::Cascading),
+                ("multi-round (Thm 3.9)", SosProtocolKind::MultiRound),
+            ] {
+                let start = Instant::now();
+                let result = bob.reconcile_from(&alice, d, kind, 7);
+                let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                match result {
+                    Ok((recovered, stats)) => {
+                        assert_eq!(recovered, alice, "protocol returned a wrong table");
+                        println!(
+                            "{:<10} {:>6} {:>28} {:>12} {:>10.2} {:>8}",
+                            s,
+                            d,
+                            name,
+                            stats.total_bytes(),
+                            elapsed,
+                            stats.rounds
+                        );
+                    }
+                    Err(e) => println!("{s:<10} {d:>6} {name:>28}  FAILED: {e}"),
+                }
+            }
+        }
+    }
+    println!("\npaper's claim: for large u, communication ascends naive > IBLT-of-IBLTs >");
+    println!("cascading (> multi-round in the d·log u term), while computation descends in");
+    println!("the same order among the one-round protocols.");
+}
+
+/// E-F1: Figure 1.
+fn figure1() {
+    header("Figure 1 (reproduced): the union of unlabeled graphs is ambiguous");
+    let (g_a, g_b) = general::figure1_instance();
+    let (m1, m2) = general::figure1_merges();
+    println!("G_A edges: {:?}   G_B edges: {:?}", g_a.edges(), g_b.edges());
+    println!("merge option 1 edges: {:?}", m1.edges());
+    println!("merge option 2 edges: {:?}", m2.edges());
+    println!("options isomorphic to each other: {}", m1.is_isomorphic_bruteforce(&m2));
+}
+
+/// E-2.2: IBLT set reconciliation scaling.
+fn set_scaling() {
+    header("E-2.2  set reconciliation (Cor 2.2): bytes and time vs d  (n = 100,000)");
+    println!("{:>8} {:>12} {:>10}", "d", "bytes", "ms");
+    for &d in &[1usize, 4, 16, 64, 256, 1024] {
+        let (alice, bob) = set_pair(100_000, d, d as u64 + 1);
+        let start = Instant::now();
+        let outcome = reconcile_known(&alice, &bob, d.max(1), 7).expect("reconcile");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(outcome.recovered, alice);
+        println!("{:>8} {:>12} {:>10.2}", d, outcome.stats.total_bytes(), ms);
+    }
+}
+
+/// E-2.3: characteristic-polynomial scaling.
+fn charpoly_scaling() {
+    header("E-2.3  charpoly reconciliation (Thm 2.3): bytes and time vs d  (n = 5,000)");
+    println!("{:>8} {:>12} {:>12} {:>14}", "d", "bytes", "ms", "iblt bytes");
+    for &d in &[1usize, 4, 16, 64, 128] {
+        let (alice, bob) = set_pair(5_000, d, 40 + d as u64);
+        let start = Instant::now();
+        let poly = reconcile_known_charpoly(&alice, &bob, d.max(1), 3).expect("charpoly");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let iblt = reconcile_known(&alice, &bob, d.max(1), 3).expect("iblt");
+        assert_eq!(poly.recovered, alice);
+        println!(
+            "{:>8} {:>12} {:>12.2} {:>14}",
+            d,
+            poly.stats.total_bytes(),
+            ms,
+            iblt.stats.total_bytes()
+        );
+    }
+}
+
+/// E-3.1: estimator accuracy and size.
+fn estimator_accuracy() {
+    header("E-3.1  set difference estimators: estimate/true ratio and sketch size");
+    println!("{:>8} {:>14} {:>14} {:>12} {:>12}", "true d", "l0 estimate", "strata est.", "l0 bytes", "strata bytes");
+    for &d in &[4usize, 16, 64, 256, 1024, 8192] {
+        let (alice, bob) = set_pair(50_000, d, 900 + d as u64);
+        let l0_cfg = L0Config::default().with_seed(1);
+        let strata_cfg = StrataConfig::default().with_seed(1);
+        let mut a_l0 = L0Estimator::new(&l0_cfg);
+        let mut b_l0 = L0Estimator::new(&l0_cfg);
+        let mut a_st = StrataEstimator::new(&strata_cfg);
+        let mut b_st = StrataEstimator::new(&strata_cfg);
+        for &x in &alice {
+            a_l0.update(x, Side::A);
+            a_st.update(x, Side::A);
+        }
+        for &x in &bob {
+            b_l0.update(x, Side::B);
+            b_st.update(x, Side::B);
+        }
+        let l0 = a_l0.merge(&b_l0).unwrap();
+        let st = a_st.merge(&b_st).unwrap();
+        println!(
+            "{:>8} {:>14} {:>14} {:>12} {:>12}",
+            d,
+            l0.estimate(),
+            st.estimate(),
+            l0.serialized_len(),
+            st.serialized_len()
+        );
+    }
+}
+
+/// E-3.3 / 3.5 / 3.7 / 3.9: the set-of-sets protocol sweep.
+fn sos_sweep() {
+    header("E-3.x  set-of-sets protocols: bytes vs d  (s = 512, h = 16 and h = 64)");
+    println!(
+        "{:>6} {:>6} {:>14} {:>18} {:>14} {:>16}",
+        "h", "d", "naive", "IBLT-of-IBLTs", "cascading", "multi-round"
+    );
+    for &h in &[16usize, 64] {
+        let workload = WorkloadParams::new(512, h, 1 << 40);
+        let params = SosParams::new(5, h);
+        for &d in &[1usize, 4, 16, 64] {
+            let (alice, bob) = generate_pair(&workload, d, (h * 1000 + d) as u64);
+            let naive_b = naive::run_known(&alice, &bob, d, &params).map(|o| o.stats.total_bytes());
+            let flat_b = iblt_of_iblts::run_known(&alice, &bob, d, d, &params)
+                .map(|o| o.stats.total_bytes());
+            let casc_b = cascading::run_known(&alice, &bob, d, &params).map(|o| o.stats.total_bytes());
+            let multi_b = multiround::run_known(&alice, &bob, d, d, &params)
+                .map(|o| o.stats.total_bytes());
+            println!(
+                "{:>6} {:>6} {:>14} {:>18} {:>14} {:>16}",
+                h,
+                d,
+                naive_b.map(|b| b.to_string()).unwrap_or_else(|e| format!("{e}")),
+                flat_b.map(|b| b.to_string()).unwrap_or_else(|e| format!("{e}")),
+                casc_b.map(|b| b.to_string()).unwrap_or_else(|e| format!("{e}")),
+                multi_b.map(|b| b.to_string()).unwrap_or_else(|e| format!("{e}")),
+            );
+        }
+    }
+}
+
+/// E-5.3: empirical separation probability.
+fn separation_probability() {
+    header("E-5.3  empirical probability that G(n,p) is (h, d+1, 2d+1)-separated  (d = 2)");
+    println!("{:>8} {:>8} {:>6} {:>22} {:>22}", "n", "p", "h", "deg-order separated", "deg-nbhd disjoint>=4d+1");
+    let d = 2usize;
+    for &(n, p) in &[(128usize, 0.3f64), (256, 0.3), (256, 0.1), (512, 0.1)] {
+        let h = degree_order::recommended_h(n, p, d, 0.25).max(8);
+        let trials = 10;
+        let mut separated = 0;
+        let mut disjoint = 0;
+        for t in 0..trials {
+            let mut rng = Xoshiro256::new((n * 31 + t) as u64);
+            let g = Graph::gnp(n, p, &mut rng);
+            if degree_order::is_separated(&g, h, d + 1, 2 * d + 1) {
+                separated += 1;
+            }
+            let cap = ((n as f64) * p).ceil() as usize + 1;
+            if degree_neighborhood::min_disjointness(&g, cap) >= 4 * d + 1 {
+                disjoint += 1;
+            }
+        }
+        println!(
+            "{:>8} {:>8.2} {:>6} {:>20}/{} {:>20}/{}",
+            n, p, h, separated, trials, disjoint, trials
+        );
+    }
+    println!("\npaper's claim: both separations hold with high probability only for much");
+    println!("larger n (Thm 5.3 needs p >= C d log n (d^2/(delta^2 n))^(1/7)); at laptop scale");
+    println!("failures are common and must be *detected* by the protocols, never silent.");
+}
+
+/// E-5.2 / E-5.6: graph reconciliation success and communication.
+fn graph_reconciliation() {
+    header("E-5.2/5.6  random-graph reconciliation: success rate and bytes");
+    println!(
+        "{:>22} {:>6} {:>8} {:>6} {:>10} {:>14}",
+        "scheme", "n", "p", "d", "success", "median bytes"
+    );
+    let trials = 5u64;
+    for &(n, p, d) in &[(192usize, 0.35f64, 2usize), (256, 0.35, 4)] {
+        let mut ok = 0;
+        let mut bytes = Vec::new();
+        for t in 0..trials {
+            let mut rng = Xoshiro256::new(n as u64 * 97 + t);
+            let base = Graph::gnp(n, p, &mut rng);
+            let alice = base.perturb(d / 2, &mut rng);
+            let bob = base.perturb(d - d / 2, &mut rng);
+            let params = DegreeOrderParams { h: 48.min(n / 4), seed: t };
+            if let Ok((rec, stats)) = degree_order::reconcile(&alice, &bob, d, &params) {
+                if rec.num_edges() == alice.num_edges() {
+                    ok += 1;
+                    bytes.push(stats.total_bytes());
+                }
+            }
+        }
+        bytes.sort_unstable();
+        println!(
+            "{:>22} {:>6} {:>8.2} {:>6} {:>8}/{} {:>14}",
+            "degree-order (5.2)",
+            n,
+            p,
+            d,
+            ok,
+            trials,
+            bytes.get(bytes.len() / 2).copied().unwrap_or(0)
+        );
+    }
+    for &(n, p, d) in &[(256usize, 0.2f64, 2usize), (320, 0.15, 2)] {
+        let mut ok = 0;
+        let mut bytes = Vec::new();
+        for t in 0..trials {
+            let mut rng = Xoshiro256::new(n as u64 * 131 + t);
+            let base = Graph::gnp(n, p, &mut rng);
+            let alice = base.perturb(d / 2, &mut rng);
+            let bob = base.perturb(d - d / 2, &mut rng);
+            let params = DegreeNeighborhoodParams::for_gnp(n, p, t);
+            if let Ok((rec, stats)) = degree_neighborhood::reconcile(&alice, &bob, d, &params) {
+                if rec.num_edges() == alice.num_edges() {
+                    ok += 1;
+                    bytes.push(stats.total_bytes());
+                }
+            }
+        }
+        bytes.sort_unstable();
+        println!(
+            "{:>22} {:>6} {:>8.2} {:>6} {:>8}/{} {:>14}",
+            "degree-nbhd (5.6)",
+            n,
+            p,
+            d,
+            ok,
+            trials,
+            bytes.get(bytes.len() / 2).copied().unwrap_or(0)
+        );
+    }
+    println!("\npaper's claim: the degree-neighborhood scheme works for much sparser graphs but");
+    println!("pays roughly a pn factor more communication than the degree-ordering scheme.");
+}
+
+/// E-4.1 / E-4.3: general graphs.
+fn general_graphs() {
+    header("E-4.1/4.3  general-graph protocols on tiny instances (n = 7)");
+    let mut rng = Xoshiro256::new(9);
+    let base = Graph::gnp(7, 0.4, &mut rng);
+    let relabeled = base.relabel(&[6, 5, 4, 3, 2, 1, 0]);
+    let (iso, stats) = general::isomorphism_protocol(&base, &relabeled, 3);
+    println!("isomorphism fingerprint: verdict = {iso}, {stats}");
+    println!("{:>4} {:>14} {:>12}", "d", "bytes", "ms");
+    for d in [1usize, 2] {
+        let alice = base.perturb(d, &mut rng);
+        let start = Instant::now();
+        let (result, stats) = general::reconcile_exhaustive(&alice, &base, d, 5);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let ok = result.map(|g| g.is_isomorphic_bruteforce(&alice)).unwrap_or(false);
+        println!("{:>4} {:>14} {:>12.2}   recovered isomorphic copy: {ok}", d, stats.total_bytes(), ms);
+    }
+    println!("\npaper's claim: O(d log n) bits but exponential time — the reason Section 5 exists.");
+}
+
+/// E-6.1: forest reconciliation.
+fn forest_scaling() {
+    header("E-6.1  forest reconciliation: bytes vs d and sigma  (n = 5,000)");
+    println!("{:>6} {:>8} {:>12} {:>10} {:>12}", "d", "sigma", "bytes", "ms", "isomorphic");
+    let mut rng = Xoshiro256::new(13);
+    for &sigma in &[4usize, 8, 16] {
+        let base = Forest::random(5_000, 0.08, sigma, &mut rng);
+        for &d in &[1usize, 4, 16] {
+            let alice = base.perturb(d / 2, &mut rng);
+            let bob = base.perturb(d - d / 2, &mut rng);
+            let bound_sigma = alice.max_depth().max(bob.max_depth()).max(1);
+            let start = Instant::now();
+            match forest::reconcile(&alice, &bob, d, bound_sigma, 7) {
+                Ok((recovered, stats)) => {
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    println!(
+                        "{:>6} {:>8} {:>12} {:>10.2} {:>12}",
+                        d,
+                        bound_sigma,
+                        stats.total_bytes(),
+                        ms,
+                        recovered.is_isomorphic(&alice, 7)
+                    );
+                }
+                Err(e) => println!("{d:>6} {bound_sigma:>8}   FAILED: {e}"),
+            }
+        }
+    }
+    println!("\npaper's claim: communication O(d sigma log(d sigma) log n), independent of n.");
+}

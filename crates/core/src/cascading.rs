@@ -1,0 +1,455 @@
+//! The cascading IBLTs-of-IBLTs protocol — Algorithm 2, Theorem 3.7 (known `d`) and
+//! Corollary 3.8 (unknown `d`).
+//!
+//! The plain IBLT-of-IBLTs protocol sizes *every* child IBLT for the full per-child
+//! bound `d`, even though only `O(1)` child sets can actually have `Ω(d)` changes,
+//! `O(√d)` can have `Ω(√d)` changes, and so on. Algorithm 2 exploits this by sending
+//! a *cascade* of outer tables `T_1, …, T_t` (`t = log₂ min(d, h)`): level `i` uses
+//! child IBLTs with `O(2^i)` cells but an outer table with only `O(d / 2^i)` cells.
+//! Children with small differences are recovered at the cheap early levels and
+//! *deleted* from the later tables, so each level only has to carry the children
+//! whose differences are too large for the previous levels. If `d ≥ h` a final table
+//! `T_*` of full fixed-width child encodings catches the stragglers. Communication
+//! drops to `O(d log min(d, h) log u + d log s)` bits, still in one round.
+
+use crate::types::{ChildSet, SetOfSets, SosOutcome, SosParams};
+use recon_base::comm::{Direction, Transcript};
+use recon_base::wire::{read_uvarint, write_uvarint, Decode, Encode, WireError};
+use recon_base::ReconError;
+use recon_iblt::{Iblt, IbltConfig};
+use std::collections::BTreeMap;
+
+/// Alice's one-round message: the cascade of outer tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadingDigest {
+    /// The total element-difference bound `d` the cascade was sized for.
+    pub diff_bound: usize,
+    /// Outer tables `T_1, …, T_t`; level `i` (1-based) carries child IBLTs with
+    /// `O(2^i)` cells.
+    pub levels: Vec<Iblt>,
+    /// The fallback table `T_*` of full child encodings, present when `d ≥ h`.
+    pub fallback: Option<Iblt>,
+    /// Hash of Alice's whole parent set, for end-to-end verification.
+    pub parent_hash: u64,
+    /// Number of child sets Alice holds.
+    pub num_children: u64,
+}
+
+impl Encode for CascadingDigest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_uvarint(buf, self.diff_bound as u64);
+        self.levels.encode(buf);
+        self.fallback.encode(buf);
+        self.parent_hash.encode(buf);
+        self.num_children.encode(buf);
+    }
+}
+
+impl Decode for CascadingDigest {
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CascadingDigest {
+            diff_bound: read_uvarint(buf)? as usize,
+            levels: Vec::<Iblt>::decode(buf)?,
+            fallback: Option::<Iblt>::decode(buf)?,
+            parent_hash: u64::decode(buf)?,
+            num_children: u64::decode(buf)?,
+        })
+    }
+}
+
+/// The cascading IBLTs-of-IBLTs protocol (Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CascadingProtocol {
+    params: SosParams,
+}
+
+impl CascadingProtocol {
+    /// Create a protocol instance from shared parameters.
+    pub fn new(params: SosParams) -> Self {
+        Self { params }
+    }
+
+    /// Number of cascade levels for a difference bound `d`:
+    /// `t = max(1, ceil(log₂ min(d, h)))`.
+    pub fn num_levels(&self, d: usize) -> usize {
+        let cap = d.min(self.params.max_child_size).max(2);
+        (usize::BITS - (cap - 1).leading_zeros()) as usize
+    }
+
+    /// `true` if the cascade needs the fallback table `T_*` (the levels stop at `h`
+    /// because `d ≥ h`).
+    pub fn needs_fallback(&self, d: usize) -> bool {
+        d >= self.params.max_child_size
+    }
+
+    fn child_config(&self, level: usize) -> IbltConfig {
+        IbltConfig::for_u64_keys(self.params.role_seed(0xC100 + level as u64))
+            .with_cells_per_diff(2.0)
+            .with_min_cells(8)
+    }
+
+    fn level_child_cells(&self, level: usize) -> usize {
+        self.child_config(level).cells_for(1usize << level)
+    }
+
+    fn level_encoding_bytes(&self, level: usize) -> usize {
+        self.child_config(level).serialized_len(self.level_child_cells(level)) + 8
+    }
+
+    fn level_outer_config(&self, level: usize) -> IbltConfig {
+        IbltConfig::for_key_bytes(
+            self.level_encoding_bytes(level),
+            self.params.role_seed(0xC200 + level as u64),
+        )
+        .with_min_cells(12)
+    }
+
+    fn fallback_config(&self) -> IbltConfig {
+        IbltConfig::for_key_bytes(
+            2 + 8 * self.params.max_child_size,
+            self.params.role_seed(0xC300),
+        )
+        .with_min_cells(12)
+    }
+
+    /// Encode one child set at a given cascade level.
+    fn encode_child_at_level(&self, child: &ChildSet, level: usize) -> Vec<u8> {
+        let cfg = self.child_config(level);
+        let mut table = Iblt::with_cells(self.level_child_cells(level), &cfg);
+        for &x in child {
+            table.insert_u64(x);
+        }
+        let mut bytes = table.to_bytes();
+        bytes.extend_from_slice(&SetOfSets::child_hash(child, self.params.seed).to_le_bytes());
+        bytes
+    }
+
+    fn split_encoding(encoding: &[u8]) -> Result<(Iblt, u64), ReconError> {
+        if encoding.len() < 8 {
+            return Err(ReconError::ChecksumFailure);
+        }
+        let (iblt_bytes, hash_bytes) = encoding.split_at(encoding.len() - 8);
+        let table = Iblt::from_bytes(iblt_bytes).map_err(ReconError::Wire)?;
+        let hash = u64::from_le_bytes(hash_bytes.try_into().expect("8 bytes"));
+        Ok((table, hash))
+    }
+
+    /// Number of outer cells at cascade level `i` (1-based): `O(d / 2^i)`, with the
+    /// first level sized for all `≤ 2d` differing encodings.
+    fn level_outer_cells(&self, d: usize, level: usize) -> usize {
+        let expected = if level == 1 { 2 * d } else { (2 * d) >> (level - 1) };
+        self.level_outer_config(level).cells_for(expected.max(4))
+    }
+
+    /// Alice's side: build the cascade digest for total element-difference bound `d`.
+    pub fn digest(&self, sos: &SetOfSets, d: usize) -> CascadingDigest {
+        let d = d.max(1);
+        let t = self.num_levels(d);
+        let mut levels = Vec::with_capacity(t);
+        for level in 1..=t {
+            let mut outer =
+                Iblt::with_cells(self.level_outer_cells(d, level), &self.level_outer_config(level));
+            for child in sos.children() {
+                outer.insert(&self.encode_child_at_level(child, level));
+            }
+            levels.push(outer);
+        }
+        let fallback = if self.needs_fallback(d) {
+            let expected = (2 * d / self.params.max_child_size).max(4);
+            let mut table = Iblt::with_expected_diff(expected, &self.fallback_config());
+            for child in sos.children() {
+                table.insert(&SetOfSets::encode_child_fixed(child, self.params.max_child_size));
+            }
+            Some(table)
+        } else {
+            None
+        };
+        CascadingDigest {
+            diff_bound: d,
+            levels,
+            fallback,
+            parent_hash: sos.parent_hash(self.params.seed),
+            num_children: sos.num_children() as u64,
+        }
+    }
+
+    /// Bob's side: recover Alice's parent set from the cascade.
+    pub fn reconcile(
+        &self,
+        digest: &CascadingDigest,
+        local: &SetOfSets,
+    ) -> Result<SetOfSets, ReconError> {
+        let t = digest.levels.len();
+        if t == 0 {
+            return Err(ReconError::InvalidInput("cascade with no levels".to_string()));
+        }
+
+        // D_B: Bob's differing children, keyed by hash. Discovered at level 1.
+        let mut differing_local: BTreeMap<u64, ChildSet> = BTreeMap::new();
+        // D_A: Alice's recovered children, keyed by their child hash.
+        let mut recovered: BTreeMap<u64, ChildSet> = BTreeMap::new();
+        // Alice's differing child hashes seen so far but not yet recovered.
+        let mut pending: BTreeMap<u64, ()> = BTreeMap::new();
+
+        for (idx, outer) in digest.levels.iter().enumerate() {
+            let level = idx + 1;
+            let mut table = outer.clone();
+            for child in local.children() {
+                let hash = SetOfSets::child_hash(child, self.params.seed);
+                if level > 1 && differing_local.contains_key(&hash) {
+                    continue; // keep D_B out of the later tables (Algorithm 2, step i>1)
+                }
+                table.delete(&self.encode_child_at_level(child, level));
+            }
+            if level > 1 {
+                for child in recovered.values() {
+                    table.delete(&self.encode_child_at_level(child, level));
+                }
+            }
+            let decoded = table.decode();
+            // Partial decodes are fine mid-cascade: later levels and the fallback
+            // table will catch what this level missed.
+
+            if level == 1 {
+                for encoding in &decoded.negative {
+                    let (_, hash_b) = Self::split_encoding(encoding)?;
+                    if let Some(child) = local.child_by_hash(hash_b, self.params.seed) {
+                        differing_local.insert(hash_b, child.clone());
+                    }
+                }
+            }
+
+            // A child with no counterpart on Bob's side is also tried against the
+            // empty set, so brand-new children are recoverable once a level's child
+            // IBLTs are big enough to hold them outright.
+            let empty_child = ChildSet::new();
+            let mut candidate_children: Vec<&ChildSet> = differing_local.values().collect();
+            candidate_children.push(&empty_child);
+            for encoding in &decoded.positive {
+                let (table_a, hash_a) = Self::split_encoding(encoding)?;
+                if recovered.contains_key(&hash_a) {
+                    continue;
+                }
+                pending.insert(hash_a, ());
+                for child_b in candidate_children.iter().copied() {
+                    let table_b = {
+                        let enc = self.encode_child_at_level(child_b, level);
+                        Self::split_encoding(&enc)?.0
+                    };
+                    let Ok(diff_table) = table_a.subtract(&table_b) else { continue };
+                    let peeled = diff_table.decode();
+                    if !peeled.complete {
+                        continue;
+                    }
+                    let mut candidate = child_b.clone();
+                    for x in peeled.negative_u64() {
+                        candidate.remove(&x);
+                    }
+                    for x in peeled.positive_u64() {
+                        candidate.insert(x);
+                    }
+                    if SetOfSets::child_hash(&candidate, self.params.seed) == hash_a {
+                        recovered.insert(hash_a, candidate);
+                        pending.remove(&hash_a);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Fallback table of full encodings, when present.
+        if let Some(fallback) = &digest.fallback {
+            let mut table = fallback.clone();
+            for child in local.children() {
+                table.delete(&SetOfSets::encode_child_fixed(child, self.params.max_child_size));
+            }
+            for child in recovered.values() {
+                table.delete(&SetOfSets::encode_child_fixed(child, self.params.max_child_size));
+            }
+            let decoded = table.decode();
+            for key in &decoded.positive {
+                if let Some(child) = SetOfSets::decode_child_fixed(key) {
+                    let hash = SetOfSets::child_hash(&child, self.params.seed);
+                    pending.remove(&hash);
+                    recovered.insert(hash, child);
+                }
+            }
+        }
+
+        if let Some((&hash, _)) = pending.iter().next() {
+            return Err(ReconError::NoMatchingChild { child_hash: hash });
+        }
+
+        let mut result = local.clone();
+        for child in differing_local.values() {
+            result.remove(child);
+        }
+        for child in recovered.values() {
+            result.insert(child.clone());
+        }
+        if result.num_children() as u64 != digest.num_children
+            || result.parent_hash(self.params.seed) != digest.parent_hash
+        {
+            return Err(ReconError::ChecksumFailure);
+        }
+        Ok(result)
+    }
+}
+
+/// Theorem 3.7 driver: one-round SSRK with known total difference bound `d`, with up
+/// to three replicated attempts (the paper's success probability is a constant 2/3,
+/// amplified by replication against the whole-set hash).
+pub fn run_known(
+    alice: &SetOfSets,
+    bob: &SetOfSets,
+    d: usize,
+    params: &SosParams,
+) -> Result<SosOutcome, ReconError> {
+    let mut transcript = Transcript::new();
+    let mut last_err = ReconError::RetriesExhausted { attempts: 0 };
+    for attempt in 0..4u64 {
+        let attempt_params = SosParams { seed: params.role_seed(0xCC00 + attempt), ..*params };
+        let protocol = CascadingProtocol::new(attempt_params);
+        let digest = protocol.digest(alice, d);
+        transcript.record(Direction::AliceToBob, "cascading IBLTs of IBLTs", &digest);
+        match protocol.reconcile(&digest, bob) {
+            Ok(recovered) => return Ok(SosOutcome { recovered, stats: transcript.stats() }),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// Corollary 3.8 driver: SSRU by repeated doubling of `d`, `O(log d)` rounds.
+pub fn run_unknown(
+    alice: &SetOfSets,
+    bob: &SetOfSets,
+    params: &SosParams,
+) -> Result<SosOutcome, ReconError> {
+    let mut transcript = Transcript::new();
+    let mut d = 2usize;
+    let max_possible = alice.total_elements() + bob.total_elements() + 2;
+    let mut attempt = 0u64;
+    while d <= 2 * max_possible {
+        let attempt_params = SosParams { seed: params.role_seed(0xCD00 + attempt), ..*params };
+        let protocol = CascadingProtocol::new(attempt_params);
+        let digest = protocol.digest(alice, d);
+        transcript.record(Direction::AliceToBob, "cascading IBLTs of IBLTs", &digest);
+        match protocol.reconcile(&digest, bob) {
+            Ok(recovered) => return Ok(SosOutcome { recovered, stats: transcript.stats() }),
+            Err(_) => {
+                transcript.record_bytes(Direction::BobToAlice, "NACK (double d)", 1);
+                d *= 2;
+                attempt += 1;
+            }
+        }
+    }
+    Err(ReconError::RetriesExhausted { attempts: attempt as usize })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iblt_of_iblts;
+    use crate::workload::{generate_pair, WorkloadParams};
+
+    fn params() -> (WorkloadParams, SosParams) {
+        let w = WorkloadParams::new(96, 24, 1 << 30);
+        (w, SosParams::new(0xCAFE, w.max_child_size))
+    }
+
+    #[test]
+    fn level_count_tracks_min_of_d_and_h() {
+        let (_, p) = params();
+        let protocol = CascadingProtocol::new(p);
+        assert_eq!(protocol.num_levels(1), 1);
+        assert_eq!(protocol.num_levels(2), 1);
+        assert_eq!(protocol.num_levels(4), 2);
+        assert_eq!(protocol.num_levels(16), 4);
+        // Capped at log2(h) = log2(24) -> 5 levels.
+        assert_eq!(protocol.num_levels(1 << 20), 5);
+        assert!(protocol.needs_fallback(24));
+        assert!(!protocol.needs_fallback(8));
+    }
+
+    #[test]
+    fn identical_parent_sets_reconcile() {
+        let (w, p) = params();
+        let (alice, _) = generate_pair(&w, 0, 1);
+        let protocol = CascadingProtocol::new(p);
+        let digest = protocol.digest(&alice, 4);
+        assert_eq!(protocol.reconcile(&digest, &alice).unwrap(), alice);
+    }
+
+    #[test]
+    fn perturbed_parent_sets_reconcile() {
+        let (w, p) = params();
+        for d in [1usize, 4, 12, 32] {
+            let (alice, bob) = generate_pair(&w, d, 500 + d as u64);
+            let outcome = run_known(&alice, &bob, d, &p).unwrap();
+            assert_eq!(outcome.recovered, alice, "d = {d}");
+            // Theorem 3.7 succeeds with constant probability per attempt; the driver
+            // replicates (each replica is another one-round transmission), so a small
+            // number of rounds is acceptable but most instances should need one.
+            assert!(outcome.stats.rounds <= 3, "d = {d}: {} rounds", outcome.stats.rounds);
+        }
+    }
+
+    #[test]
+    fn large_differences_use_the_fallback_table() {
+        let (w, p) = params();
+        let protocol = CascadingProtocol::new(p);
+        let (alice, bob) = generate_pair(&w, 60, 9);
+        let digest = protocol.digest(&alice, 60);
+        assert!(digest.fallback.is_some());
+        let outcome = run_known(&alice, &bob, 60, &p).unwrap();
+        assert_eq!(outcome.recovered, alice);
+    }
+
+    #[test]
+    fn unknown_difference_reconciles() {
+        let (w, p) = params();
+        let (alice, bob) = generate_pair(&w, 7, 44);
+        let outcome = run_unknown(&alice, &bob, &p).unwrap();
+        assert_eq!(outcome.recovered, alice);
+    }
+
+    #[test]
+    fn beats_iblt_of_iblts_for_spread_out_changes() {
+        // Theorem 3.7's improvement over Theorem 3.5: when the d changes are spread
+        // over many children, per-child IBLTs of size O(d) are wasteful.
+        let w = WorkloadParams::new(128, 32, 1 << 30);
+        let p = SosParams::new(7, w.max_child_size);
+        let d = 24;
+        let (alice, bob) = generate_pair(&w, d, 3);
+        let cascade = run_known(&alice, &bob, d, &p).unwrap();
+        let flat = iblt_of_iblts::run_known(&alice, &bob, d, d, &p).unwrap();
+        assert_eq!(cascade.recovered, alice);
+        assert_eq!(flat.recovered, alice);
+        assert!(
+            cascade.stats.total_bytes() < flat.stats.total_bytes(),
+            "cascading {} bytes should undercut flat {} bytes",
+            cascade.stats.total_bytes(),
+            flat.stats.total_bytes()
+        );
+    }
+
+    #[test]
+    fn digest_roundtrips_through_wire() {
+        let (w, p) = params();
+        let (alice, bob) = generate_pair(&w, 6, 15);
+        let protocol = CascadingProtocol::new(p);
+        let digest = protocol.digest(&alice, 6);
+        let decoded = CascadingDigest::from_bytes(&digest.to_bytes()).unwrap();
+        assert_eq!(protocol.reconcile(&decoded, &bob).unwrap(), alice);
+    }
+
+    #[test]
+    fn undersized_bound_fails_detectably() {
+        let (w, p) = params();
+        let (alice, bob) = generate_pair(&w, 64, 23);
+        let protocol = CascadingProtocol::new(p);
+        let digest = protocol.digest(&alice, 1);
+        assert!(protocol.reconcile(&digest, &bob).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Difference metrics between two sets of sets.
+//!
+//! The paper defines `d` as "the value of the minimum cost matching between Alice and
+//! Bob's child sets, where the cost of matching two sets is equal to their set
+//! difference", and notes that all of its protocols actually solve the slightly
+//! relaxed problem where `d` is "the sum over each of Alice and Bob's child sets of
+//! their minimum set difference with one of the other party's child sets" (each child
+//! set must be mapped to *at least* one child of the other party, not exactly one).
+//!
+//! Both metrics are implemented here — the exact matching via the Hungarian algorithm
+//! (used by tests and workload generators to characterize instances) and the relaxed
+//! metric (cheap, and the quantity the protocol bounds are stated against) — plus
+//! the count of differing child sets (`d̂`).
+
+use crate::types::{ChildSet, SetOfSets};
+use std::collections::BTreeSet;
+
+/// Size of the symmetric difference between two child sets.
+pub fn child_difference(a: &ChildSet, b: &ChildSet) -> usize {
+    a.symmetric_difference(b).count()
+}
+
+/// Number of child sets of `a` that do not appear (exactly) in `b`, plus the number
+/// of child sets of `b` that do not appear in `a` — the quantity the paper calls the
+/// number of *differing child sets*, bounded by `d̂`.
+pub fn differing_children(a: &SetOfSets, b: &SetOfSets) -> usize {
+    let a_set: BTreeSet<&ChildSet> = a.children().iter().collect();
+    let b_set: BTreeSet<&ChildSet> = b.children().iter().collect();
+    a_set.difference(&b_set).count() + b_set.difference(&a_set).count()
+}
+
+/// The relaxed total difference of Section 3.1: "the sum over each of Alice and
+/// Bob's child sets of their minimum set difference with one of the other party's
+/// child sets" — each child set must be mapped to *at least* one child of the other
+/// party, but not exactly one. The paper's protocols solve this (slightly stronger)
+/// formulation; a changed element therefore contributes to both directions of the
+/// sum, so `relaxed_difference ≤ 2 · matching_difference` always holds.
+///
+/// Empty parent sets are handled by treating a missing counterpart as the empty set,
+/// so inserting a whole child set of size `k` costs `k` per direction.
+pub fn relaxed_difference(a: &SetOfSets, b: &SetOfSets) -> usize {
+    fn one_direction(from: &SetOfSets, to: &SetOfSets) -> usize {
+        let to_children: BTreeSet<&ChildSet> = to.children().iter().collect();
+        from.children()
+            .iter()
+            .filter(|c| !to_children.contains(*c))
+            .map(|c| {
+                to.children()
+                    .iter()
+                    .map(|other| child_difference(c, other))
+                    .min()
+                    .unwrap_or(c.len())
+            })
+            .sum()
+    }
+    one_direction(a, b) + one_direction(b, a)
+}
+
+/// The exact minimum-cost matching difference between the two parent sets.
+///
+/// Child sets are matched one-to-one (padding the smaller side with empty sets, so
+/// unmatched children cost their full size); the cost of matching two children is
+/// their symmetric difference. Runs the Hungarian algorithm in `O(s^3)` time, so it
+/// is intended for workload characterization and tests, not for the protocols
+/// themselves (which never need to compute `d`, only to receive a bound on it).
+pub fn matching_difference(a: &SetOfSets, b: &SetOfSets) -> usize {
+    let n = a.num_children().max(b.num_children());
+    if n == 0 {
+        return 0;
+    }
+    let empty = ChildSet::new();
+    let row_child = |i: usize| a.children().get(i).unwrap_or(&empty);
+    let col_child = |j: usize| b.children().get(j).unwrap_or(&empty);
+    let cost: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..n).map(|j| child_difference(row_child(i), col_child(j)) as i64).collect())
+        .collect();
+    hungarian_min_cost(&cost) as usize
+}
+
+/// Minimum-cost perfect matching on a square cost matrix (Jonker–Volgenant style
+/// potentials; the classic O(n^3) shortest augmenting path formulation).
+fn hungarian_min_cost(cost: &[Vec<i64>]) -> i64 {
+    let n = cost.len();
+    if n == 0 {
+        return 0;
+    }
+    const INF: i64 = i64::MAX / 4;
+    // 1-indexed potentials and matching arrays, as in the standard formulation.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut total = 0i64;
+    for j in 1..=n {
+        if p[j] != 0 {
+            total += cost[p[j] - 1][j - 1];
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn child(values: &[u64]) -> ChildSet {
+        values.iter().copied().collect()
+    }
+
+    fn sos(children: &[&[u64]]) -> SetOfSets {
+        SetOfSets::from_children(children.iter().map(|c| child(c)))
+    }
+
+    #[test]
+    fn child_difference_counts_symmetric_difference() {
+        assert_eq!(child_difference(&child(&[1, 2, 3]), &child(&[2, 3, 4])), 2);
+        assert_eq!(child_difference(&child(&[]), &child(&[1, 2])), 2);
+        assert_eq!(child_difference(&child(&[5]), &child(&[5])), 0);
+    }
+
+    #[test]
+    fn identical_sets_of_sets_have_zero_difference() {
+        let a = sos(&[&[1, 2], &[3, 4, 5]]);
+        assert_eq!(differing_children(&a, &a), 0);
+        assert_eq!(relaxed_difference(&a, &a), 0);
+        assert_eq!(matching_difference(&a, &a), 0);
+    }
+
+    #[test]
+    fn single_element_change_costs_one_per_direction() {
+        let a = sos(&[&[1, 2], &[3, 4]]);
+        let b = sos(&[&[1, 2], &[3, 4, 5]]);
+        assert_eq!(differing_children(&a, &b), 2);
+        // The changed child differs by one element from its counterpart in each
+        // direction of the relaxed sum.
+        assert_eq!(relaxed_difference(&a, &b), 2);
+        assert_eq!(matching_difference(&a, &b), 1);
+    }
+
+    #[test]
+    fn disjoint_children_cost_their_sizes() {
+        let a = sos(&[&[1, 2, 3]]);
+        let b = sos(&[&[10, 20, 30]]);
+        assert_eq!(matching_difference(&a, &b), 6);
+        assert_eq!(relaxed_difference(&a, &b), 12);
+    }
+
+    #[test]
+    fn unbalanced_parent_sets_pad_with_empty_children() {
+        let a = sos(&[&[1, 2], &[7, 8, 9]]);
+        let b = sos(&[&[1, 2]]);
+        // The extra child {7,8,9} must be created from scratch: cost 3.
+        assert_eq!(matching_difference(&a, &b), 3);
+        assert_eq!(matching_difference(&b, &a), 3);
+        // In the relaxed metric the extra child maps to its nearest counterpart
+        // {1,2} at cost 5, and only the Alice→Bob direction pays it.
+        assert_eq!(relaxed_difference(&a, &b), 5);
+    }
+
+    #[test]
+    fn matching_picks_the_cheaper_assignment() {
+        // a1={1,2} is close to b2={1,2,3}, a2={10} is close to b1={10,11}.
+        let a = sos(&[&[1, 2], &[10]]);
+        let b = sos(&[&[10, 11], &[1, 2, 3]]);
+        assert_eq!(matching_difference(&a, &b), 2);
+    }
+
+    #[test]
+    fn relaxed_is_at_most_twice_matching_when_balanced() {
+        // Each direction of the relaxed sum is bounded by the exact matching cost,
+        // so the relaxed metric never exceeds twice the matching cost when both
+        // parties have the same number of children.
+        let cases = [
+            (sos(&[&[1, 2], &[2, 3], &[9]]), sos(&[&[1, 2, 4], &[2, 5], &[8, 9]])),
+            (sos(&[&[1], &[2], &[3]]), sos(&[&[1, 7], &[2], &[3, 9]])),
+            (sos(&[&[5, 6, 7]]), sos(&[&[5, 6, 8]])),
+        ];
+        for (a, b) in cases {
+            assert!(relaxed_difference(&a, &b) <= 2 * matching_difference(&a, &b));
+        }
+    }
+
+    #[test]
+    fn empty_parent_sets() {
+        let empty = SetOfSets::new();
+        let a = sos(&[&[1, 2]]);
+        assert_eq!(matching_difference(&empty, &empty), 0);
+        assert_eq!(relaxed_difference(&empty, &empty), 0);
+        assert_eq!(matching_difference(&a, &empty), 2);
+        assert_eq!(relaxed_difference(&a, &empty), 2);
+        assert_eq!(differing_children(&a, &empty), 1);
+    }
+
+    #[test]
+    fn hungarian_solves_textbook_instance() {
+        let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+        assert_eq!(hungarian_min_cost(&cost), 5);
+        let cost2 = vec![vec![1, 2], vec![3, 1]];
+        assert_eq!(hungarian_min_cost(&cost2), 2);
+        assert_eq!(hungarian_min_cost(&[]), 0);
+    }
+}

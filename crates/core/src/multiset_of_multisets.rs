@@ -1,0 +1,284 @@
+//! Sets of multisets and multisets of multisets (Section 3.4).
+//!
+//! "All of our protocols can be adapted to reconciling sets of multisets or multisets
+//! of multisets in a similar way": replace each multiset element `x` with multiplicity
+//! `k` by the pair `(x, k)`, reconcile the resulting sets of sets, and read the
+//! multiplicities back off. The universe grows from `u` to `u·n`, which here means the
+//! pair is packed into a single 64-bit word (`element_bits` bits of element,
+//! `64 − element_bits` bits of multiplicity).
+//!
+//! This adapter is what the graph protocols build on: the degree-neighborhood scheme
+//! (Theorem 5.6) reconciles a *set of multisets* of neighbor degrees, and forest
+//! reconciliation (Theorem 6.1) reconciles a *multiset of multisets* of vertex
+//! signatures. A multiset of child multisets is handled by attaching the child's
+//! multiplicity as one extra packed element, keeping the parent a plain set.
+
+use crate::cascading;
+use crate::types::{ChildSet, SetOfSets, SosOutcome, SosParams};
+use recon_base::ReconError;
+use recon_set::Multiset;
+
+/// A parent collection of child multisets (possibly itself with repeated children).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetOfMultisets {
+    children: Vec<Multiset>,
+}
+
+/// Packing parameters for `(element, multiplicity)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairPacking {
+    /// Bits reserved for the element value (the rest hold the multiplicity).
+    pub element_bits: u32,
+}
+
+impl Default for PairPacking {
+    fn default() -> Self {
+        Self { element_bits: 44 }
+    }
+}
+
+impl PairPacking {
+    /// Maximum representable element value.
+    pub fn max_element(&self) -> u64 {
+        (1u64 << self.element_bits) - 1
+    }
+
+    /// Maximum representable multiplicity.
+    pub fn max_count(&self) -> u64 {
+        (1u64 << (63 - self.element_bits)) - 1
+    }
+
+    /// Pack `(element, multiplicity)` into a single word.
+    pub fn pack(&self, element: u64, count: u64) -> Result<u64, ReconError> {
+        if element > self.max_element() {
+            return Err(ReconError::InvalidInput(format!(
+                "element {element} exceeds the {}-bit packing budget",
+                self.element_bits
+            )));
+        }
+        if count == 0 || count > self.max_count() {
+            return Err(ReconError::InvalidInput(format!(
+                "multiplicity {count} outside [1, {}]",
+                self.max_count()
+            )));
+        }
+        Ok((count << self.element_bits) | element)
+    }
+
+    /// Unpack a word into `(element, multiplicity)`.
+    pub fn unpack(&self, packed: u64) -> (u64, u64) {
+        (packed & self.max_element(), (packed >> self.element_bits) & self.max_count())
+    }
+}
+
+impl SetOfMultisets {
+    /// Create an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of child multisets (duplicates are kept: the parent is
+    /// allowed to be a multiset of multisets).
+    pub fn from_children<I: IntoIterator<Item = Multiset>>(children: I) -> Self {
+        Self { children: children.into_iter().collect() }
+    }
+
+    /// Add a child multiset.
+    pub fn push(&mut self, child: Multiset) {
+        self.children.push(child);
+    }
+
+    /// The child multisets.
+    pub fn children(&self) -> &[Multiset] {
+        &self.children
+    }
+
+    /// Number of child multisets.
+    pub fn num_children(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Largest number of distinct elements in any child.
+    pub fn max_child_distinct(&self) -> usize {
+        self.children.iter().map(Multiset::distinct_len).max().unwrap_or(0)
+    }
+
+    /// Convert to a plain set of sets by packing `(element, multiplicity)` pairs and
+    /// appending the child's own repetition count (so that repeated child multisets
+    /// remain distinguishable). Children that are exact duplicates of one another are
+    /// collapsed into one child carrying an occurrence-count marker element.
+    pub fn to_set_of_sets(&self, packing: &PairPacking) -> Result<SetOfSets, ReconError> {
+        use std::collections::BTreeMap;
+        // Count identical children.
+        let mut groups: BTreeMap<Vec<(u64, u64)>, u64> = BTreeMap::new();
+        for child in &self.children {
+            let mut key: Vec<(u64, u64)> = child.iter().collect();
+            key.sort_unstable();
+            *groups.entry(key).or_insert(0) += 1;
+        }
+        let mut children = Vec::with_capacity(groups.len());
+        for (pairs, occurrences) in groups {
+            let mut set = ChildSet::new();
+            for (x, c) in pairs {
+                set.insert(packing.pack(x, c)?);
+            }
+            // The occurrence marker uses the reserved top bit so it can never collide
+            // with a packed pair.
+            set.insert((1u64 << 63) | occurrences);
+            children.push(set);
+        }
+        Ok(SetOfSets::from_children(children))
+    }
+
+    /// Inverse of [`SetOfMultisets::to_set_of_sets`].
+    pub fn from_set_of_sets(sos: &SetOfSets, packing: &PairPacking) -> Result<Self, ReconError> {
+        let mut children = Vec::new();
+        for child in sos.children() {
+            let mut multiset = Multiset::new();
+            let mut occurrences = 1u64;
+            for &packed in child {
+                if packed >> 63 == 1 {
+                    occurrences = packed & !(1u64 << 63);
+                    continue;
+                }
+                let (x, c) = packing.unpack(packed);
+                if c == 0 {
+                    return Err(ReconError::ChecksumFailure);
+                }
+                multiset.insert_n(x, c);
+            }
+            for _ in 0..occurrences {
+                children.push(multiset.clone());
+            }
+        }
+        Ok(Self { children })
+    }
+
+    /// Canonical form for equality checks in tests: children sorted by their pair
+    /// lists.
+    pub fn canonicalized(&self) -> Vec<Vec<(u64, u64)>> {
+        let mut canon: Vec<Vec<(u64, u64)>> = self
+            .children
+            .iter()
+            .map(|c| {
+                let mut pairs: Vec<(u64, u64)> = c.iter().collect();
+                pairs.sort_unstable();
+                pairs
+            })
+            .collect();
+        canon.sort();
+        canon
+    }
+}
+
+/// Reconcile two collections of multisets with a known bound `d` on the number of
+/// element-level changes, by packing into a set of sets and running the cascading
+/// protocol (Theorem 3.7 with the Section 3.4 transformation).
+///
+/// Returns Bob's recovered copy of Alice's collection and the measured communication.
+pub fn reconcile_known(
+    alice: &SetOfMultisets,
+    bob: &SetOfMultisets,
+    d: usize,
+    params: &SosParams,
+    packing: &PairPacking,
+) -> Result<(SetOfMultisets, recon_base::CommStats), ReconError> {
+    let alice_sos = alice.to_set_of_sets(packing)?;
+    let bob_sos = bob.to_set_of_sets(packing)?;
+    // One logical multiset change touches at most two packed pairs plus possibly the
+    // occurrence marker of two groups.
+    let packed_d = 4 * d.max(1);
+    let max_child = alice_sos
+        .max_child_size()
+        .max(bob_sos.max_child_size())
+        .max(params.max_child_size)
+        .max(1);
+    let sos_params = SosParams::new(params.seed, max_child);
+    let outcome: SosOutcome = cascading::run_known(&alice_sos, &bob_sos, packed_d, &sos_params)?;
+    let recovered = SetOfMultisets::from_set_of_sets(&outcome.recovered, packing)?;
+    Ok((recovered, outcome.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(pairs: &[(u64, u64)]) -> Multiset {
+        let mut m = Multiset::new();
+        for &(x, c) in pairs {
+            m.insert_n(x, c);
+        }
+        m
+    }
+
+    #[test]
+    fn packing_roundtrips_and_enforces_bounds() {
+        let packing = PairPacking::default();
+        for (x, c) in [(0u64, 1u64), (12345, 7), (packing.max_element(), packing.max_count())] {
+            let packed = packing.pack(x, c).unwrap();
+            assert_eq!(packing.unpack(packed), (x, c));
+        }
+        assert!(packing.pack(packing.max_element() + 1, 1).is_err());
+        assert!(packing.pack(1, 0).is_err());
+        assert!(packing.pack(1, packing.max_count() + 1).is_err());
+    }
+
+    #[test]
+    fn set_of_sets_conversion_roundtrips() {
+        let packing = PairPacking::default();
+        let collection = SetOfMultisets::from_children(vec![
+            ms(&[(1, 2), (5, 1)]),
+            ms(&[(9, 3)]),
+            ms(&[(9, 3)]), // duplicate child multiset
+            Multiset::new(),
+        ]);
+        let sos = collection.to_set_of_sets(&packing).unwrap();
+        let back = SetOfMultisets::from_set_of_sets(&sos, &packing).unwrap();
+        assert_eq!(back.canonicalized(), collection.canonicalized());
+        assert_eq!(back.num_children(), 4);
+    }
+
+    #[test]
+    fn identical_collections_reconcile() {
+        let packing = PairPacking::default();
+        let collection = SetOfMultisets::from_children(
+            (0..40u64).map(|i| ms(&[(i, 1 + i % 3), (i + 100, 2)])),
+        );
+        let params = SosParams::new(5, 8);
+        let (recovered, stats) =
+            reconcile_known(&collection, &collection, 2, &params, &packing).unwrap();
+        assert_eq!(recovered.canonicalized(), collection.canonicalized());
+        assert!(stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn multiplicity_and_element_changes_reconcile() {
+        let packing = PairPacking::default();
+        let alice = SetOfMultisets::from_children(
+            (0..60u64).map(|i| ms(&[(i, 1 + i % 4), (i * 7 + 1000, 2), (i + 5000, 1)])),
+        );
+        let mut bob_children: Vec<Multiset> = alice.children().to_vec();
+        // A multiplicity bump, an element swap and a removed element: 4 logical changes.
+        bob_children[3].insert(3);
+        bob_children[10].remove(10);
+        bob_children[10].insert(999_999);
+        bob_children[20].remove(20 * 7 + 1000);
+        let bob = SetOfMultisets::from_children(bob_children);
+        let params = SosParams::new(11, 8);
+        let (recovered, _) = reconcile_known(&alice, &bob, 6, &params, &packing).unwrap();
+        assert_eq!(recovered.canonicalized(), alice.canonicalized());
+    }
+
+    #[test]
+    fn duplicate_children_with_different_counts_reconcile() {
+        let packing = PairPacking::default();
+        let shared: Vec<Multiset> = (0..30u64).map(|i| ms(&[(i, 2)])).collect();
+        let mut alice_children = shared.clone();
+        alice_children.push(ms(&[(7, 2)])); // now two copies of the child {7:2}
+        let alice = SetOfMultisets::from_children(alice_children);
+        let bob = SetOfMultisets::from_children(shared);
+        let params = SosParams::new(21, 8);
+        let (recovered, _) = reconcile_known(&alice, &bob, 3, &params, &packing).unwrap();
+        assert_eq!(recovered.canonicalized(), alice.canonicalized());
+    }
+}

@@ -1,0 +1,177 @@
+//! Workload generation: random sets of sets and bounded perturbations.
+//!
+//! The paper's evaluation setting (Table 1) is a binary relational database with `s`
+//! rows over `u` columns in which a total of `d` bits have been flipped. This module
+//! provides the generic equivalent — a random parent set of `s` child sets drawn from
+//! a universe of size `u`, and a perturbation operator that applies exactly `d`
+//! element-level changes — which every test and benchmark in the workspace uses to
+//! construct instances with a known ground-truth difference.
+
+use crate::types::{ChildSet, SetOfSets};
+use recon_base::rng::Xoshiro256;
+
+/// Parameters of a random set-of-sets workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Number of child sets `s`.
+    pub num_children: usize,
+    /// Maximum child-set size `h` (children are drawn with sizes in `[h/2, h]`).
+    pub max_child_size: usize,
+    /// Universe size `u`; elements are drawn from `[0, u)`.
+    pub universe: u64,
+}
+
+impl WorkloadParams {
+    /// Convenience constructor.
+    pub fn new(num_children: usize, max_child_size: usize, universe: u64) -> Self {
+        assert!(max_child_size >= 1, "child sets must be allowed at least one element");
+        assert!(
+            universe >= 2 * max_child_size as u64,
+            "universe must comfortably exceed the child size"
+        );
+        Self { num_children, max_child_size, universe }
+    }
+}
+
+/// Generate a random set of sets with the given parameters.
+///
+/// Child sets are pairwise distinct (enforced by regeneration on collision, which is
+/// overwhelmingly rare for the parameter ranges used here).
+pub fn random_set_of_sets(params: &WorkloadParams, rng: &mut Xoshiro256) -> SetOfSets {
+    let mut sos = SetOfSets::new();
+    let mut attempts = 0usize;
+    while sos.num_children() < params.num_children {
+        let target = if params.max_child_size == 1 {
+            1
+        } else {
+            params.max_child_size / 2 + rng.next_index(params.max_child_size / 2 + 1)
+        };
+        let mut child = ChildSet::new();
+        while child.len() < target.max(1) {
+            child.insert(rng.next_below(params.universe));
+        }
+        sos.insert(child);
+        attempts += 1;
+        assert!(
+            attempts < params.num_children * 20 + 100,
+            "failed to generate distinct child sets; universe too small"
+        );
+    }
+    sos
+}
+
+/// Apply exactly `d` element-level changes (insertions or deletions spread over
+/// random child sets), returning the perturbed set of sets.
+///
+/// The result differs from the input by a minimum-cost matching difference of at
+/// most `d`, which is the ground truth the reconciliation tests compare against.
+/// Child sets are kept non-empty, within the universe, and pairwise distinct.
+pub fn perturb(
+    original: &SetOfSets,
+    d: usize,
+    params: &WorkloadParams,
+    rng: &mut Xoshiro256,
+) -> SetOfSets {
+    assert!(!original.is_empty() || d == 0, "cannot perturb an empty set of sets");
+    let mut children: Vec<ChildSet> = original.children().to_vec();
+    let mut applied = 0usize;
+    let mut guard = 0usize;
+    while applied < d {
+        guard += 1;
+        assert!(guard < 100 * (d + 1) + 1000, "perturbation failed to converge");
+        let idx = rng.next_index(children.len());
+        let mut candidate = children[idx].clone();
+        let delete = rng.next_bool(0.5) && candidate.len() > 1;
+        if delete {
+            let victim_pos = rng.next_index(candidate.len());
+            let victim = *candidate.iter().nth(victim_pos).expect("non-empty child");
+            candidate.remove(&victim);
+        } else {
+            let mut inserted = false;
+            for _ in 0..64 {
+                let x = rng.next_below(params.universe);
+                if !candidate.contains(&x) && candidate.len() < params.max_child_size {
+                    candidate.insert(x);
+                    inserted = true;
+                    break;
+                }
+            }
+            if !inserted {
+                continue;
+            }
+        }
+        // Keep children pairwise distinct.
+        if children.iter().enumerate().any(|(j, c)| j != idx && *c == candidate) {
+            continue;
+        }
+        children[idx] = candidate;
+        applied += 1;
+    }
+    SetOfSets::from_children(children)
+}
+
+/// Generate an (Alice, Bob) instance: a random base set of sets and a copy perturbed
+/// by exactly `d` element changes. Returns `(alice, bob)`.
+pub fn generate_pair(
+    params: &WorkloadParams,
+    d: usize,
+    seed: u64,
+) -> (SetOfSets, SetOfSets) {
+    let mut rng = Xoshiro256::new(seed);
+    let alice = random_set_of_sets(params, &mut rng);
+    let bob = perturb(&alice, d, params, &mut rng);
+    (alice, bob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{differing_children, matching_difference};
+
+    #[test]
+    fn random_generation_respects_parameters() {
+        let params = WorkloadParams::new(50, 16, 10_000);
+        let mut rng = Xoshiro256::new(1);
+        let sos = random_set_of_sets(&params, &mut rng);
+        assert_eq!(sos.num_children(), 50);
+        assert!(sos.max_child_size() <= 16);
+        assert!(sos.children().iter().all(|c| !c.is_empty()));
+        assert!(sos.children().iter().flatten().all(|&x| x < 10_000));
+    }
+
+    #[test]
+    fn perturbation_produces_bounded_difference() {
+        let params = WorkloadParams::new(40, 12, 100_000);
+        for d in [0usize, 1, 3, 10, 25] {
+            let (alice, bob) = generate_pair(&params, d, 100 + d as u64);
+            let measured = matching_difference(&alice, &bob);
+            assert!(measured <= d, "d = {d}, measured = {measured}");
+            if d == 0 {
+                assert_eq!(alice, bob);
+            } else {
+                assert!(measured >= 1, "some change must have been applied for d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_touches_a_bounded_number_of_children() {
+        let params = WorkloadParams::new(64, 8, 50_000);
+        let (alice, bob) = generate_pair(&params, 10, 7);
+        assert!(differing_children(&alice, &bob) <= 2 * 10);
+        assert_eq!(alice.num_children(), bob.num_children());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = WorkloadParams::new(20, 6, 1_000);
+        assert_eq!(generate_pair(&params, 5, 9), generate_pair(&params, 5, 9));
+        assert_ne!(generate_pair(&params, 5, 9), generate_pair(&params, 5, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe must comfortably exceed")]
+    fn tiny_universe_is_rejected() {
+        let _ = WorkloadParams::new(10, 64, 100);
+    }
+}

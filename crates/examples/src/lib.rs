@@ -1,0 +1,26 @@
+//! # recon-examples
+//!
+//! A thin crate that hosts the repository-level runnable examples (`examples/` at
+//! the workspace root) and the cross-crate integration tests (`tests/` at the
+//! workspace root). It re-exports the public crates so examples and tests can
+//! `use recon_examples::prelude::*` if they prefer a single import.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Convenience re-exports of the whole workspace API surface.
+pub mod prelude {
+    pub use recon_apps::database::{BinaryTable, SosProtocolKind};
+    pub use recon_apps::documents::{reconcile_collections, Collection};
+    pub use recon_base::{CommStats, ReconError};
+    pub use recon_estimator::{L0Config, L0Estimator, Side, StrataConfig, StrataEstimator};
+    pub use recon_field::{Fp, Poly};
+    pub use recon_graph::{degree_neighborhood, degree_order, forest, general, Forest, Graph};
+    pub use recon_iblt::{Iblt, IbltConfig};
+    pub use recon_set::{
+        CharPolyProtocol, IbltSetProtocol, Multiset, MultisetProtocol, SetDiff,
+    };
+    pub use recon_sos::{
+        cascading, iblt_of_iblts, multiround, naive, workload, SetOfSets, SosParams,
+    };
+}

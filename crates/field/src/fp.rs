@@ -1,0 +1,281 @@
+//! The prime field GF(2^61 − 1).
+//!
+//! `2^61 − 1` is a Mersenne prime, so modular reduction needs no division, and every
+//! element of the paper's universe (`w`-bit words with `w ≤ 61`) embeds directly.
+//! Elements are stored in canonical form (`0 ≤ value < p`).
+
+use recon_base::hash::mod_mersenne61;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus `p = 2^61 − 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of GF(2^61 − 1), always stored in canonical reduced form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Construct an element from a `u64`, reducing modulo `p`.
+    #[inline]
+    pub fn new(value: u64) -> Self {
+        let mut v = (value & MODULUS) + (value >> 61);
+        if v >= MODULUS {
+            v -= MODULUS;
+        }
+        Fp(v)
+    }
+
+    /// The canonical representative in `[0, p)`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raise to the power `exp` by square-and-multiply.
+    pub fn pow(self, mut exp: u64) -> Fp {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (panics on zero, which has no inverse).
+    pub fn inv(self) -> Fp {
+        assert!(!self.is_zero(), "attempted to invert zero in GF(2^61-1)");
+        // Fermat's little theorem: a^(p-2) = a^{-1}.
+        self.pow(MODULUS - 2)
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Self {
+        Fp::new(v)
+    }
+}
+
+impl From<u32> for Fp {
+    fn from(v: u32) -> Self {
+        Fp(v as u64)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+    #[inline]
+    fn add(self, rhs: Fp) -> Fp {
+        let mut v = self.0 + rhs.0;
+        if v >= MODULUS {
+            v -= MODULUS;
+        }
+        Fp(v)
+    }
+}
+
+impl AddAssign for Fp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+    #[inline]
+    fn sub(self, rhs: Fp) -> Fp {
+        let v = if self.0 >= rhs.0 { self.0 - rhs.0 } else { self.0 + MODULUS - rhs.0 };
+        Fp(v)
+    }
+}
+
+impl SubAssign for Fp {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    #[inline]
+    fn neg(self) -> Fp {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp(MODULUS - self.0)
+        }
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+    #[inline]
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp(mod_mersenne61((self.0 as u128) * (rhs.0 as u128)))
+    }
+}
+
+impl MulAssign for Fp {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Fp {
+    type Output = Fp;
+    #[inline]
+    fn div(self, rhs: Fp) -> Fp {
+        self * rhs.inv()
+    }
+}
+
+impl Sum for Fp {
+    fn sum<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ZERO, Add::add)
+    }
+}
+
+impl Product for Fp {
+    fn product<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ONE, Mul::mul)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Fp::new(MODULUS), Fp::ZERO);
+        assert_eq!(Fp::new(MODULUS + 5), Fp::new(5));
+        assert_eq!(Fp::new(u64::MAX).value() < MODULUS, true);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        let a = Fp::new(7);
+        let b = Fp::new(5);
+        assert_eq!((a + b).value(), 12);
+        assert_eq!((a - b).value(), 2);
+        assert_eq!((b - a), -Fp::new(2));
+        assert_eq!((a * b).value(), 35);
+        assert_eq!((a / a), Fp::ONE);
+    }
+
+    #[test]
+    fn negation_of_zero_is_zero() {
+        assert_eq!(-Fp::ZERO, Fp::ZERO);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = Fp::new(123_456_789);
+        let mut acc = Fp::ONE;
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc);
+            acc *= a;
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        for v in [1u64, 2, 3, 12345, MODULUS - 1] {
+            assert_eq!(Fp::new(v).pow(MODULUS - 1), Fp::ONE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn zero_has_no_inverse() {
+        let _ = Fp::ZERO.inv();
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let xs = [Fp::new(1), Fp::new(2), Fp::new(3)];
+        assert_eq!(xs.iter().copied().sum::<Fp>(), Fp::new(6));
+        assert_eq!(xs.iter().copied().product::<Fp>(), Fp::new(6));
+    }
+
+    fn arb_fp() -> impl Strategy<Value = Fp> {
+        any::<u64>().prop_map(Fp::new)
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn multiplication_commutes(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn addition_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn multiplication_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn distributivity(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn additive_inverse(a in arb_fp()) {
+            prop_assert_eq!(a + (-a), Fp::ZERO);
+        }
+
+        #[test]
+        fn multiplicative_inverse(a in arb_fp()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a * a.inv(), Fp::ONE);
+            prop_assert_eq!(a / a, Fp::ONE);
+        }
+
+        #[test]
+        fn subtraction_is_inverse_of_addition(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!((a + b) - b, a);
+        }
+
+        #[test]
+        fn values_are_canonical(a in arb_fp(), b in arb_fp()) {
+            prop_assert!((a + b).value() < MODULUS);
+            prop_assert!((a * b).value() < MODULUS);
+            prop_assert!((a - b).value() < MODULUS);
+        }
+    }
+}

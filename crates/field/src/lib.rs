@@ -1,0 +1,36 @@
+//! # recon-field
+//!
+//! Finite-field arithmetic and polynomial machinery for the characteristic-polynomial
+//! set reconciliation protocol (Theorem 2.3 of *"Reconciling Graphs and Sets of
+//! Sets"*, after Minsky, Trachtenberg & Zippel 2003).
+//!
+//! The protocol represents a set `S = {x_1, …, x_n}` by its characteristic polynomial
+//! `χ_S(z) = (z − x_1)(z − x_2)⋯(z − x_n)` over a prime field, transmits evaluations
+//! of `χ_S` at a few agreed-upon points, interpolates the rational function
+//! `χ_{S_A}(z) / χ_{S_B}(z)` from those evaluations (a linear system, solved by
+//! Gaussian elimination), and recovers the set difference as the roots of the
+//! numerator and denominator.
+//!
+//! This crate provides the substrate:
+//!
+//! * [`fp::Fp`] — the prime field GF(2^61 − 1) (a Mersenne prime, so reduction is a
+//!   couple of shifts and adds; the universe of 64-bit-word elements used throughout
+//!   the paper embeds directly as long as elements are `< 2^61 − 1`),
+//! * [`poly::Poly`] — dense univariate polynomials with multiplication, Euclidean
+//!   division, GCD, evaluation and construction from roots,
+//! * [`linalg`] — Gaussian elimination over GF(2^61 − 1),
+//! * [`roots`] — root finding for polynomials that split into distinct linear
+//!   factors, via Cantor–Zassenhaus equal-degree splitting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fp;
+pub mod linalg;
+pub mod poly;
+pub mod roots;
+
+pub use fp::{Fp, MODULUS};
+pub use linalg::{solve_consistent, solve_linear_system};
+pub use poly::Poly;
+pub use roots::find_roots;

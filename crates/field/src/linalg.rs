@@ -1,0 +1,238 @@
+//! Gaussian elimination over GF(2^61 − 1).
+//!
+//! Theorem 2.3 of the paper costs its characteristic-polynomial protocol at
+//! `O(d^3)` for "computing the roots of the ratio of polynomials ... via Gaussian
+//! elimination". The elimination step is the rational-function interpolation: given
+//! evaluations of `χ_{S_A}/χ_{S_B}` at `d` points, the unknown coefficients of the
+//! (monic) numerator and denominator satisfy a `d × d` linear system, solved here.
+
+use crate::fp::Fp;
+
+/// Solve the square linear system `A·x = b` over GF(2^61 − 1).
+///
+/// Returns `None` when the matrix is singular (the reconciliation layer treats that
+/// as "the difference bound was wrong — retry with more evaluations", never as a
+/// silent failure). `matrix` is row-major and must be `n × n` with `b` of length `n`.
+pub fn solve_linear_system(matrix: &[Vec<Fp>], rhs: &[Fp]) -> Option<Vec<Fp>> {
+    let n = rhs.len();
+    assert_eq!(matrix.len(), n, "matrix must be square and match the rhs length");
+    for row in matrix {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+
+    // Augmented matrix.
+    let mut a: Vec<Vec<Fp>> = matrix
+        .iter()
+        .zip(rhs)
+        .map(|(row, &b)| {
+            let mut r = row.clone();
+            r.push(b);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Find a pivot.
+        let pivot_row = (col..n).find(|&r| !a[r][col].is_zero())?;
+        a.swap(col, pivot_row);
+        let pivot_inv = a[col][col].inv();
+        for j in col..=n {
+            a[col][j] = a[col][j] * pivot_inv;
+        }
+        for r in 0..n {
+            if r != col && !a[r][col].is_zero() {
+                let factor = a[r][col];
+                for j in col..=n {
+                    let sub = factor * a[col][j];
+                    a[r][j] = a[r][j] - sub;
+                }
+            }
+        }
+    }
+
+    Some(a.into_iter().map(|row| row[row.len() - 1]).collect())
+}
+
+/// Solve `A·x = b` allowing a rank-deficient (but consistent) system.
+///
+/// The characteristic-polynomial protocol interpolates a rational function of degree
+/// equal to the *bound* `d`, which is usually larger than the true difference; the
+/// resulting system is then underdetermined (any common factor of numerator and
+/// denominator is a valid solution). This routine performs row-echelon elimination,
+/// assigns zero to free variables, and returns `None` only if the system is
+/// inconsistent.
+pub fn solve_consistent(matrix: &[Vec<Fp>], rhs: &[Fp]) -> Option<Vec<Fp>> {
+    let rows = matrix.len();
+    assert_eq!(rows, rhs.len(), "matrix and rhs must have the same number of rows");
+    let cols = matrix.first().map_or(0, Vec::len);
+    for row in matrix {
+        assert_eq!(row.len(), cols, "all rows must have the same length");
+    }
+    if cols == 0 {
+        return if rhs.iter().all(|b| b.is_zero()) { Some(Vec::new()) } else { None };
+    }
+
+    let mut a: Vec<Vec<Fp>> = matrix
+        .iter()
+        .zip(rhs)
+        .map(|(row, &b)| {
+            let mut r = row.clone();
+            r.push(b);
+            r
+        })
+        .collect();
+
+    let mut pivot_cols = Vec::new();
+    let mut pivot_row = 0usize;
+    for col in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        let Some(r) = (pivot_row..rows).find(|&r| !a[r][col].is_zero()) else {
+            continue;
+        };
+        a.swap(pivot_row, r);
+        let inv = a[pivot_row][col].inv();
+        for j in col..=cols {
+            a[pivot_row][j] = a[pivot_row][j] * inv;
+        }
+        for rr in 0..rows {
+            if rr != pivot_row && !a[rr][col].is_zero() {
+                let factor = a[rr][col];
+                for j in col..=cols {
+                    let sub = factor * a[pivot_row][j];
+                    a[rr][j] = a[rr][j] - sub;
+                }
+            }
+        }
+        pivot_cols.push((pivot_row, col));
+        pivot_row += 1;
+    }
+
+    // Inconsistent if a zero row has a non-zero rhs.
+    for r in pivot_row..rows {
+        if a[r][..cols].iter().all(|c| c.is_zero()) && !a[r][cols].is_zero() {
+            return None;
+        }
+    }
+
+    let mut x = vec![Fp::ZERO; cols];
+    for &(r, c) in &pivot_cols {
+        x[c] = a[r][cols];
+    }
+    Some(x)
+}
+
+/// Multiply a square matrix by a vector (testing helper, also used by the
+/// charpoly protocol's self-checks).
+pub fn mat_vec(matrix: &[Vec<Fp>], x: &[Fp]) -> Vec<Fp> {
+    matrix
+        .iter()
+        .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fp(v: u64) -> Fp {
+        Fp::new(v)
+    }
+
+    #[test]
+    fn solves_identity_system() {
+        let matrix = vec![vec![fp(1), fp(0)], vec![fp(0), fp(1)]];
+        let rhs = vec![fp(5), fp(9)];
+        assert_eq!(solve_linear_system(&matrix, &rhs), Some(rhs));
+    }
+
+    #[test]
+    fn solves_small_system() {
+        // x + y = 3, x - y = 1  =>  x = 2, y = 1
+        let matrix = vec![vec![fp(1), fp(1)], vec![fp(1), -fp(1)]];
+        let rhs = vec![fp(3), fp(1)];
+        let x = solve_linear_system(&matrix, &rhs).unwrap();
+        assert_eq!(x, vec![fp(2), fp(1)]);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let matrix = vec![vec![fp(1), fp(2)], vec![fp(2), fp(4)]];
+        let rhs = vec![fp(1), fp(2)];
+        assert_eq!(solve_linear_system(&matrix, &rhs), None);
+    }
+
+    #[test]
+    fn empty_system_is_trivially_solved() {
+        assert_eq!(solve_linear_system(&[], &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn solve_consistent_handles_underdetermined_systems() {
+        // x + y = 3 with two unknowns: rank 1, pick y = 0 => x = 3.
+        let matrix = vec![vec![fp(1), fp(1)]];
+        let rhs = vec![fp(3)];
+        let x = solve_consistent(&matrix, &rhs).unwrap();
+        assert_eq!(mat_vec_rect(&matrix, &x), rhs);
+    }
+
+    #[test]
+    fn solve_consistent_detects_inconsistency() {
+        // x + y = 3 and x + y = 4 cannot both hold.
+        let matrix = vec![vec![fp(1), fp(1)], vec![fp(1), fp(1)]];
+        let rhs = vec![fp(3), fp(4)];
+        assert_eq!(solve_consistent(&matrix, &rhs), None);
+    }
+
+    #[test]
+    fn solve_consistent_matches_exact_solver_on_full_rank() {
+        let matrix = vec![vec![fp(2), fp(1)], vec![fp(1), fp(3)]];
+        let rhs = vec![fp(5), fp(10)];
+        let exact = solve_linear_system(&matrix, &rhs).unwrap();
+        let any = solve_consistent(&matrix, &rhs).unwrap();
+        assert_eq!(exact, any);
+    }
+
+    fn mat_vec_rect(matrix: &[Vec<Fp>], x: &[Fp]) -> Vec<Fp> {
+        matrix
+            .iter()
+            .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // First pivot is zero; the solver must swap rows.
+        let matrix = vec![vec![fp(0), fp(1)], vec![fp(1), fp(0)]];
+        let rhs = vec![fp(7), fp(3)];
+        let x = solve_linear_system(&matrix, &rhs).unwrap();
+        assert_eq!(x, vec![fp(3), fp(7)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_systems_roundtrip(
+            entries in proptest::collection::vec(any::<u64>(), 9),
+            xs in proptest::collection::vec(any::<u64>(), 3),
+        ) {
+            let matrix: Vec<Vec<Fp>> = entries
+                .chunks(3)
+                .map(|row| row.iter().map(|&v| Fp::new(v)).collect())
+                .collect();
+            let x: Vec<Fp> = xs.into_iter().map(Fp::new).collect();
+            let b = mat_vec(&matrix, &x);
+            if let Some(solution) = solve_linear_system(&matrix, &b) {
+                // The matrix may be singular with multiple solutions; checking A·sol = b
+                // is the invariant that must always hold.
+                prop_assert_eq!(mat_vec(&matrix, &solution), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Root finding over GF(2^61 − 1) for polynomials that split into distinct linear
+//! factors.
+//!
+//! The characteristic-polynomial protocol (Theorem 2.3) recovers the set difference
+//! as the roots of the interpolated numerator and denominator, both of which split
+//! completely over the field (their roots are set elements). We use the classic
+//! Cantor–Zassenhaus approach:
+//!
+//! 1. reduce to the part of the polynomial whose roots lie in GF(p) by taking
+//!    `gcd(f, z^p − z)` (computed as `pow_mod(z, p, f) − z`),
+//! 2. split recursively: pick a random shift `a`, compute
+//!    `g = gcd((z + a)^((p−1)/2) − 1, f)`; with probability ≈ 1/2 this separates the
+//!    roots into two non-trivial groups, and the recursion bottoms out at linear
+//!    factors.
+//!
+//! Expected running time is `O(deg(f)^2 log p)` field operations, comfortably within
+//! the `O(d^3)` budget of Theorem 2.3 for the difference sizes the paper targets.
+
+use crate::fp::{Fp, MODULUS};
+use crate::poly::Poly;
+use recon_base::rng::Xoshiro256;
+
+/// Find all roots (in GF(2^61 − 1)) of `f`, assuming they are distinct.
+///
+/// Returns the roots in unspecified order. Non-root factors (irreducible factors of
+/// degree ≥ 2) are ignored, which is exactly the behaviour the reconciliation layer
+/// wants: if the interpolated polynomial does not split completely, the recovered
+/// root set will be too small and the caller's verification hash will reject it.
+pub fn find_roots(f: &Poly, seed: u64) -> Vec<Fp> {
+    let mut roots = Vec::new();
+    if f.is_zero() || f.degree() == Some(0) {
+        return roots;
+    }
+    let mut rng = Xoshiro256::new(seed ^ 0x5EED_0F_2007_5EED);
+    // Keep only the square-free part with roots in the field: gcd(f, z^p − z).
+    let f = f.monic();
+    let zp = Poly::x().pow_mod(MODULUS, &f);
+    let zp_minus_z = zp.sub(&Poly::x());
+    let split_part = if zp_minus_z.is_zero() { f.clone() } else { f.gcd(&zp_minus_z) };
+    if split_part.degree().is_none() || split_part.degree() == Some(0) {
+        return roots;
+    }
+    split(&split_part, &mut rng, &mut roots);
+    roots
+}
+
+fn split(f: &Poly, rng: &mut Xoshiro256, roots: &mut Vec<Fp>) {
+    match f.degree() {
+        None | Some(0) => {}
+        Some(1) => {
+            // f = z + c  =>  root = -c (f is monic).
+            let c = f.coeffs()[0];
+            roots.push(-c);
+        }
+        Some(_) => {
+            // Try random shifts until the equal-degree split separates the roots.
+            loop {
+                let a = Fp::new(rng.next_u64());
+                let shifted = Poly::from_coeffs(vec![a, Fp::ONE]); // z + a
+                let h = shifted.pow_mod((MODULUS - 1) / 2, f);
+                let g = f.gcd(&h.sub(&Poly::one()));
+                let deg_g = g.degree().unwrap_or(0);
+                let deg_f = f.degree().unwrap_or(0);
+                if deg_g > 0 && deg_g < deg_f {
+                    let (quotient, remainder) = f.divmod(&g);
+                    debug_assert!(remainder.is_zero());
+                    split(&g, rng, roots);
+                    split(&quotient, rng, roots);
+                    return;
+                }
+                // Also handle the complementary factor directly when gcd caught
+                // everything or nothing: just retry with a new shift.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn roots_of(values: &[u64], seed: u64) -> HashSet<u64> {
+        let roots: Vec<Fp> = values.iter().map(|&v| Fp::new(v)).collect();
+        let poly = Poly::from_roots(&roots);
+        find_roots(&poly, seed).into_iter().map(Fp::value).collect()
+    }
+
+    #[test]
+    fn constant_polynomials_have_no_roots() {
+        assert!(find_roots(&Poly::one(), 1).is_empty());
+        assert!(find_roots(&Poly::zero(), 1).is_empty());
+    }
+
+    #[test]
+    fn linear_polynomial_root() {
+        let p = Poly::from_roots(&[Fp::new(12345)]);
+        let r = find_roots(&p, 7);
+        assert_eq!(r, vec![Fp::new(12345)]);
+    }
+
+    #[test]
+    fn recovers_small_root_sets() {
+        let expected: HashSet<u64> = [3u64, 17, 1000, 65_536].into_iter().collect();
+        assert_eq!(roots_of(&[3, 17, 1000, 65_536], 42), expected);
+    }
+
+    #[test]
+    fn recovers_larger_root_sets() {
+        let values: Vec<u64> = (0..64u64).map(|i| i * i + 7).collect();
+        let expected: HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(roots_of(&values, 99), expected);
+    }
+
+    #[test]
+    fn works_with_adjacent_roots() {
+        let values: Vec<u64> = (1_000_000..1_000_032).collect();
+        let expected: HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(roots_of(&values, 5), expected);
+    }
+
+    #[test]
+    fn ignores_irreducible_factors() {
+        // (z - 5) * (z^2 + z + some non-residue structure): build an irreducible
+        // quadratic by taking a polynomial with no roots: z^2 + 1 may factor depending
+        // on p; instead test that the count of recovered roots never exceeds the
+        // number of true roots.
+        let with_root = Poly::from_roots(&[Fp::new(5)]);
+        let quadratic = Poly::from_coeffs(vec![Fp::new(1), Fp::new(0), Fp::new(1)]); // z^2 + 1
+        let product = with_root.mul(&quadratic);
+        let roots = find_roots(&product, 11);
+        assert!(roots.contains(&Fp::new(5)));
+        for r in roots {
+            assert_eq!(product.eval(r), Fp::ZERO);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = find_roots(&Poly::from_roots(&[Fp::new(1), Fp::new(2), Fp::new(3)]), 123);
+        let mut b = find_roots(&Poly::from_roots(&[Fp::new(1), Fp::new(2), Fp::new(3)]), 123);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn random_root_sets_roundtrip(
+            values in proptest::collection::hash_set(1u64..u64::MAX >> 4, 1..24),
+            seed in any::<u64>(),
+        ) {
+            let expected: HashSet<u64> =
+                values.iter().map(|&v| Fp::new(v).value()).collect();
+            let roots: Vec<Fp> = expected.iter().map(|&v| Fp::new(v)).collect();
+            let poly = Poly::from_roots(&roots);
+            let found: HashSet<u64> =
+                find_roots(&poly, seed).into_iter().map(Fp::value).collect();
+            prop_assert_eq!(found, expected);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! General (worst-case) graph protocols — Section 4 of the paper.
+//!
+//! These protocols make no assumption about the graphs, at the price of exponential
+//! computation; they exist to calibrate what the efficient random-graph protocols of
+//! Section 5 must beat, and to reproduce the paper's Figure 1 and the Theorem 4.4
+//! lower-bound construction:
+//!
+//! * [`isomorphism_protocol`] — Theorem 4.1 / Corollary 4.2: `O(log n)` bits decide
+//!   isomorphism with high probability, by comparing one random evaluation of the
+//!   polynomial whose coefficients are the bits of the canonical form.
+//! * [`reconcile_exhaustive`] — Theorem 4.3: Alice sends a fingerprint of her
+//!   canonical form; Bob enumerates every graph within `d` edge flips of his own and
+//!   keeps the first whose fingerprint matches (`O(d log n)` bits, `O(n^{2d})` time).
+//! * [`figure1_instance`] — the Figure 1 phenomenon: a pair of graphs for which the
+//!   "union" is not well defined because two different ways of adding one edge to
+//!   each yield non-isomorphic results.
+//! * [`lower_bound_instance`] — the Theorem 4.4 encoding construction showing any
+//!   reconciliation protocol must transfer `Ω(d log n)` bits.
+
+use crate::graph::Graph;
+use recon_base::comm::{CommStats, Direction, Transcript};
+use recon_base::rng::{split_seed, Xoshiro256};
+use recon_field::Fp;
+
+/// Evaluate the polynomial whose coefficients are the bits of `bits` (the canonical
+/// form bitstring) at the point `r`, over GF(2^61 − 1).
+fn fingerprint(bits: u64, r: Fp) -> Fp {
+    let mut acc = Fp::ZERO;
+    let mut power = Fp::ONE;
+    for i in 0..64 {
+        if (bits >> i) & 1 == 1 {
+            acc += power;
+        }
+        power *= r;
+    }
+    acc
+}
+
+/// Theorem 4.1: decide whether two (small) graphs are isomorphic with `O(log q)`
+/// bits of communication. Returns the verdict together with the measured
+/// communication. Requires `n ≤ 10` because the canonical form is computed by brute
+/// force, exactly as the information-theoretic protocol assumes unbounded
+/// computation.
+pub fn isomorphism_protocol(alice: &Graph, bob: &Graph, seed: u64) -> (bool, CommStats) {
+    let mut transcript = Transcript::new();
+    let mut rng = Xoshiro256::new(split_seed(seed, 0x41));
+    let r = Fp::new(rng.next_u64());
+    let alice_canon = alice.canonical_form_small();
+    let value = fingerprint(alice_canon, r);
+    // Alice sends (r, p_A(r)): two field elements.
+    transcript.record(Direction::AliceToBob, "isomorphism fingerprint", &(r.value(), value.value()));
+    let bob_canon = bob.canonical_form_small();
+    let verdict = fingerprint(bob_canon, r) == value;
+    (verdict, transcript.stats())
+}
+
+/// Theorem 4.3: one-way graph reconciliation for arbitrary graphs with `O(d log n)`
+/// bits, by having Bob enumerate every graph within `d` edge changes of his own.
+///
+/// Returns Bob's reconstructed graph (isomorphic to Alice's) and the communication,
+/// or `None` if no graph within `d` changes matches (the bound `d` was too small).
+/// Exponential in `d`; restricted to `n ≤ 8` and `d ≤ 3` to keep tests and benches
+/// finite, which is exactly the point the paper makes before moving to Section 5.
+pub fn reconcile_exhaustive(
+    alice: &Graph,
+    bob: &Graph,
+    d: usize,
+    seed: u64,
+) -> (Option<Graph>, CommStats) {
+    assert!(alice.num_vertices() <= 8 && d <= 3, "exhaustive reconciliation is for tiny instances");
+    let mut transcript = Transcript::new();
+    let mut rng = Xoshiro256::new(split_seed(seed, 0x43));
+    let r = Fp::new(rng.next_u64());
+    let value = fingerprint(alice.canonical_form_small(), r);
+    transcript.record(
+        Direction::AliceToBob,
+        "reconciliation fingerprint",
+        &(r.value(), value.value(), d as u64),
+    );
+
+    // Bob enumerates all subsets of at most d vertex pairs to flip.
+    let n = bob.num_vertices() as u32;
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    let found = enumerate_flips(bob, &pairs, 0, d, &mut Vec::new(), &|candidate: &Graph| {
+        fingerprint(candidate.canonical_form_small(), r) == value
+    });
+    (found, transcript.stats())
+}
+
+fn enumerate_flips(
+    base: &Graph,
+    pairs: &[(u32, u32)],
+    start: usize,
+    budget: usize,
+    chosen: &mut Vec<(u32, u32)>,
+    matches: &dyn Fn(&Graph) -> bool,
+) -> Option<Graph> {
+    let mut candidate = base.clone();
+    for &(u, v) in chosen.iter() {
+        candidate.flip_edge(u, v);
+    }
+    if matches(&candidate) {
+        return Some(candidate);
+    }
+    if budget == 0 {
+        return None;
+    }
+    for i in start..pairs.len() {
+        chosen.push(pairs[i]);
+        if let Some(found) = enumerate_flips(base, pairs, i + 1, budget - 1, chosen, matches) {
+            chosen.pop();
+            return Some(found);
+        }
+        chosen.pop();
+    }
+    None
+}
+
+/// The Figure 1 phenomenon: two graphs `(G_A, G_B)` that each need one edge added to
+/// become isomorphic, for which two different choices of added edges produce
+/// *non-isomorphic* merged results, and no single-sided addition works at all. This
+/// is why the paper (and this crate) define graph reconciliation as one-way recovery
+/// rather than a union.
+///
+/// The instance used here is the smallest clean example: both parties hold one edge
+/// plus two isolated vertices; adding a disjoint edge to each yields a perfect
+/// matching `2K_2`, adding an incident edge to each yields a path `P_3`, and the two
+/// outcomes are not isomorphic.
+pub fn figure1_instance() -> (Graph, Graph) {
+    let g_a = Graph::from_edges(4, &[(0, 1)]);
+    let g_b = Graph::from_edges(4, &[(0, 1)]);
+    (g_a, g_b)
+}
+
+/// The two non-isomorphic "merge" outcomes of [`figure1_instance`]: adding one edge
+/// to each input graph in two different ways.
+pub fn figure1_merges() -> (Graph, Graph) {
+    // Way 1: each side adds the disjoint edge {2,3}  →  two disjoint edges.
+    let matching = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+    // Way 2: each side adds an edge incident to the existing one  →  a path.
+    let path = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+    (matching, path)
+}
+
+/// The Theorem 4.4 lower-bound construction: encode `payload` (values in `[0, n)`)
+/// into a pair of graphs `(G_A, G_B)` such that any protocol letting Bob recover a
+/// graph isomorphic to `G_A` lets him recover `payload` — hence `Ω(d log n)` bits of
+/// communication are unavoidable, where `d = payload.len()`.
+///
+/// The construction follows the proof: vertex groups `V_1` (`d` vertices) and `V_2`
+/// (`n` vertices) are made individually identifiable by attaching a distinct number
+/// of degree-1 pendant vertices to each; `G_B` has no `V_1`–`V_2` edges, and `G_A`
+/// adds the edge `(v_i, v_{d + payload[i]})` for each `i`.
+pub fn lower_bound_instance(n: usize, payload: &[u64]) -> (Graph, Graph) {
+    let d = payload.len();
+    assert!(payload.iter().all(|&s| (s as usize) < n), "payload symbols must be < n");
+    // Pendant counts: vertex i in V1 ∪ V2 gets i + 1 pendant vertices.
+    let core = d + n;
+    let pendants: usize = (1..=core).sum();
+    let total = core + pendants;
+    let mut g_b = Graph::new(total);
+    let mut next = core as u32;
+    for i in 0..core {
+        for _ in 0..=i {
+            g_b.add_edge(i as u32, next);
+            next += 1;
+        }
+    }
+    let mut g_a = g_b.clone();
+    for (i, &s) in payload.iter().enumerate() {
+        g_a.add_edge(i as u32, (d + s as usize) as u32);
+    }
+    (g_a, g_b)
+}
+
+/// Decode the payload back out of a graph produced by [`lower_bound_instance`]
+/// (or any relabeling of it): identify each core vertex by its number of degree-1
+/// pendant neighbors, then read off the `V_1`–`V_2` edges.
+pub fn lower_bound_decode(graph: &Graph, n: usize, d: usize) -> Option<Vec<u64>> {
+    let core = d + n;
+    // A core vertex with index i has exactly i+1 pendant (degree-1) neighbors.
+    let mut by_pendants: Vec<Option<u32>> = vec![None; core + 1];
+    for v in 0..graph.num_vertices() as u32 {
+        let pendant_neighbors =
+            graph.neighbors(v).filter(|&w| graph.degree(w) == 1).count();
+        if pendant_neighbors >= 1 && pendant_neighbors <= core && graph.degree(v) > 1 {
+            by_pendants[pendant_neighbors] = Some(v);
+        }
+    }
+    let mut payload = vec![0u64; d];
+    for i in 0..d {
+        let vi = by_pendants[i + 1]?;
+        // Find the unique neighbor of vi that is a V2 core vertex.
+        let mut symbol = None;
+        for w in graph.neighbors(vi) {
+            if graph.degree(w) == 1 {
+                continue; // pendant
+            }
+            let w_pendants = graph.neighbors(w).filter(|&x| graph.degree(x) == 1).count();
+            if w_pendants > d {
+                symbol = Some((w_pendants - d - 1) as u64);
+            }
+        }
+        payload[i] = symbol?;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_base::rng::Xoshiro256;
+
+    #[test]
+    fn isomorphism_protocol_accepts_isomorphic_graphs() {
+        let a = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let b = Graph::from_edges(5, &[(4, 3), (3, 2), (2, 1), (1, 0)]);
+        let shuffled = a.relabel(&[2, 0, 4, 1, 3]);
+        let (same, stats) = isomorphism_protocol(&a, &b, 7);
+        assert!(same);
+        assert!(isomorphism_protocol(&a, &shuffled, 9).0);
+        assert!(stats.total_bytes() <= 16, "O(log n) bits: got {}", stats.total_bytes());
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn isomorphism_protocol_rejects_non_isomorphic_graphs() {
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!isomorphism_protocol(&path, &star, 3).0);
+    }
+
+    #[test]
+    fn exhaustive_reconciliation_recovers_small_perturbations() {
+        let mut rng = Xoshiro256::new(11);
+        let base = Graph::gnp(7, 0.4, &mut rng);
+        for d in 1..=2usize {
+            let alice = base.perturb(d, &mut rng);
+            let (result, stats) = reconcile_exhaustive(&alice, &base, d, 5);
+            let recovered = result.expect("within budget");
+            assert!(recovered.is_isomorphic_bruteforce(&alice), "d = {d}");
+            assert!(stats.total_bytes() <= 32);
+        }
+    }
+
+    #[test]
+    fn exhaustive_reconciliation_fails_when_budget_too_small() {
+        let mut rng = Xoshiro256::new(13);
+        let base = Graph::gnp(6, 0.5, &mut rng);
+        let alice = base.perturb(3, &mut rng);
+        // With probability 1 the fingerprint of a 3-flip graph does not match any
+        // 1-flip candidate unless they happen to be isomorphic; allow either a miss
+        // or an isomorphic hit but never a non-isomorphic "success".
+        let (result, _) = reconcile_exhaustive(&alice, &base, 1, 3);
+        if let Some(g) = result {
+            assert!(g.is_isomorphic_bruteforce(&alice));
+        }
+    }
+
+    #[test]
+    fn figure1_merges_are_both_valid_but_not_isomorphic() {
+        let (g_a, g_b) = figure1_instance();
+        let (merge1, merge2) = figure1_merges();
+        // Both merges are reachable from each input by adding exactly one edge.
+        for merge in [&merge1, &merge2] {
+            assert_eq!(merge.num_edges(), g_a.num_edges() + 1);
+            assert_eq!(merge.num_edges(), g_b.num_edges() + 1);
+        }
+        assert!(!merge1.is_isomorphic_bruteforce(&merge2));
+        // No single-sided addition can work: the edge counts would differ.
+        assert_ne!(g_a.num_edges() + 1, g_b.num_edges());
+    }
+
+    #[test]
+    fn figure1_merge_reachability_is_checked_exhaustively() {
+        // Verify that each merge outcome really is obtainable by adding one edge to
+        // *each* graph (i.e. it is a supergraph of both up to isomorphism).
+        let (g_a, g_b) = figure1_instance();
+        let (merge1, merge2) = figure1_merges();
+        for merge in [&merge1, &merge2] {
+            let mut found_a = false;
+            let mut found_b = false;
+            for u in 0..4u32 {
+                for v in (u + 1)..4u32 {
+                    if !g_a.has_edge(u, v) {
+                        let mut c = g_a.clone();
+                        c.add_edge(u, v);
+                        found_a |= c.is_isomorphic_bruteforce(merge);
+                    }
+                    if !g_b.has_edge(u, v) {
+                        let mut c = g_b.clone();
+                        c.add_edge(u, v);
+                        found_b |= c.is_isomorphic_bruteforce(merge);
+                    }
+                }
+            }
+            assert!(found_a && found_b);
+        }
+    }
+
+    #[test]
+    fn lower_bound_instance_roundtrips_payload() {
+        let payload = vec![3u64, 0, 7, 2];
+        let (g_a, g_b) = lower_bound_instance(8, &payload);
+        assert_eq!(g_a.edge_difference(&g_b), payload.len());
+        assert_eq!(lower_bound_decode(&g_a, 8, payload.len()), Some(payload.clone()));
+        // Decoding survives relabeling, which is the heart of the encoding argument.
+        let n_vertices = g_a.num_vertices();
+        let labels: Vec<u32> = (0..n_vertices as u32).rev().collect();
+        let relabeled = g_a.relabel(&labels);
+        assert_eq!(lower_bound_decode(&relabeled, 8, payload.len()), Some(payload));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the graph substrate and the forest reconstruction
+//! invariants of Theorem 6.1.
+
+use proptest::prelude::*;
+use recon_base::rng::Xoshiro256;
+use recon_graph::forest::{reconstruct, Forest};
+use recon_graph::Graph;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Relabeling a graph by any permutation preserves its isomorphism class and its
+    /// canonical form (brute force, n ≤ 7).
+    #[test]
+    fn relabeling_preserves_isomorphism(seed in any::<u64>(), p in 0.1f64..0.9) {
+        let mut rng = Xoshiro256::new(seed);
+        let g = Graph::gnp(7, p, &mut rng);
+        let mut labels: Vec<u32> = (0..7).collect();
+        rng.shuffle(&mut labels);
+        let relabeled = g.relabel(&labels);
+        prop_assert!(g.is_isomorphic_bruteforce(&relabeled));
+        prop_assert_eq!(g.canonical_form_small(), relabeled.canonical_form_small());
+        prop_assert_eq!(g.num_edges(), relabeled.num_edges());
+    }
+
+    /// Perturbing by d edge flips changes exactly d labeled edges, and flipping the
+    /// same pairs again restores the original graph.
+    #[test]
+    fn perturbation_is_measurable_and_involutive(seed in any::<u64>(), d in 0usize..15) {
+        let mut rng = Xoshiro256::new(seed);
+        let g = Graph::gnp(40, 0.3, &mut rng);
+        let perturbed = g.perturb(d, &mut rng);
+        prop_assert_eq!(g.edge_difference(&perturbed), d);
+        // Flipping the differing edges again restores the original.
+        let mut restored = perturbed.clone();
+        let a: std::collections::BTreeSet<(u32, u32)> = g.edges().into_iter().collect();
+        let b: std::collections::BTreeSet<(u32, u32)> = perturbed.edges().into_iter().collect();
+        for &(u, v) in a.symmetric_difference(&b) {
+            restored.flip_edge(u, v);
+        }
+        prop_assert_eq!(restored, g);
+    }
+
+    /// Forest reconstruction from the vertex/edge signature multisets always yields a
+    /// forest isomorphic to the original (the constructive core of Theorem 6.1).
+    #[test]
+    fn forest_reconstruction_roundtrips(
+        n in 1usize..120,
+        root_prob in 0.02f64..0.5,
+        max_depth in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256::new(seed);
+        let forest = Forest::random(n, root_prob, max_depth, &mut rng);
+        let rebuilt = reconstruct(&forest.vertex_multisets(seed ^ 1)).unwrap();
+        prop_assert!(rebuilt.is_isomorphic(&forest, seed ^ 1));
+        prop_assert_eq!(rebuilt.num_vertices(), forest.num_vertices());
+        prop_assert_eq!(rebuilt.num_edges(), forest.num_edges());
+    }
+
+    /// Forest perturbation preserves the forest invariants (acyclicity via depth, and
+    /// edge counts change by at most d).
+    #[test]
+    fn forest_perturbation_preserves_invariants(seed in any::<u64>(), d in 0usize..10) {
+        let mut rng = Xoshiro256::new(seed);
+        let forest = Forest::random(60, 0.15, 6, &mut rng);
+        let perturbed = forest.perturb(d, &mut rng);
+        prop_assert_eq!(perturbed.num_vertices(), forest.num_vertices());
+        // Depth computation would panic on a cycle.
+        let _ = perturbed.max_depth();
+        let edge_delta = forest.num_edges().abs_diff(perturbed.num_edges());
+        prop_assert!(edge_delta <= d);
+    }
+}

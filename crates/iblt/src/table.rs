@@ -1,0 +1,639 @@
+//! The IBLT cell array, insert/delete/subtract operations and the peeling decoder.
+
+use recon_base::hash::{hash64, hash_bytes};
+use recon_base::rng::split_seed;
+use recon_base::wire::{read_uvarint, write_uvarint, Decode, Encode, WireError};
+use recon_base::ReconError;
+use std::collections::VecDeque;
+
+/// Configuration of an IBLT: key width, number of hash functions, sizing policy and
+/// the public-coin seed from which the hash functions are derived.
+///
+/// Two parties can combine (subtract/decode) their IBLTs only if they used identical
+/// configurations *and* the same number of cells; [`Iblt::subtract`] checks this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IbltConfig {
+    /// Width of every key in bytes. All keys inserted into a table must have exactly
+    /// this length.
+    pub key_bytes: usize,
+    /// Number of hash functions `k` (the paper uses 3 or 4; default 4).
+    pub hash_count: usize,
+    /// Number of cells allocated per expected difference (the constant hidden in the
+    /// paper's `O(d)`; default 2.2, which keeps the decode failure rate well below
+    /// 1% for the difference sizes exercised in this repository).
+    pub cells_per_diff: f64,
+    /// Minimum number of cells regardless of the expected difference, so that very
+    /// small tables still decode reliably.
+    pub min_cells: usize,
+    /// Public-coin seed; bucket hashes and the checksum hash are derived from it.
+    pub seed: u64,
+}
+
+impl IbltConfig {
+    /// A configuration for 8-byte (`u64`) keys with default sizing.
+    pub fn for_u64_keys(seed: u64) -> Self {
+        Self::for_key_bytes(8, seed)
+    }
+
+    /// A configuration for keys of `key_bytes` bytes with default sizing.
+    pub fn for_key_bytes(key_bytes: usize, seed: u64) -> Self {
+        Self { key_bytes, hash_count: 4, cells_per_diff: 2.2, min_cells: 24, seed }
+    }
+
+    /// Override the cells-per-difference safety factor (ablation knob for Thm 2.1's
+    /// constant `c`).
+    pub fn with_cells_per_diff(mut self, factor: f64) -> Self {
+        self.cells_per_diff = factor;
+        self
+    }
+
+    /// Override the number of hash functions.
+    pub fn with_hash_count(mut self, k: usize) -> Self {
+        self.hash_count = k;
+        self
+    }
+
+    /// Override the minimum cell count. Small minimums shrink nested/cascaded child
+    /// tables (whose decode failures are retried at later levels) at the cost of a
+    /// slightly higher per-table failure rate.
+    pub fn with_min_cells(mut self, min_cells: usize) -> Self {
+        self.min_cells = min_cells.max(self.hash_count);
+        self
+    }
+
+    /// Override the seed (derive per-role seeds with [`recon_base::rng::split_seed`]).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of cells allocated for an expected difference of `expected_diff` keys:
+    /// `max(min_cells, ceil(cells_per_diff · expected_diff))`, rounded up to a
+    /// multiple of `hash_count` so the table partitions evenly.
+    pub fn cells_for(&self, expected_diff: usize) -> usize {
+        let target = (self.cells_per_diff * expected_diff as f64).ceil() as usize;
+        let m = target.max(self.min_cells).max(self.hash_count);
+        m.div_ceil(self.hash_count) * self.hash_count
+    }
+
+    /// Serialized size in bytes of a table with `cells` cells under this
+    /// configuration (count varint is bounded by 9 bytes, but small tables use 1–2;
+    /// this returns the exact size of an empty table, which equals the size of any
+    /// table because counts are encoded as fixed-width `i64`).
+    pub fn serialized_len(&self, cells: usize) -> usize {
+        // header: key_bytes, hash_count, cell count (varints) + seed (8 bytes)
+        let header = uvarint_len(self.key_bytes as u64)
+            + uvarint_len(self.hash_count as u64)
+            + uvarint_len(cells as u64)
+            + 8;
+        header + cells * (8 + self.key_bytes + 8)
+    }
+}
+
+fn uvarint_len(v: u64) -> usize {
+    recon_base::wire::uvarint_len(v)
+}
+
+impl Default for IbltConfig {
+    fn default() -> Self {
+        Self::for_u64_keys(0)
+    }
+}
+
+/// One IBLT cell: signed count, XOR of keys, XOR of key checksums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cell {
+    count: i64,
+    key_sum: Vec<u8>,
+    check_sum: u64,
+}
+
+impl Cell {
+    fn new(key_bytes: usize) -> Self {
+        Self { count: 0, key_sum: vec![0; key_bytes], check_sum: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0 && self.check_sum == 0 && self.key_sum.iter().all(|&b| b == 0)
+    }
+
+    fn apply(&mut self, key: &[u8], checksum: u64, delta: i64) {
+        self.count += delta;
+        for (dst, src) in self.key_sum.iter_mut().zip(key) {
+            *dst ^= src;
+        }
+        self.check_sum ^= checksum;
+    }
+}
+
+/// The result of decoding (peeling) an IBLT.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodeResult {
+    /// Keys that were inserted more often than deleted (for a subtracted pair of
+    /// tables: keys only in Alice's set, `S_A \ S_B`).
+    pub positive: Vec<Vec<u8>>,
+    /// Keys that were deleted more often than inserted (`S_B \ S_A`).
+    pub negative: Vec<Vec<u8>>,
+    /// `true` if the table was fully emptied: every key was extracted. `false`
+    /// indicates a peeling failure (non-empty 2-core), which Theorem 2.1 bounds by
+    /// `O(1/poly(m))`.
+    pub complete: bool,
+}
+
+impl DecodeResult {
+    /// Positive keys reinterpreted as `u64` (first 8 bytes, little-endian).
+    pub fn positive_u64(&self) -> Vec<u64> {
+        self.positive.iter().map(|k| key_to_u64(k)).collect()
+    }
+
+    /// Negative keys reinterpreted as `u64` (first 8 bytes, little-endian).
+    pub fn negative_u64(&self) -> Vec<u64> {
+        self.negative.iter().map(|k| key_to_u64(k)).collect()
+    }
+
+    /// Total number of keys recovered.
+    pub fn recovered(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// Convert into a `Result`, mapping an incomplete peel to
+    /// [`ReconError::PeelingFailure`].
+    pub fn into_result(self) -> Result<Self, ReconError> {
+        if self.complete {
+            Ok(self)
+        } else {
+            Err(ReconError::PeelingFailure { remaining_cells: 0 })
+        }
+    }
+}
+
+/// Encode a `u64` into a key of `key_bytes` bytes (little-endian, zero padded).
+pub(crate) fn u64_to_key(x: u64, key_bytes: usize) -> Vec<u8> {
+    assert!(key_bytes >= 8, "u64 keys require key_bytes >= 8");
+    let mut key = vec![0u8; key_bytes];
+    key[..8].copy_from_slice(&x.to_le_bytes());
+    key
+}
+
+fn key_to_u64(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_le_bytes(buf)
+}
+
+/// An Invertible Bloom Lookup Table over fixed-width byte keys.
+///
+/// See the crate-level documentation for the data-structure description. The table is
+/// cheap to clone (a flat `Vec` of cells) and serializes through
+/// [`recon_base::wire::Encode`], which is how its communication cost is measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Iblt {
+    key_bytes: usize,
+    hash_count: usize,
+    seed: u64,
+    cells: Vec<Cell>,
+}
+
+impl Iblt {
+    /// Create an empty table with exactly `cells` cells (rounded up to a multiple of
+    /// the hash count).
+    pub fn with_cells(cells: usize, cfg: &IbltConfig) -> Self {
+        assert!(cfg.hash_count >= 1, "need at least one hash function");
+        assert!(cfg.key_bytes >= 1, "keys must be at least one byte wide");
+        let m = cells.max(cfg.hash_count).div_ceil(cfg.hash_count) * cfg.hash_count;
+        Self {
+            key_bytes: cfg.key_bytes,
+            hash_count: cfg.hash_count,
+            seed: cfg.seed,
+            cells: (0..m).map(|_| Cell::new(cfg.key_bytes)).collect(),
+        }
+    }
+
+    /// Create an empty table sized for an expected difference of `expected_diff`
+    /// keys, using the configuration's sizing policy ([`IbltConfig::cells_for`]).
+    pub fn with_expected_diff(expected_diff: usize, cfg: &IbltConfig) -> Self {
+        Self::with_cells(cfg.cells_for(expected_diff), cfg)
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Width of the keys stored in this table, in bytes.
+    pub fn key_bytes(&self) -> usize {
+        self.key_bytes
+    }
+
+    /// Number of hash functions.
+    pub fn hash_count(&self) -> usize {
+        self.hash_count
+    }
+
+    /// The public-coin seed this table was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `true` if every cell is zero (the represented multiset difference is empty).
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(Cell::is_empty)
+    }
+
+    /// The `hash_count` distinct cell indices of a key (partitioned hashing).
+    fn indices(&self, key: &[u8]) -> Vec<usize> {
+        let part = self.cells.len() / self.hash_count;
+        let base = hash_bytes(key, split_seed(self.seed, 0xB0CC));
+        (0..self.hash_count)
+            .map(|j| {
+                let h = hash64(base, split_seed(self.seed, j as u64 + 1));
+                j * part + (h % part as u64) as usize
+            })
+            .collect()
+    }
+
+    fn checksum(&self, key: &[u8]) -> u64 {
+        hash_bytes(key, split_seed(self.seed, 0xC4EC))
+    }
+
+    fn apply(&mut self, key: &[u8], delta: i64) {
+        assert_eq!(
+            key.len(),
+            self.key_bytes,
+            "key width {} does not match table key width {}",
+            key.len(),
+            self.key_bytes
+        );
+        let checksum = self.checksum(key);
+        for idx in self.indices(key) {
+            self.cells[idx].apply(key, checksum, delta);
+        }
+    }
+
+    /// Insert a key (a "positive" occurrence).
+    pub fn insert(&mut self, key: &[u8]) {
+        self.apply(key, 1);
+    }
+
+    /// Delete a key (a "negative" occurrence; counts may go negative, which is how a
+    /// single table represents both sides of a set difference).
+    pub fn delete(&mut self, key: &[u8]) {
+        self.apply(key, -1);
+    }
+
+    /// Insert a `u64` key (zero-padded to the table's key width).
+    pub fn insert_u64(&mut self, x: u64) {
+        let key = u64_to_key(x, self.key_bytes);
+        self.insert(&key);
+    }
+
+    /// Delete a `u64` key.
+    pub fn delete_u64(&mut self, x: u64) {
+        let key = u64_to_key(x, self.key_bytes);
+        self.delete(&key);
+    }
+
+    /// Cell-wise subtraction `self − other`: the result represents the symmetric
+    /// difference of the two encoded sets (Alice's elements as positive keys, Bob's
+    /// as negative). Fails if the two tables do not share geometry and seed.
+    pub fn subtract(&self, other: &Iblt) -> Result<Iblt, ReconError> {
+        if self.key_bytes != other.key_bytes
+            || self.hash_count != other.hash_count
+            || self.seed != other.seed
+            || self.cells.len() != other.cells.len()
+        {
+            return Err(ReconError::InvalidInput(
+                "cannot subtract IBLTs with different geometry or seed".to_string(),
+            ));
+        }
+        let mut out = self.clone();
+        for (c, o) in out.cells.iter_mut().zip(&other.cells) {
+            c.count -= o.count;
+            for (dst, src) in c.key_sum.iter_mut().zip(&o.key_sum) {
+                *dst ^= src;
+            }
+            c.check_sum ^= o.check_sum;
+        }
+        Ok(out)
+    }
+
+    /// `true` if the cell currently holds exactly one key (count ±1 and the checksum
+    /// of its key sum matches its checksum sum).
+    fn is_pure(&self, idx: usize) -> bool {
+        let cell = &self.cells[idx];
+        (cell.count == 1 || cell.count == -1) && self.checksum(&cell.key_sum) == cell.check_sum
+    }
+
+    /// Decode (peel) the table, returning the recovered positive and negative keys.
+    ///
+    /// This consumes a clone of the cells; the table itself is left untouched so the
+    /// caller can retry with different strategies or report diagnostics.
+    pub fn decode(&self) -> DecodeResult {
+        self.clone().into_decode()
+    }
+
+    /// Decode (peel) the table, consuming it.
+    pub fn into_decode(mut self) -> DecodeResult {
+        let mut result = DecodeResult::default();
+        let mut queue: VecDeque<usize> =
+            (0..self.cells.len()).filter(|&i| self.is_pure(i)).collect();
+
+        while let Some(idx) = queue.pop_front() {
+            if !self.is_pure(idx) {
+                continue;
+            }
+            let count = self.cells[idx].count;
+            let key = self.cells[idx].key_sum.clone();
+            // Remove the key from the table: if it was a positive key, delete it; if
+            // negative, add it back (as described in Section 2 of the paper).
+            if count == 1 {
+                result.positive.push(key.clone());
+                self.apply(&key, -1);
+            } else {
+                result.negative.push(key.clone());
+                self.apply(&key, 1);
+            }
+            for touched in self.indices(&key) {
+                if self.is_pure(touched) {
+                    queue.push_back(touched);
+                }
+            }
+        }
+
+        result.complete = self.is_empty();
+        result
+    }
+
+    /// Number of cells that are currently non-empty (diagnostic for peeling
+    /// failures).
+    pub fn nonempty_cells(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// The exact serialized size of this table in bytes.
+    pub fn serialized_len(&self) -> usize {
+        Encode::encoded_len(self)
+    }
+}
+
+impl Encode for Iblt {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_uvarint(buf, self.key_bytes as u64);
+        write_uvarint(buf, self.hash_count as u64);
+        write_uvarint(buf, self.cells.len() as u64);
+        buf.extend_from_slice(&self.seed.to_le_bytes());
+        for cell in &self.cells {
+            buf.extend_from_slice(&cell.count.to_le_bytes());
+            buf.extend_from_slice(&cell.key_sum);
+            buf.extend_from_slice(&cell.check_sum.to_le_bytes());
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.key_bytes as u64)
+            + uvarint_len(self.hash_count as u64)
+            + uvarint_len(self.cells.len() as u64)
+            + 8
+            + self.cells.len() * (8 + self.key_bytes + 8)
+    }
+}
+
+impl Decode for Iblt {
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let key_bytes = read_uvarint(buf)? as usize;
+        let hash_count = read_uvarint(buf)? as usize;
+        let cell_count = read_uvarint(buf)? as usize;
+        if key_bytes == 0 || hash_count == 0 {
+            return Err(WireError::Invalid("IBLT header"));
+        }
+        if cell_count.saturating_mul(16 + key_bytes) > buf.len().saturating_add(16) + buf.len() * 2
+        {
+            // Loose sanity bound; precise length errors surface below.
+        }
+        let seed = u64::decode(buf)?;
+        let mut cells = Vec::with_capacity(cell_count);
+        for _ in 0..cell_count {
+            let count = i64::decode(buf)?;
+            if buf.len() < key_bytes {
+                return Err(WireError::UnexpectedEnd);
+            }
+            let (key_sum, rest) = buf.split_at(key_bytes);
+            *buf = rest;
+            let check_sum = u64::decode(buf)?;
+            cells.push(Cell { count, key_sum: key_sum.to_vec(), check_sum });
+        }
+        Ok(Iblt { key_bytes, hash_count, seed, cells })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_base::rng::Xoshiro256;
+    use std::collections::HashSet;
+
+    fn cfg() -> IbltConfig {
+        IbltConfig::for_u64_keys(0xFEED)
+    }
+
+    #[test]
+    fn cells_for_respects_minimum_and_rounding() {
+        let c = cfg();
+        assert_eq!(c.cells_for(0), 24);
+        assert_eq!(c.cells_for(1) % c.hash_count, 0);
+        assert!(c.cells_for(100) >= 220);
+    }
+
+    #[test]
+    fn insert_then_delete_leaves_table_empty() {
+        let mut t = Iblt::with_expected_diff(4, &cfg());
+        t.insert_u64(42);
+        assert!(!t.is_empty());
+        t.delete_u64(42);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_key_decodes() {
+        let mut t = Iblt::with_expected_diff(4, &cfg());
+        t.insert_u64(7);
+        let d = t.decode();
+        assert!(d.complete);
+        assert_eq!(d.positive_u64(), vec![7]);
+        assert!(d.negative.is_empty());
+    }
+
+    #[test]
+    fn negative_key_decodes() {
+        let mut t = Iblt::with_expected_diff(4, &cfg());
+        t.delete_u64(9);
+        let d = t.decode();
+        assert!(d.complete);
+        assert_eq!(d.negative_u64(), vec![9]);
+        assert!(d.positive.is_empty());
+    }
+
+    #[test]
+    fn decode_does_not_mutate_table() {
+        let mut t = Iblt::with_expected_diff(4, &cfg());
+        t.insert_u64(1);
+        let before = t.clone();
+        let _ = t.decode();
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn subtract_recovers_symmetric_difference() {
+        let config = cfg();
+        let mut alice = Iblt::with_expected_diff(16, &config);
+        let mut bob = Iblt::with_expected_diff(16, &config);
+        for x in 0..1000u64 {
+            alice.insert_u64(x);
+        }
+        for x in 5..1005u64 {
+            bob.insert_u64(x);
+        }
+        let diff = alice.subtract(&bob).unwrap();
+        let d = diff.decode();
+        assert!(d.complete);
+        let pos: HashSet<u64> = d.positive_u64().into_iter().collect();
+        let neg: HashSet<u64> = d.negative_u64().into_iter().collect();
+        assert_eq!(pos, (0..5).collect());
+        assert_eq!(neg, (1000..1005).collect());
+    }
+
+    #[test]
+    fn subtract_requires_matching_geometry() {
+        let a = Iblt::with_cells(24, &cfg());
+        let b = Iblt::with_cells(36, &cfg());
+        assert!(a.subtract(&b).is_err());
+        let c = Iblt::with_cells(24, &cfg().with_seed(1));
+        assert!(a.subtract(&c).is_err());
+        let d = Iblt::with_cells(24, &IbltConfig::for_key_bytes(16, 0xFEED));
+        assert!(a.subtract(&d).is_err());
+    }
+
+    #[test]
+    fn overloaded_table_reports_incomplete() {
+        // 12 cells cannot hold 500 keys; the peel must report incompleteness rather
+        // than silently returning garbage.
+        let mut t = Iblt::with_cells(12, &cfg());
+        for x in 0..500u64 {
+            t.insert_u64(x);
+        }
+        let d = t.decode();
+        assert!(!d.complete);
+        assert!(d.recovered() < 500);
+        assert!(t.nonempty_cells() > 0);
+    }
+
+    #[test]
+    fn wide_keys_roundtrip() {
+        let config = IbltConfig::for_key_bytes(40, 7);
+        let mut rng = Xoshiro256::new(3);
+        let keys: Vec<Vec<u8>> =
+            (0..20).map(|_| (0..40).map(|_| rng.next_u64() as u8).collect()).collect();
+        let mut t = Iblt::with_expected_diff(32, &config);
+        for k in &keys {
+            t.insert(k);
+        }
+        let d = t.decode();
+        assert!(d.complete);
+        let got: HashSet<Vec<u8>> = d.positive.into_iter().collect();
+        assert_eq!(got, keys.into_iter().collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "key width")]
+    fn wrong_key_width_panics() {
+        let mut t = Iblt::with_expected_diff(4, &cfg());
+        t.insert(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut t = Iblt::with_expected_diff(8, &cfg());
+        for x in [1u64, 5, 9, 1 << 40] {
+            t.insert_u64(x);
+        }
+        t.delete_u64(777);
+        let bytes = t.to_bytes();
+        assert_eq!(bytes.len(), t.encoded_len());
+        assert_eq!(bytes.len(), cfg().serialized_len(t.cells()));
+        let back = Iblt::from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+        let d = back.decode();
+        assert!(d.complete);
+        assert_eq!(d.positive.len(), 4);
+        assert_eq!(d.negative_u64(), vec![777]);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_bytes() {
+        let mut t = Iblt::with_expected_diff(8, &cfg());
+        t.insert_u64(3);
+        let bytes = t.to_bytes();
+        assert!(Iblt::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn typical_sizing_decodes_reliably() {
+        // Empirical check behind Theorem 2.1 / Corollary 2.2: with the default sizing
+        // (2.2 cells per difference, k = 4), random differences of size 2..=64 decode
+        // in the vast majority of trials.
+        let mut failures = 0;
+        let mut trials = 0;
+        for d in [2usize, 4, 8, 16, 32, 64] {
+            for trial in 0..30 {
+                let config = IbltConfig::for_u64_keys(split_seed(999, (d * 100 + trial) as u64));
+                let mut rng = Xoshiro256::new(trial as u64 * 7 + d as u64);
+                let mut t = Iblt::with_expected_diff(d, &config);
+                let keys: HashSet<u64> = (0..d).map(|_| rng.next_u64()).collect();
+                for &k in &keys {
+                    t.insert_u64(k);
+                }
+                let res = t.decode();
+                trials += 1;
+                if !res.complete || res.positive.len() != keys.len() {
+                    failures += 1;
+                }
+            }
+        }
+        assert!(
+            failures * 50 <= trials,
+            "decode failure rate too high: {failures}/{trials}"
+        );
+    }
+
+    #[test]
+    fn mixed_positive_negative_peeling() {
+        let config = cfg();
+        let mut t = Iblt::with_expected_diff(20, &config);
+        for x in 0..10u64 {
+            t.insert_u64(x);
+        }
+        for x in 100..110u64 {
+            t.delete_u64(x);
+        }
+        let d = t.decode();
+        assert!(d.complete);
+        let pos: HashSet<u64> = d.positive_u64().into_iter().collect();
+        let neg: HashSet<u64> = d.negative_u64().into_iter().collect();
+        assert_eq!(pos, (0..10).collect());
+        assert_eq!(neg, (100..110).collect());
+    }
+
+    #[test]
+    fn same_key_inserted_and_deleted_cancels() {
+        let mut a = Iblt::with_expected_diff(4, &cfg());
+        a.insert_u64(5);
+        let mut b = Iblt::with_expected_diff(4, &cfg());
+        b.insert_u64(5);
+        let diff = a.subtract(&b).unwrap();
+        assert!(diff.is_empty());
+        let d = diff.decode();
+        assert!(d.complete);
+        assert_eq!(d.recovered(), 0);
+    }
+}

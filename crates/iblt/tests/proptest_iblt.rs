@@ -1,0 +1,108 @@
+//! Property-based tests of the IBLT invariants that Theorem 2.1 and the set-of-sets
+//! protocols rely on.
+
+use proptest::prelude::*;
+use recon_iblt::{Iblt, IbltConfig};
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Insert-then-delete of the same multiset of keys always leaves an empty table,
+    /// regardless of interleaving.
+    #[test]
+    fn insert_delete_cancels(keys in proptest::collection::vec(any::<u64>(), 0..200), seed in any::<u64>()) {
+        let cfg = IbltConfig::for_u64_keys(seed);
+        let mut table = Iblt::with_expected_diff(8, &cfg);
+        for &k in &keys {
+            table.insert_u64(k);
+        }
+        for &k in &keys {
+            table.delete_u64(k);
+        }
+        prop_assert!(table.is_empty());
+        let decoded = table.decode();
+        prop_assert!(decoded.complete);
+        prop_assert_eq!(decoded.recovered(), 0);
+    }
+
+    /// Subtraction of two tables encoding overlapping sets recovers exactly the
+    /// symmetric difference whenever the decode reports completeness, and the decode
+    /// reports completeness for adequately provisioned tables in the vast majority
+    /// of cases.
+    #[test]
+    fn subtract_recovers_symmetric_difference(
+        shared in proptest::collection::hash_set(any::<u64>(), 0..300),
+        only_a in proptest::collection::hash_set(any::<u64>(), 0..20),
+        only_b in proptest::collection::hash_set(any::<u64>(), 0..20),
+        seed in any::<u64>(),
+    ) {
+        let only_a: HashSet<u64> = only_a.difference(&shared).copied().collect();
+        let only_b: HashSet<u64> = only_b.difference(&shared).copied().collect();
+        let only_b: HashSet<u64> = only_b.difference(&only_a).copied().collect();
+        let cfg = IbltConfig::for_u64_keys(seed);
+        let d = only_a.len() + only_b.len();
+        let mut alice = Iblt::with_expected_diff(d.max(1), &cfg);
+        let mut bob = Iblt::with_expected_diff(d.max(1), &cfg);
+        for &k in shared.iter().chain(&only_a) {
+            alice.insert_u64(k);
+        }
+        for &k in shared.iter().chain(&only_b) {
+            bob.insert_u64(k);
+        }
+        let decoded = alice.subtract(&bob).unwrap().decode();
+        if decoded.complete {
+            let pos: HashSet<u64> = decoded.positive_u64().into_iter().collect();
+            let neg: HashSet<u64> = decoded.negative_u64().into_iter().collect();
+            prop_assert_eq!(pos, only_a);
+            prop_assert_eq!(neg, only_b);
+        }
+    }
+
+    /// Wire round-trip is lossless for arbitrary table contents.
+    #[test]
+    fn wire_roundtrip(
+        inserts in proptest::collection::vec(any::<u64>(), 0..64),
+        deletes in proptest::collection::vec(any::<u64>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        use recon_base::wire::{Decode, Encode};
+        let cfg = IbltConfig::for_u64_keys(seed);
+        let mut table = Iblt::with_expected_diff(16, &cfg);
+        for &k in &inserts {
+            table.insert_u64(k);
+        }
+        for &k in &deletes {
+            table.delete_u64(k);
+        }
+        let bytes = table.to_bytes();
+        prop_assert_eq!(bytes.len(), Encode::encoded_len(&table));
+        let back = Iblt::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, table);
+    }
+
+    /// Decoding never reports more keys than were inserted, and never mutates the
+    /// table it runs on.
+    #[test]
+    fn decode_is_conservative_and_pure(
+        keys in proptest::collection::hash_set(any::<u64>(), 0..100),
+        seed in any::<u64>(),
+    ) {
+        let cfg = IbltConfig::for_u64_keys(seed);
+        // Deliberately under-provisioned half the time.
+        let mut table = Iblt::with_cells(if seed % 2 == 0 { 12 } else { 256 }, &cfg);
+        for &k in &keys {
+            table.insert_u64(k);
+        }
+        let before = table.clone();
+        let decoded = table.decode();
+        prop_assert_eq!(table, before);
+        prop_assert!(decoded.recovered() <= keys.len());
+        let recovered: HashSet<u64> = decoded.positive_u64().into_iter().collect();
+        prop_assert!(recovered.is_subset(&keys));
+        prop_assert!(decoded.negative.is_empty());
+        if decoded.complete {
+            prop_assert_eq!(recovered, keys);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Characteristic-polynomial set reconciliation (Theorem 2.3, after Minsky,
+//! Trachtenberg & Zippel).
+//!
+//! Alice represents her set `S_A` by its characteristic polynomial
+//! `χ_{S_A}(z) = ∏_{x ∈ S_A} (z − x)` over GF(2^61 − 1) and sends its evaluations at
+//! `d + 1` agreed-upon points lying *outside the universe* (so they can never be
+//! roots). Bob evaluates his own characteristic polynomial at the same points, forms
+//! the ratios `f_i = χ_{S_A}(z_i) / χ_{S_B}(z_i)`, and interpolates the reduced
+//! rational function `χ_{S_A \ S_B} / χ_{S_B \ S_A}`: the coefficients of monic
+//! numerator and denominator of the right degrees satisfy a linear system
+//! (`recon_field::solve_consistent`). Dividing out the common factor and finding the
+//! roots of numerator and denominator yields the two one-sided differences exactly —
+//! this protocol succeeds with probability 1 whenever the bound `d` is correct, which
+//! is why Theorem 3.9 uses it for child sets with very small differences.
+
+use crate::diff::SetDiff;
+use recon_base::hash::hash_u64_set;
+use recon_base::rng::split_seed;
+use recon_base::wire::{Decode, Encode, WireError};
+use recon_base::ReconError;
+use recon_field::{find_roots, solve_consistent, Fp, Poly, MODULUS};
+use std::collections::HashSet;
+
+/// Alice's one-round message for the characteristic-polynomial protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharPolyDigest {
+    /// Evaluations of `χ_{S_A}` at the first `d + 1` agreed evaluation points.
+    pub evaluations: Vec<u64>,
+    /// `|S_A|` (needed to determine the degrees of the interpolated numerator and
+    /// denominator).
+    pub cardinality: u64,
+    /// Order-independent hash of Alice's set, for end-to-end verification.
+    pub set_hash: u64,
+}
+
+impl Encode for CharPolyDigest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.evaluations.encode(buf);
+        self.cardinality.encode(buf);
+        self.set_hash.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.evaluations.encoded_len() + 8 + 8
+    }
+}
+
+impl Decode for CharPolyDigest {
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CharPolyDigest {
+            evaluations: Vec::<u64>::decode(buf)?,
+            cardinality: u64::decode(buf)?,
+            set_hash: u64::decode(buf)?,
+        })
+    }
+}
+
+/// The exact, one-round characteristic-polynomial reconciliation protocol
+/// (Theorem 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharPolyProtocol {
+    seed: u64,
+    universe_bound: u64,
+}
+
+impl CharPolyProtocol {
+    /// Default bound on universe elements: `2^60`, leaving plenty of field elements
+    /// above the universe to serve as evaluation points.
+    pub const DEFAULT_UNIVERSE_BOUND: u64 = 1 << 60;
+
+    /// Create a protocol instance from a shared seed, using the default universe
+    /// bound.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, universe_bound: Self::DEFAULT_UNIVERSE_BOUND }
+    }
+
+    /// Create a protocol instance whose universe is `[0, universe_bound)`.
+    /// `universe_bound` must leave room for evaluation points below the field
+    /// modulus.
+    pub fn with_universe_bound(seed: u64, universe_bound: u64) -> Self {
+        assert!(
+            universe_bound < MODULUS - (1 << 20),
+            "universe bound must leave room for evaluation points below 2^61 - 1"
+        );
+        Self { seed, universe_bound }
+    }
+
+    /// The shared seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn set_hash_seed(&self) -> u64 {
+        split_seed(self.seed, 0xC6A9)
+    }
+
+    /// The `i`-th agreed evaluation point (deterministic, outside the universe).
+    fn point(&self, i: usize) -> Fp {
+        Fp::new(self.universe_bound + i as u64)
+    }
+
+    fn check_element(&self, x: u64) -> Result<(), ReconError> {
+        if x >= self.universe_bound {
+            return Err(ReconError::InvalidInput(format!(
+                "element {x} is outside the universe bound {}",
+                self.universe_bound
+            )));
+        }
+        Ok(())
+    }
+
+    /// Alice's side: evaluate her characteristic polynomial at `d + 1` points.
+    ///
+    /// Communication is `(d + 1)` field elements (`O(d log u)` bits); time is
+    /// `O(n · d)` field operations (each point is a product over the set).
+    pub fn digest<'a, I>(&self, set: I, d: usize) -> Result<CharPolyDigest, ReconError>
+    where
+        I: IntoIterator<Item = &'a u64>,
+    {
+        let elements: Vec<u64> = set.into_iter().copied().collect();
+        for &x in &elements {
+            self.check_element(x)?;
+        }
+        let points: Vec<Fp> = (0..=d).map(|i| self.point(i)).collect();
+        let mut evals = vec![Fp::ONE; points.len()];
+        for &x in &elements {
+            let fx = Fp::new(x);
+            for (e, &z) in evals.iter_mut().zip(&points) {
+                *e *= z - fx;
+            }
+        }
+        Ok(CharPolyDigest {
+            evaluations: evals.into_iter().map(Fp::value).collect(),
+            cardinality: elements.len() as u64,
+            set_hash: hash_u64_set(elements, self.set_hash_seed()),
+        })
+    }
+
+    /// Bob's side: compute the exact set difference from Alice's digest.
+    pub fn diff(
+        &self,
+        digest: &CharPolyDigest,
+        local: &HashSet<u64>,
+    ) -> Result<SetDiff, ReconError> {
+        for &x in local {
+            self.check_element(x)?;
+        }
+        let d = digest.evaluations.len().saturating_sub(1);
+        let delta = digest.cardinality as i64 - local.len() as i64;
+        if delta.unsigned_abs() as usize > d {
+            return Err(ReconError::DifferenceBoundTooSmall { bound: d });
+        }
+        // Choose the largest usable degree budget with the parity of `delta`
+        // (|S_A \ S_B| + |S_B \ S_A| always has the parity of their difference).
+        let d_use = if (d as i64 - delta.abs()) % 2 == 0 { d } else { d - 1 };
+        let deg_missing = ((d_use as i64 + delta) / 2) as usize;
+        let deg_extra = d_use - deg_missing;
+
+        if d_use == 0 {
+            // Bound says the sets are identical.
+            return Ok(SetDiff::default());
+        }
+
+        let points: Vec<Fp> = (0..d_use).map(|i| self.point(i)).collect();
+        // Bob's evaluations.
+        let mut local_evals = vec![Fp::ONE; points.len()];
+        for &x in local {
+            let fx = Fp::new(x);
+            for (e, &z) in local_evals.iter_mut().zip(&points) {
+                *e *= z - fx;
+            }
+        }
+
+        // Build the linear system for the coefficients of monic P (deg `deg_missing`)
+        // and monic Q (deg `deg_extra`) with P(z_i) = f_i Q(z_i).
+        let mut matrix = Vec::with_capacity(d_use);
+        let mut rhs = Vec::with_capacity(d_use);
+        for (i, &z) in points.iter().enumerate() {
+            let a = Fp::new(digest.evaluations[i]);
+            let b = local_evals[i];
+            debug_assert!(!b.is_zero(), "evaluation points lie outside the universe");
+            let f = a / b;
+            let mut row = Vec::with_capacity(d_use);
+            // Powers of z for P's unknown coefficients.
+            let mut zp = Fp::ONE;
+            for _ in 0..deg_missing {
+                row.push(zp);
+                zp *= z;
+            }
+            let z_pow_deg_missing = zp;
+            // Powers of z for Q's unknown coefficients (negated, scaled by f).
+            let mut zq = Fp::ONE;
+            for _ in 0..deg_extra {
+                row.push(-(f * zq));
+                zq *= z;
+            }
+            let z_pow_deg_extra = zq;
+            matrix.push(row);
+            rhs.push(f * z_pow_deg_extra - z_pow_deg_missing);
+        }
+
+        let solution =
+            solve_consistent(&matrix, &rhs).ok_or(ReconError::InterpolationFailure)?;
+
+        let mut p_coeffs: Vec<Fp> = solution[..deg_missing].to_vec();
+        p_coeffs.push(Fp::ONE);
+        let mut q_coeffs: Vec<Fp> = solution[deg_missing..].to_vec();
+        q_coeffs.push(Fp::ONE);
+        let p = Poly::from_coeffs(p_coeffs);
+        let q = Poly::from_coeffs(q_coeffs);
+
+        // Divide out the common factor so only the true differences remain.
+        let g = p.gcd(&q);
+        let (p_reduced, rem_p) = p.divmod(&g);
+        let (q_reduced, rem_q) = q.divmod(&g);
+        debug_assert!(rem_p.is_zero() && rem_q.is_zero());
+
+        let missing_roots = find_roots(&p_reduced, split_seed(self.seed, 0xF00D));
+        let extra_roots = find_roots(&q_reduced, split_seed(self.seed, 0xF00E));
+        if missing_roots.len() != p_reduced.degree().unwrap_or(0)
+            || extra_roots.len() != q_reduced.degree().unwrap_or(0)
+        {
+            return Err(ReconError::InterpolationFailure);
+        }
+
+        let missing: Vec<u64> = missing_roots.into_iter().map(Fp::value).collect();
+        let extra: Vec<u64> = extra_roots.into_iter().map(Fp::value).collect();
+        // Every recovered element must lie inside the universe.
+        if missing.iter().chain(&extra).any(|&x| x >= self.universe_bound) {
+            return Err(ReconError::InterpolationFailure);
+        }
+        Ok(SetDiff { missing, extra })
+    }
+
+    /// Bob's side: fully recover Alice's set and verify it against her set hash.
+    pub fn reconcile(
+        &self,
+        digest: &CharPolyDigest,
+        local: &HashSet<u64>,
+    ) -> Result<HashSet<u64>, ReconError> {
+        let diff = self.diff(digest, local)?;
+        let recovered = diff.apply(local);
+        if recovered.len() as u64 != digest.cardinality
+            || hash_u64_set(recovered.iter().copied(), self.set_hash_seed()) != digest.set_hash
+        {
+            return Err(ReconError::DifferenceBoundTooSmall {
+                bound: digest.evaluations.len().saturating_sub(1),
+            });
+        }
+        Ok(recovered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_base::rng::Xoshiro256;
+
+    fn random_sets(n: usize, d: usize, seed: u64) -> (HashSet<u64>, HashSet<u64>) {
+        let mut rng = Xoshiro256::new(seed);
+        let mut alice: HashSet<u64> = (0..n).map(|_| rng.next_below(1 << 50)).collect();
+        let mut bob = alice.clone();
+        for _ in 0..d / 2 {
+            alice.insert(rng.next_below(1 << 50));
+        }
+        for _ in 0..(d - d / 2) {
+            bob.insert(rng.next_below(1 << 50));
+        }
+        (alice, bob)
+    }
+
+    #[test]
+    fn identical_sets_yield_empty_diff() {
+        let (alice, _) = random_sets(200, 0, 1);
+        let protocol = CharPolyProtocol::new(3);
+        let digest = protocol.digest(&alice, 6).unwrap();
+        assert!(protocol.diff(&digest, &alice).unwrap().is_empty());
+        assert_eq!(protocol.reconcile(&digest, &alice).unwrap(), alice);
+    }
+
+    #[test]
+    fn exact_recovery_for_small_differences() {
+        for d in [1usize, 2, 3, 5, 8, 16] {
+            let (alice, bob) = random_sets(400, d, 10 + d as u64);
+            let protocol = CharPolyProtocol::new(77);
+            let digest = protocol.digest(&alice, d).unwrap();
+            assert_eq!(protocol.reconcile(&digest, &bob).unwrap(), alice, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn works_when_bound_exceeds_actual_difference() {
+        // d is only an upper bound; the interpolated system is underdetermined and
+        // the common-factor division must clean it up.
+        let (alice, bob) = random_sets(300, 4, 5);
+        let protocol = CharPolyProtocol::new(9);
+        for bound in [4usize, 5, 9, 16, 31] {
+            let digest = protocol.digest(&alice, bound).unwrap();
+            assert_eq!(protocol.reconcile(&digest, &bob).unwrap(), alice, "bound = {bound}");
+        }
+    }
+
+    #[test]
+    fn exact_recovery_for_larger_differences() {
+        let (alice, bob) = random_sets(500, 96, 21);
+        let protocol = CharPolyProtocol::new(13);
+        let digest = protocol.digest(&alice, 110).unwrap();
+        assert_eq!(protocol.reconcile(&digest, &bob).unwrap(), alice);
+    }
+
+    #[test]
+    fn bound_too_small_is_detected() {
+        let (alice, bob) = random_sets(300, 40, 33);
+        let protocol = CharPolyProtocol::new(5);
+        let digest = protocol.digest(&alice, 6).unwrap();
+        assert!(protocol.reconcile(&digest, &bob).is_err());
+    }
+
+    #[test]
+    fn elements_outside_universe_are_rejected() {
+        let protocol = CharPolyProtocol::with_universe_bound(1, 1 << 20);
+        let bad: HashSet<u64> = [1u64 << 30].into_iter().collect();
+        assert!(protocol.digest(&bad, 2).is_err());
+        let good: HashSet<u64> = [5u64].into_iter().collect();
+        let digest = protocol.digest(&good, 2).unwrap();
+        assert!(protocol.diff(&digest, &bad).is_err());
+    }
+
+    #[test]
+    fn one_sided_differences() {
+        let protocol = CharPolyProtocol::new(17);
+        let alice: HashSet<u64> = (0..100).collect();
+        let bob: HashSet<u64> = (0..90).collect();
+        let digest = protocol.digest(&alice, 10).unwrap();
+        let diff = protocol.diff(&digest, &bob).unwrap().sorted();
+        assert_eq!(diff.missing, (90..100).collect::<Vec<_>>());
+        assert!(diff.extra.is_empty());
+        let bob_superset: HashSet<u64> = (0..105).collect();
+        let digest2 = protocol.digest(&alice, 5).unwrap();
+        let diff2 = protocol.diff(&digest2, &bob_superset).unwrap().sorted();
+        assert!(diff2.missing.is_empty());
+        assert_eq!(diff2.extra, (100..105).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn digest_roundtrips_through_wire() {
+        let (alice, bob) = random_sets(150, 6, 40);
+        let protocol = CharPolyProtocol::new(2);
+        let digest = protocol.digest(&alice, 8).unwrap();
+        let bytes = digest.to_bytes();
+        assert_eq!(bytes.len(), digest.encoded_len());
+        let decoded = CharPolyDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(protocol.reconcile(&decoded, &bob).unwrap(), alice);
+    }
+
+    #[test]
+    fn digest_is_small_and_scales_with_d() {
+        let (alice, _) = random_sets(5000, 0, 50);
+        let protocol = CharPolyProtocol::new(4);
+        let d8 = protocol.digest(&alice, 8).unwrap().encoded_len();
+        let d64 = protocol.digest(&alice, 64).unwrap().encoded_len();
+        assert!(d8 < 100, "digest for d=8 should be under 100 bytes, got {d8}");
+        assert!(d64 > 4 * d8);
+    }
+}

@@ -1,0 +1,37 @@
+//! Reconcile two rooted forests that differ by a few edge updates (Theorem 6.1).
+//!
+//! Run with: `cargo run -p recon-examples --release --example forest_sync`
+
+use recon_base::rng::Xoshiro256;
+use recon_graph::forest::{self, Forest};
+
+fn main() {
+    let mut rng = Xoshiro256::new(3);
+    let n = 5_000;
+    let sigma = 8;
+    let base = Forest::random(n, 0.08, sigma, &mut rng);
+    let alice = base.perturb(3, &mut rng);
+    let bob = base.perturb(3, &mut rng);
+    let d = 6;
+
+    println!(
+        "forests on {n} vertices: Alice has {} trees (max depth {}), Bob has {} trees (max depth {})",
+        alice.roots().len(),
+        alice.max_depth(),
+        bob.roots().len(),
+        bob.max_depth()
+    );
+
+    let sigma_bound = alice.max_depth().max(bob.max_depth()).max(1);
+    let (recovered, stats) =
+        forest::reconcile(&alice, &bob, d, sigma_bound, 17).expect("forest reconciliation");
+
+    println!("communication: {stats}");
+    println!("recovered forest is isomorphic to Alice's: {}", recovered.is_isomorphic(&alice, 17));
+    println!(
+        "note: the transmitted bytes depend on d·σ but not on n — the same reconciliation of a \
+         forest 100× larger costs the same, whereas re-sending all parent pointers (~{} bytes \
+         here) grows linearly with n.",
+        n * 4
+    );
+}

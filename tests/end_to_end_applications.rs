@@ -1,0 +1,105 @@
+//! Cross-crate integration tests for the application substrates (database and
+//! document collections), including property-based tests over random workloads.
+
+use proptest::prelude::*;
+use recon_apps::database::{BinaryTable, SosProtocolKind};
+use recon_apps::documents::{reconcile_collections, shingles, Collection};
+use recon_base::rng::Xoshiro256;
+
+#[test]
+fn database_sync_end_to_end_for_every_protocol() {
+    let mut rng = Xoshiro256::new(1);
+    let alice = BinaryTable::random(256, 96, 0.5, &mut rng);
+    let bob = alice.flip_bits(10, &mut rng);
+    for kind in [
+        SosProtocolKind::Naive,
+        SosProtocolKind::IbltOfIblts,
+        SosProtocolKind::Cascading,
+        SosProtocolKind::MultiRound,
+    ] {
+        let (recovered, stats) = bob.reconcile_from(&alice, 10, kind, 9).expect("reconcile");
+        assert_eq!(recovered, alice, "{kind:?}");
+        assert!(stats.total_bytes() > 0);
+    }
+}
+
+#[test]
+fn database_sync_with_row_insertions_and_deletions() {
+    // Whole-row changes are just "all bits of that row flipped".
+    let mut rng = Xoshiro256::new(2);
+    let alice = BinaryTable::random(128, 64, 0.4, &mut rng);
+    let mut bob_rows = alice.as_set_of_sets().clone();
+    let removed = bob_rows.children()[3].clone();
+    bob_rows.remove(&removed);
+    let bob = BinaryTable::from_set_of_sets(64, bob_rows).unwrap();
+    let d = removed.len() + 2;
+    let (recovered, _) =
+        bob.reconcile_from(&alice, d, SosProtocolKind::Cascading, 11).expect("reconcile");
+    assert_eq!(recovered, alice);
+}
+
+#[test]
+fn document_collections_classify_remote_documents() {
+    let mut local = Collection::new(2, 5);
+    local.add_document("alpha beta gamma delta epsilon zeta");
+    local.add_document("one two three four five six seven");
+    let mut remote = Collection::new(2, 5);
+    remote.add_document("alpha beta gamma delta epsilon zeta");
+    remote.add_document("one two three four five six eight");
+    remote.add_document("completely unrelated text about databases and graphs");
+    let (report, _) = reconcile_collections(&remote, &local, 40, 6, 3).expect("collections");
+    assert_eq!(report.exact_duplicates, 1);
+    assert_eq!(report.near_duplicates.len(), 1);
+    assert_eq!(report.fresh_documents.len(), 1);
+}
+
+#[test]
+fn shingles_similarity_tracks_edit_size() {
+    let original = "the quick brown fox jumps over the lazy dog and runs far away";
+    let one_edit = "the quick brown fox jumps over the sleepy dog and runs far away";
+    let rewrite = "completely different sentence with no shared phrases whatsoever here";
+    let s0 = shingles(original, 3, 1);
+    let s1 = shingles(one_edit, 3, 1);
+    let s2 = shingles(rewrite, 3, 1);
+    let d01 = s0.symmetric_difference(&s1).count();
+    let d02 = s0.symmetric_difference(&s2).count();
+    assert!(d01 <= 6, "one word edit changes at most k=3 shingles per side, got {d01}");
+    assert!(d02 > d01);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized end-to-end property: for any random table and any small number of
+    /// bit flips, the cascading protocol recovers Alice's table exactly.
+    #[test]
+    fn database_reconciliation_roundtrips(
+        rows in 16usize..64,
+        cols in 16u32..64,
+        d in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256::new(seed);
+        let alice = BinaryTable::random(rows, cols, 0.5, &mut rng);
+        let bob = alice.flip_bits(d, &mut rng);
+        let (recovered, stats) = bob
+            .reconcile_from(&alice, d.max(1), SosProtocolKind::Cascading, seed ^ 1)
+            .expect("reconcile");
+        prop_assert_eq!(recovered, alice);
+        prop_assert!(stats.rounds >= 1);
+    }
+
+    /// The measured bit difference never exceeds the number of applied flips.
+    #[test]
+    fn flip_bits_respects_the_budget(
+        rows in 8usize..40,
+        cols in 8u32..48,
+        d in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256::new(seed);
+        let alice = BinaryTable::random(rows, cols, 0.5, &mut rng);
+        let bob = alice.flip_bits(d, &mut rng);
+        prop_assert!(alice.bit_difference(&bob) <= d);
+    }
+}
