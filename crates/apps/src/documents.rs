@@ -11,6 +11,7 @@
 
 use recon_base::hash::hash_bytes;
 use recon_base::ReconError;
+use recon_protocol::Outcome;
 use recon_sos::{cascading, ChildSet, SetOfSets, SosParams};
 use std::collections::BTreeSet;
 
@@ -110,7 +111,7 @@ pub fn reconcile_collections(
     d: usize,
     near_threshold: usize,
     seed: u64,
-) -> Result<(CollectionDiffReport, recon_base::CommStats), ReconError> {
+) -> Result<Outcome<CollectionDiffReport>, ReconError> {
     let remote_sos = remote.as_set_of_sets();
     let local_sos = local.as_set_of_sets();
     let max_child = remote_sos.max_child_size().max(local_sos.max_child_size()).max(1);
@@ -140,7 +141,7 @@ pub fn reconcile_collections(
             _ => report.fresh_documents.push(idx),
         }
     }
-    Ok((report, outcome.stats))
+    Ok(Outcome { recovered: report, stats: outcome.stats })
 }
 
 #[cfg(test)]
@@ -185,7 +186,7 @@ mod tests {
         for doc in [DOC_A, DOC_B, DOC_C] {
             c.add_document(doc);
         }
-        let (report, stats) = reconcile_collections(&c, &c, 2, 4, 11).unwrap();
+        let Outcome { recovered: report, stats } = reconcile_collections(&c, &c, 2, 4, 11).unwrap();
         assert_eq!(report.exact_duplicates, 3);
         assert!(report.near_duplicates.is_empty());
         assert!(report.fresh_documents.is_empty());
@@ -201,12 +202,12 @@ mod tests {
         // One word changed in DOC_A: a handful of shingles differ.
         remote.add_document(DOC_A.replace("lazy", "sleepy"));
         remote.add_document(DOC_B);
-        let (report, _) = reconcile_collections(&remote, &local, 12, 8, 17).unwrap();
+        let report = reconcile_collections(&remote, &local, 12, 8, 17).unwrap().recovered;
         assert_eq!(report.exact_duplicates, 1);
         assert_eq!(report.near_duplicates.len(), 1);
         assert!(report.fresh_documents.is_empty());
         let (_, _, diff) = report.near_duplicates[0];
-        assert!(diff >= 1 && diff <= 8);
+        assert!((1..=8).contains(&diff));
     }
 
     #[test]
@@ -217,7 +218,7 @@ mod tests {
         remote.add_document(DOC_A);
         remote.add_document(DOC_C);
         let d = shingles(DOC_C, 3, 19).len() + 2;
-        let (report, _) = reconcile_collections(&remote, &local, d, 3, 23).unwrap();
+        let report = reconcile_collections(&remote, &local, d, 3, 23).unwrap().recovered;
         assert_eq!(report.exact_duplicates, 1);
         assert_eq!(report.fresh_documents.len(), 1);
     }

@@ -81,7 +81,20 @@ impl Transcript {
         label: &str,
         payload: &T,
     ) -> usize {
-        let bytes = payload.encoded_len();
+        self.record_parallel_bytes(direction, label, payload.encoded_len())
+    }
+
+    /// Record a message of `bytes` bytes in the same round as the previous message.
+    ///
+    /// The explicit-size counterpart of [`Transcript::record_parallel`], matching
+    /// [`Transcript::record_bytes`]: callers that already hold a serialized payload
+    /// (or an aggregate byte count) can charge it without re-encoding.
+    pub fn record_parallel_bytes(
+        &mut self,
+        direction: Direction,
+        label: &str,
+        bytes: usize,
+    ) -> usize {
         let round = self.rounds().max(1);
         self.messages.push(MessageStat { direction, bytes, label: label.to_string() });
         self.round_of.push(round);
@@ -205,6 +218,19 @@ mod tests {
         let mut t = Transcript::new();
         t.record_parallel(Direction::AliceToBob, "m", &1u8);
         assert_eq!(t.rounds(), 1);
+    }
+
+    #[test]
+    fn record_parallel_bytes_matches_record_parallel() {
+        let payload = vec![1u64, 2, 3];
+        let mut by_encode = Transcript::new();
+        by_encode.record_bytes(Direction::AliceToBob, "m1", 10);
+        by_encode.record_parallel(Direction::BobToAlice, "m2", &payload);
+        let mut by_bytes = Transcript::new();
+        by_bytes.record_bytes(Direction::AliceToBob, "m1", 10);
+        by_bytes.record_parallel_bytes(Direction::BobToAlice, "m2", payload.encoded_len());
+        assert_eq!(by_encode, by_bytes);
+        assert_eq!(by_bytes.rounds(), 1);
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub enum ReconError {
     InvalidInput(String),
     /// A message failed to deserialize.
     Wire(WireError),
+    /// A sans-I/O session stalled: neither party had a message to send and the
+    /// receiving party had not produced its output (a protocol logic error).
+    SessionStalled {
+        /// How many messages had been exchanged when the session stalled.
+        messages_exchanged: usize,
+    },
     /// The characteristic-polynomial interpolation produced an inconsistent system
     /// (more differences than evaluation points).
     InterpolationFailure,
@@ -77,6 +83,9 @@ impl fmt::Display for ReconError {
             ReconError::SeparationFailure(why) => write!(f, "graph separation failure: {why}"),
             ReconError::InvalidInput(why) => write!(f, "invalid input: {why}"),
             ReconError::Wire(e) => write!(f, "wire decode error: {e}"),
+            ReconError::SessionStalled { messages_exchanged } => {
+                write!(f, "protocol session stalled after {messages_exchanged} message(s)")
+            }
             ReconError::InterpolationFailure => {
                 write!(f, "characteristic polynomial interpolation failed")
             }
@@ -123,9 +132,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(ReconError::ChecksumFailure, ReconError::ChecksumFailure);
-        assert_ne!(
-            ReconError::ChecksumFailure,
-            ReconError::PeelingFailure { remaining_cells: 0 }
-        );
+        assert_ne!(ReconError::ChecksumFailure, ReconError::PeelingFailure { remaining_cells: 0 });
     }
 }

@@ -168,10 +168,7 @@ impl Xoshiro256 {
     /// Uses a Floyd-style sampler: O(count) expected hash-set operations, so it stays
     /// cheap even when `bound` is large (e.g. sampling edge slots of a big graph).
     pub fn sample_distinct(&mut self, bound: u64, count: usize) -> Vec<u64> {
-        assert!(
-            (count as u64) <= bound,
-            "cannot sample {count} distinct values below {bound}"
-        );
+        assert!((count as u64) <= bound, "cannot sample {count} distinct values below {bound}");
         let mut chosen = std::collections::HashSet::with_capacity(count * 2);
         let mut out = Vec::with_capacity(count);
         // Floyd's algorithm: for j in bound-count..bound, pick t in [0, j]; if taken, use j.

@@ -182,6 +182,20 @@ impl Decode for usize {
     }
 }
 
+/// The unit type encodes to nothing (useful for empty control messages).
+impl Encode for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn encoded_len(&self) -> usize {
+        0
+    }
+}
+
+impl Decode for () {
+    fn decode(_buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
         write_uvarint(buf, self.len() as u64);

@@ -92,7 +92,7 @@ fn table1() {
                 let result = bob.reconcile_from(&alice, d, kind, 7);
                 let elapsed = start.elapsed().as_secs_f64() * 1e3;
                 match result {
-                    Ok((recovered, stats)) => {
+                    Ok(recon_protocol::Outcome { recovered, stats }) => {
                         assert_eq!(recovered, alice, "protocol returned a wrong table");
                         println!(
                             "{:<10} {:>6} {:>28} {:>12} {:>10.2} {:>8}",
@@ -163,7 +163,10 @@ fn charpoly_scaling() {
 /// E-3.1: estimator accuracy and size.
 fn estimator_accuracy() {
     header("E-3.1  set difference estimators: estimate/true ratio and sketch size");
-    println!("{:>8} {:>14} {:>14} {:>12} {:>12}", "true d", "l0 estimate", "strata est.", "l0 bytes", "strata bytes");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "true d", "l0 estimate", "strata est.", "l0 bytes", "strata bytes"
+    );
     for &d in &[4usize, 16, 64, 256, 1024, 8192] {
         let (alice, bob) = set_pair(50_000, d, 900 + d as u64);
         let l0_cfg = L0Config::default().with_seed(1);
@@ -208,9 +211,10 @@ fn sos_sweep() {
             let naive_b = naive::run_known(&alice, &bob, d, &params).map(|o| o.stats.total_bytes());
             let flat_b = iblt_of_iblts::run_known(&alice, &bob, d, d, &params)
                 .map(|o| o.stats.total_bytes());
-            let casc_b = cascading::run_known(&alice, &bob, d, &params).map(|o| o.stats.total_bytes());
-            let multi_b = multiround::run_known(&alice, &bob, d, d, &params)
-                .map(|o| o.stats.total_bytes());
+            let casc_b =
+                cascading::run_known(&alice, &bob, d, &params).map(|o| o.stats.total_bytes());
+            let multi_b =
+                multiround::run_known(&alice, &bob, d, d, &params).map(|o| o.stats.total_bytes());
             println!(
                 "{:>6} {:>6} {:>14} {:>18} {:>14} {:>16}",
                 h,
@@ -227,7 +231,10 @@ fn sos_sweep() {
 /// E-5.3: empirical separation probability.
 fn separation_probability() {
     header("E-5.3  empirical probability that G(n,p) is (h, d+1, 2d+1)-separated  (d = 2)");
-    println!("{:>8} {:>8} {:>6} {:>22} {:>22}", "n", "p", "h", "deg-order separated", "deg-nbhd disjoint>=4d+1");
+    println!(
+        "{:>8} {:>8} {:>6} {:>22} {:>22}",
+        "n", "p", "h", "deg-order separated", "deg-nbhd disjoint>=4d+1"
+    );
     let d = 2usize;
     for &(n, p) in &[(128usize, 0.3f64), (256, 0.3), (256, 0.1), (512, 0.1)] {
         let h = degree_order::recommended_h(n, p, d, 0.25).max(8);
@@ -241,6 +248,7 @@ fn separation_probability() {
                 separated += 1;
             }
             let cap = ((n as f64) * p).ceil() as usize + 1;
+            #[allow(clippy::int_plus_one)] // written as the paper's (m, 4d+1)-disjoint bound
             if degree_neighborhood::min_disjointness(&g, cap) >= 4 * d + 1 {
                 disjoint += 1;
             }
@@ -272,7 +280,9 @@ fn graph_reconciliation() {
             let alice = base.perturb(d / 2, &mut rng);
             let bob = base.perturb(d - d / 2, &mut rng);
             let params = DegreeOrderParams { h: 48.min(n / 4), seed: t };
-            if let Ok((rec, stats)) = degree_order::reconcile(&alice, &bob, d, &params) {
+            if let Ok(recon_protocol::Outcome { recovered: rec, stats }) =
+                degree_order::reconcile(&alice, &bob, d, &params)
+            {
                 if rec.num_edges() == alice.num_edges() {
                     ok += 1;
                     bytes.push(stats.total_bytes());
@@ -300,7 +310,9 @@ fn graph_reconciliation() {
             let alice = base.perturb(d / 2, &mut rng);
             let bob = base.perturb(d - d / 2, &mut rng);
             let params = DegreeNeighborhoodParams::for_gnp(n, p, t);
-            if let Ok((rec, stats)) = degree_neighborhood::reconcile(&alice, &bob, d, &params) {
+            if let Ok(recon_protocol::Outcome { recovered: rec, stats }) =
+                degree_neighborhood::reconcile(&alice, &bob, d, &params)
+            {
                 if rec.num_edges() == alice.num_edges() {
                     ok += 1;
                     bytes.push(stats.total_bytes());
@@ -338,9 +350,16 @@ fn general_graphs() {
         let (result, stats) = general::reconcile_exhaustive(&alice, &base, d, 5);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let ok = result.map(|g| g.is_isomorphic_bruteforce(&alice)).unwrap_or(false);
-        println!("{:>4} {:>14} {:>12.2}   recovered isomorphic copy: {ok}", d, stats.total_bytes(), ms);
+        println!(
+            "{:>4} {:>14} {:>12.2}   recovered isomorphic copy: {ok}",
+            d,
+            stats.total_bytes(),
+            ms
+        );
     }
-    println!("\npaper's claim: O(d log n) bits but exponential time — the reason Section 5 exists.");
+    println!(
+        "\npaper's claim: O(d log n) bits but exponential time — the reason Section 5 exists."
+    );
 }
 
 /// E-6.1: forest reconciliation.
@@ -356,7 +375,7 @@ fn forest_scaling() {
             let bound_sigma = alice.max_depth().max(bob.max_depth()).max(1);
             let start = Instant::now();
             match forest::reconcile(&alice, &bob, d, bound_sigma, 7) {
-                Ok((recovered, stats)) => {
+                Ok(recon_protocol::Outcome { recovered, stats }) => {
                     let ms = start.elapsed().as_secs_f64() * 1e3;
                     println!(
                         "{:>6} {:>8} {:>12} {:>10.2} {:>12}",

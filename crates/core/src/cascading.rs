@@ -12,11 +12,12 @@
 //! `T_*` of full fixed-width child encodings catches the stragglers. Communication
 //! drops to `O(d log min(d, h) log u + d log s)` bits, still in one round.
 
+use crate::session;
 use crate::types::{ChildSet, SetOfSets, SosOutcome, SosParams};
-use recon_base::comm::{Direction, Transcript};
 use recon_base::wire::{read_uvarint, write_uvarint, Decode, Encode, WireError};
 use recon_base::ReconError;
 use recon_iblt::{Iblt, IbltConfig};
+use recon_protocol::{Amplification, SessionBuilder};
 use std::collections::BTreeMap;
 
 /// Alice's one-round message: the cascade of outer tables.
@@ -105,11 +106,8 @@ impl CascadingProtocol {
     }
 
     fn fallback_config(&self) -> IbltConfig {
-        IbltConfig::for_key_bytes(
-            2 + 8 * self.params.max_child_size,
-            self.params.role_seed(0xC300),
-        )
-        .with_min_cells(12)
+        IbltConfig::for_key_bytes(2 + 8 * self.params.max_child_size, self.params.role_seed(0xC300))
+            .with_min_cells(12)
     }
 
     /// Encode one child set at a given cascade level.
@@ -298,26 +296,20 @@ impl CascadingProtocol {
 
 /// Theorem 3.7 driver: one-round SSRK with known total difference bound `d`, with up
 /// to three replicated attempts (the paper's success probability is a constant 2/3,
-/// amplified by replication against the whole-set hash).
+/// amplified by replication against the whole-set hash). Delegates to the sans-I/O
+/// parties of [`crate::session`] driven over an in-memory link.
 pub fn run_known(
     alice: &SetOfSets,
     bob: &SetOfSets,
     d: usize,
     params: &SosParams,
 ) -> Result<SosOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-    let mut last_err = ReconError::RetriesExhausted { attempts: 0 };
-    for attempt in 0..4u64 {
-        let attempt_params = SosParams { seed: params.role_seed(0xCC00 + attempt), ..*params };
-        let protocol = CascadingProtocol::new(attempt_params);
-        let digest = protocol.digest(alice, d);
-        transcript.record(Direction::AliceToBob, "cascading IBLTs of IBLTs", &digest);
-        match protocol.reconcile(&digest, bob) {
-            Ok(recovered) => return Ok(SosOutcome { recovered, stats: transcript.stats() }),
-            Err(e) => last_err = e,
-        }
-    }
-    Err(last_err)
+    let builder = SessionBuilder::new(params.seed).amplification(Amplification::replicate(4));
+    let amplification = builder.config().amplification;
+    builder.run(
+        session::cascading_known_alice(alice, d, params, amplification)?,
+        session::cascading_known_bob(bob, params, amplification),
+    )
 }
 
 /// Corollary 3.8 driver: SSRU by repeated doubling of `d`, `O(log d)` rounds.
@@ -326,25 +318,14 @@ pub fn run_unknown(
     bob: &SetOfSets,
     params: &SosParams,
 ) -> Result<SosOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-    let mut d = 2usize;
     let max_possible = alice.total_elements() + bob.total_elements() + 2;
-    let mut attempt = 0u64;
-    while d <= 2 * max_possible {
-        let attempt_params = SosParams { seed: params.role_seed(0xCD00 + attempt), ..*params };
-        let protocol = CascadingProtocol::new(attempt_params);
-        let digest = protocol.digest(alice, d);
-        transcript.record(Direction::AliceToBob, "cascading IBLTs of IBLTs", &digest);
-        match protocol.reconcile(&digest, bob) {
-            Ok(recovered) => return Ok(SosOutcome { recovered, stats: transcript.stats() }),
-            Err(_) => {
-                transcript.record_bytes(Direction::BobToAlice, "NACK (double d)", 1);
-                d *= 2;
-                attempt += 1;
-            }
-        }
-    }
-    Err(ReconError::RetriesExhausted { attempts: attempt as usize })
+    let builder = SessionBuilder::new(params.seed)
+        .amplification(Amplification::doubling(2, 2 * max_possible));
+    let amplification = builder.config().amplification;
+    builder.run(
+        session::cascading_unknown_alice(alice, params, amplification)?,
+        session::cascading_unknown_bob(bob, params, amplification),
+    )
 }
 
 #[cfg(test)]

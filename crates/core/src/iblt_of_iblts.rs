@@ -9,11 +9,12 @@
 //! child IBLTs (at most `d̂²` pairs, each `O(d)` work) to recover Alice's child sets.
 //! Communication: `O(d̂ d log u + d̂ log s)` bits in one round.
 
+use crate::session;
 use crate::types::{ChildSet, SetOfSets, SosOutcome, SosParams};
-use recon_base::comm::{Direction, Transcript};
 use recon_base::wire::{read_uvarint, write_uvarint, Decode, Encode, WireError};
 use recon_base::ReconError;
 use recon_iblt::{Iblt, IbltConfig};
+use recon_protocol::{Amplification, SessionBuilder};
 
 /// Alice's one-round message: the outer IBLT over child encodings.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,9 +144,8 @@ impl IbltOfIbltsProtocol {
         let mut differing_local: Vec<(u64, &ChildSet, Iblt)> = Vec::new();
         for encoding in &decoded.negative {
             let (table_b, hash_b) = Self::split_encoding(encoding)?;
-            let child = local
-                .child_by_hash(hash_b, self.params.seed)
-                .ok_or(ReconError::ChecksumFailure)?;
+            let child =
+                local.child_by_hash(hash_b, self.params.seed).ok_or(ReconError::ChecksumFailure)?;
             differing_local.push((hash_b, child, table_b));
         }
 
@@ -158,10 +158,8 @@ impl IbltOfIbltsProtocol {
         let empty_child = ChildSet::new();
         let empty_encoding = self.encode_child(&empty_child, d);
         let (empty_table, _) = Self::split_encoding(&empty_encoding)?;
-        let mut candidates: Vec<(u64, &ChildSet, Iblt)> = differing_local
-            .iter()
-            .map(|(h, c, t)| (*h, *c, t.clone()))
-            .collect();
+        let mut candidates: Vec<(u64, &ChildSet, Iblt)> =
+            differing_local.iter().map(|(h, c, t)| (*h, *c, t.clone())).collect();
         candidates.push((0, &empty_child, empty_table));
         let mut recovered_children: Vec<ChildSet> = Vec::new();
         for encoding in &decoded.positive {
@@ -209,7 +207,8 @@ impl IbltOfIbltsProtocol {
 
 /// Theorem 3.5 driver: one-round SSRK with known bounds `d` (total element changes)
 /// and `d_hat` (differing child sets), with up to two replicated attempts counted
-/// against the communication budget.
+/// against the communication budget. Delegates to the sans-I/O parties of
+/// [`crate::session`] driven over an in-memory link.
 pub fn run_known(
     alice: &SetOfSets,
     bob: &SetOfSets,
@@ -217,19 +216,12 @@ pub fn run_known(
     d_hat: usize,
     params: &SosParams,
 ) -> Result<SosOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-    let mut last_err = ReconError::RetriesExhausted { attempts: 0 };
-    for attempt in 0..3u64 {
-        let attempt_params = SosParams { seed: params.role_seed(0xBB00 + attempt), ..*params };
-        let protocol = IbltOfIbltsProtocol::new(attempt_params);
-        let digest = protocol.digest(alice, d, d_hat);
-        transcript.record(Direction::AliceToBob, "IBLT of child-IBLT encodings", &digest);
-        match protocol.reconcile(&digest, bob) {
-            Ok(recovered) => return Ok(SosOutcome { recovered, stats: transcript.stats() }),
-            Err(e) => last_err = e,
-        }
-    }
-    Err(last_err)
+    let builder = SessionBuilder::new(params.seed).amplification(Amplification::replicate(3));
+    let amplification = builder.config().amplification;
+    builder.run(
+        session::ioi_known_alice(alice, d, d_hat, params, amplification)?,
+        session::ioi_known_bob(bob, params, amplification),
+    )
 }
 
 /// Corollary 3.6 driver: SSRU by repeated doubling of the difference bound
@@ -241,26 +233,15 @@ pub fn run_unknown(
     bob: &SetOfSets,
     params: &SosParams,
 ) -> Result<SosOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-    let mut d = 1usize;
     let max_possible = alice.total_elements() + bob.total_elements() + 2;
-    let mut attempt = 0u64;
-    while d <= 2 * max_possible {
-        let attempt_params = SosParams { seed: params.role_seed(0xBC00 + attempt), ..*params };
-        let protocol = IbltOfIbltsProtocol::new(attempt_params);
-        let d_hat = d.min(alice.num_children().max(bob.num_children()).max(1));
-        let digest = protocol.digest(alice, d, d_hat);
-        transcript.record(Direction::AliceToBob, "IBLT of child-IBLT encodings", &digest);
-        match protocol.reconcile(&digest, bob) {
-            Ok(recovered) => return Ok(SosOutcome { recovered, stats: transcript.stats() }),
-            Err(_) => {
-                transcript.record_bytes(Direction::BobToAlice, "NACK (double d)", 1);
-                d *= 2;
-                attempt += 1;
-            }
-        }
-    }
-    Err(ReconError::RetriesExhausted { attempts: attempt as usize })
+    let children_cap = alice.num_children().max(bob.num_children()).max(1);
+    let builder = SessionBuilder::new(params.seed)
+        .amplification(Amplification::doubling(1, 2 * max_possible));
+    let amplification = builder.config().amplification;
+    builder.run(
+        session::ioi_unknown_alice(alice, params, children_cap, amplification)?,
+        session::ioi_unknown_bob(bob, params, amplification),
+    )
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@ pub mod matching;
 pub mod multiround;
 pub mod multiset_of_multisets;
 pub mod naive;
+pub mod session;
 pub mod types;
 pub mod workload;
 

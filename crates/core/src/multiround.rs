@@ -22,21 +22,13 @@
 //! verbatim. This keeps the driver always-correct; the extra bytes are charged to the
 //! transcript so the measured communication honestly reflects the retry.
 
-use crate::types::{ChildSet, SetOfSets, SosOutcome, SosParams};
-use recon_base::comm::{Direction, Transcript};
-use recon_base::rng::split_seed;
+use crate::session;
+use crate::types::{SetOfSets, SosOutcome, SosParams};
 use recon_base::wire::{Decode, Encode, WireError};
 use recon_base::ReconError;
-use recon_estimator::{L0Config, L0Estimator, Side};
-use recon_iblt::{Iblt, IbltConfig};
-use recon_set::{CharPolyDigest, CharPolyProtocol, IbltSetProtocol, SetDigest};
-use std::collections::BTreeMap;
-
-/// Compact estimator configuration used for the per-child estimators of round 3
-/// (`O(log(d̂/δ) log h)` bits per differing child).
-fn child_estimator_config(seed: u64) -> L0Config {
-    L0Config { reps: 5, levels: 20, buckets: 16, threshold: 8, seed }
-}
+use recon_estimator::L0Config;
+use recon_protocol::SessionBuilder;
+use recon_set::{CharPolyDigest, SetDigest};
 
 /// A per-child patch sent by Alice in the final round.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,19 +109,8 @@ impl Decode for ChildPatch {
     }
 }
 
-fn hash_iblt_config(params: &SosParams) -> IbltConfig {
-    IbltConfig::for_u64_keys(params.role_seed(0xD1))
-}
-
-fn hash_table(sos: &SetOfSets, d_hat: usize, params: &SosParams) -> Iblt {
-    let mut table = Iblt::with_expected_diff((2 * d_hat).max(2), &hash_iblt_config(params));
-    for h in sos.child_hashes(params.seed) {
-        table.insert_u64(h);
-    }
-    table
-}
-
-/// Run the known-`d` multi-round protocol (Theorem 3.9): 3 rounds.
+/// Run the known-`d` multi-round protocol (Theorem 3.9): 3 rounds. Delegates to
+/// the sans-I/O party pair of [`crate::session`] driven over an in-memory link.
 pub fn run_known(
     alice: &SetOfSets,
     bob: &SetOfSets,
@@ -137,8 +118,10 @@ pub fn run_known(
     d_hat: usize,
     params: &SosParams,
 ) -> Result<SosOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-    drive(alice, bob, d, d_hat, params, &mut transcript)
+    SessionBuilder::new(params.seed).run(
+        session::multiround_known_alice(alice, d, d_hat, params),
+        session::multiround_known_bob(bob, params),
+    )
 }
 
 /// Run the unknown-`d` multi-round protocol (Theorem 3.10): 4 rounds, the first of
@@ -148,201 +131,20 @@ pub fn run_unknown(
     bob: &SetOfSets,
     params: &SosParams,
 ) -> Result<SosOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-
-    // Round 0 (Bob → Alice): estimator over Bob's child hashes.
-    let est_cfg = L0Config::default().with_seed(params.role_seed(0xD0));
-    let mut bob_est = L0Estimator::new(&est_cfg);
-    for h in bob.child_hashes(params.seed) {
-        bob_est.update(h, Side::B);
-    }
-    transcript.record(Direction::BobToAlice, "child-hash difference estimator", &bob_est);
-
-    let mut alice_est = L0Estimator::new(&est_cfg);
-    for h in alice.child_hashes(params.seed) {
-        alice_est.update(h, Side::A);
-    }
-    let d_hat = (alice_est.merge(&bob_est)?.estimate() * 2).max(4);
-    // With d unknown, use the generous per-child budget d = d̂ · h as the switch
-    // point between the IBLT and charpoly branches; the per-child estimators of
-    // round 3 provide the real per-child bounds.
-    let d = d_hat * params.max_child_size;
-    drive(alice, bob, d, d_hat, params, &mut transcript)
-}
-
-/// Shared rounds 1–3 of Theorems 3.9/3.10, appending to an existing transcript.
-fn drive(
-    alice: &SetOfSets,
-    bob: &SetOfSets,
-    d: usize,
-    d_hat: usize,
-    params: &SosParams,
-    transcript: &mut Transcript,
-) -> Result<SosOutcome, ReconError> {
-    let seed = params.seed;
-
-    // ----- Round 1 (Alice → Bob): IBLT of Alice's child hashes + parent hash. -----
-    let alice_hash_table = hash_table(alice, d_hat, params);
-    let parent_hash = alice.parent_hash(seed);
-    transcript.record(
-        Direction::AliceToBob,
-        "child-hash IBLT",
-        &(alice_hash_table.clone(), parent_hash),
-    );
-
-    // ----- Round 2 (Bob → Alice): his hash IBLT + per-differing-child estimators. --
-    let bob_hash_table = hash_table(bob, d_hat, params);
-    let hash_diff = alice_hash_table.subtract(&bob_hash_table)?.decode();
-    if !hash_diff.complete {
-        return Err(ReconError::PeelingFailure { remaining_cells: 0 });
-    }
-    // Bob's differing children (hashes only his side has).
-    let bob_differing: Vec<u64> = hash_diff.negative_u64();
-    let alice_differing: Vec<u64> = hash_diff.positive_u64();
-
-    let mut bob_children: BTreeMap<u64, ChildSet> = BTreeMap::new();
-    let mut bob_estimators: Vec<(u64, L0Estimator)> = Vec::new();
-    for &h in &bob_differing {
-        let child = bob
-            .child_by_hash(h, seed)
-            .ok_or(ReconError::ChecksumFailure)?
-            .clone();
-        let cfg = child_estimator_config(split_seed(params.role_seed(0xD2), h));
-        let mut est = L0Estimator::new(&cfg);
-        for &x in &child {
-            est.update(x, Side::B);
-        }
-        bob_estimators.push((h, est));
-        bob_children.insert(h, child);
-    }
-    transcript.record(
-        Direction::BobToAlice,
-        "child-hash IBLT + per-child estimators",
-        &(bob_hash_table, bob_estimators.clone()),
-    );
-
-    // ----- Round 3 (Alice → Bob): per-child patches. ------------------------------
-    let charpoly_threshold = (d as f64).sqrt().ceil() as usize;
-    let charpoly = CharPolyProtocol::new(params.role_seed(0xD4));
-    let mut patches: Vec<ChildPatch> = Vec::new();
-    for &ah in &alice_differing {
-        let child = alice
-            .child_by_hash(ah, seed)
-            .ok_or(ReconError::ChecksumFailure)?;
-        // Find the most similar of Bob's differing children by merged estimate.
-        let mut best: Option<(u64, usize)> = None;
-        for (bh, best_est) in &bob_estimators {
-            let cfg = child_estimator_config(split_seed(params.role_seed(0xD2), *bh));
-            let mut alice_side = L0Estimator::new(&cfg);
-            for &x in child {
-                alice_side.update(x, Side::A);
-            }
-            let estimate = alice_side.merge(best_est)?.estimate();
-            if best.map_or(true, |(_, e)| estimate < e) {
-                best = Some((*bh, estimate));
-            }
-        }
-        let patch = match best {
-            None => ChildPatch::Full { alice_hash: ah, child: child.iter().copied().collect() },
-            Some((target_hash, estimate)) => {
-                let bound = (2 * estimate + 2).min(2 * child.len() + 2);
-                let elements_fit_charpoly =
-                    child.iter().all(|&x| x < CharPolyProtocol::DEFAULT_UNIVERSE_BOUND);
-                if estimate < charpoly_threshold && elements_fit_charpoly {
-                    ChildPatch::CharPoly {
-                        alice_hash: ah,
-                        target_hash,
-                        digest: charpoly.digest(child, bound)?,
-                    }
-                } else {
-                    let protocol = IbltSetProtocol::new(params.role_seed(0xD5));
-                    ChildPatch::Iblt {
-                        alice_hash: ah,
-                        target_hash,
-                        digest: protocol.digest(child, bound),
-                    }
-                }
-            }
-        };
-        patches.push(patch);
-    }
-    transcript.record(Direction::AliceToBob, "per-child set reconciliation payloads", &patches);
-
-    // ----- Bob applies the patches. ------------------------------------------------
-    let iblt_protocol = IbltSetProtocol::new(params.role_seed(0xD5));
-    let mut recovered_children: Vec<ChildSet> = Vec::new();
-    let mut fallback_needed: Vec<u64> = Vec::new();
-    for patch in &patches {
-        match patch {
-            ChildPatch::Full { child, .. } => {
-                recovered_children.push(child.iter().copied().collect());
-            }
-            ChildPatch::Iblt { alice_hash, target_hash, digest } => {
-                let target = bob_children
-                    .get(target_hash)
-                    .ok_or(ReconError::ChecksumFailure)?;
-                let target_set = target.iter().copied().collect();
-                match iblt_protocol.reconcile(digest, &target_set) {
-                    Ok(rec)
-                        if SetOfSets::child_hash(&rec.iter().copied().collect(), seed)
-                            == *alice_hash =>
-                    {
-                        recovered_children.push(rec.into_iter().collect());
-                    }
-                    _ => fallback_needed.push(*alice_hash),
-                }
-            }
-            ChildPatch::CharPoly { alice_hash, target_hash, digest } => {
-                let target = bob_children
-                    .get(target_hash)
-                    .ok_or(ReconError::ChecksumFailure)?;
-                let target_set = target.iter().copied().collect();
-                match charpoly.reconcile(digest, &target_set) {
-                    Ok(rec)
-                        if SetOfSets::child_hash(&rec.iter().copied().collect(), seed)
-                            == *alice_hash =>
-                    {
-                        recovered_children.push(rec.into_iter().collect());
-                    }
-                    _ => fallback_needed.push(*alice_hash),
-                }
-            }
-        }
-    }
-
-    // Fallback round for any patch that failed verification (estimator under-shot):
-    // Bob asks for those children verbatim. Rare, but counted honestly.
-    if !fallback_needed.is_empty() {
-        transcript.record(Direction::BobToAlice, "patch failure report", &fallback_needed);
-        let mut full: Vec<(u64, Vec<u64>)> = Vec::new();
-        for &h in &fallback_needed {
-            let child = alice.child_by_hash(h, seed).ok_or(ReconError::ChecksumFailure)?;
-            full.push((h, child.iter().copied().collect()));
-        }
-        transcript.record(Direction::AliceToBob, "full child sets (fallback)", &full);
-        for (_, child) in full {
-            recovered_children.push(child.into_iter().collect());
-        }
-    }
-
-    // Assemble Bob's new parent set.
-    let mut result = bob.clone();
-    for child in bob_children.values() {
-        result.remove(child);
-    }
-    for child in recovered_children {
-        result.insert(child);
-    }
-    if result.parent_hash(seed) != parent_hash {
-        return Err(ReconError::ChecksumFailure);
-    }
-    Ok(SosOutcome { recovered: result, stats: transcript.stats() })
+    let builder = SessionBuilder::new(params.seed).estimator(L0Config::default());
+    let estimator = builder.config().estimator;
+    builder.run(
+        session::multiround_unknown_alice(alice, params, estimator),
+        session::multiround_unknown_bob(bob, params, estimator),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::ChildSet;
     use crate::workload::{generate_pair, WorkloadParams};
+    use recon_set::{CharPolyProtocol, IbltSetProtocol};
 
     fn params() -> (WorkloadParams, SosParams) {
         let w = WorkloadParams::new(80, 20, 1 << 40);

@@ -13,9 +13,9 @@
 //! signatures. A multiset of child multisets is handled by attaching the child's
 //! multiplicity as one extra packed element, keeping the parent a plain set.
 
-use crate::cascading;
-use crate::types::{ChildSet, SetOfSets, SosOutcome, SosParams};
+use crate::types::{ChildSet, SetOfSets, SosParams};
 use recon_base::ReconError;
+use recon_protocol::{Amplification, SessionBuilder};
 use recon_set::Multiset;
 
 /// A parent collection of child multisets (possibly itself with repeated children).
@@ -171,9 +171,27 @@ impl SetOfMultisets {
     }
 }
 
+/// The shared parameters the two parties of a Section 3.4 session must agree on:
+/// the cascading protocol's `SosParams` with a `max_child_size` covering both
+/// parties' *packed* children. The legacy driver derives it from both inputs;
+/// separated parties agree on it out of band like any other universe bound.
+pub fn resolved_params(
+    alice: &SetOfMultisets,
+    bob: &SetOfMultisets,
+    params: &SosParams,
+    packing: &PairPacking,
+) -> Result<SosParams, ReconError> {
+    let alice_sos = alice.to_set_of_sets(packing)?;
+    let bob_sos = bob.to_set_of_sets(packing)?;
+    let max_child =
+        alice_sos.max_child_size().max(bob_sos.max_child_size()).max(params.max_child_size).max(1);
+    Ok(SosParams::new(params.seed, max_child))
+}
+
 /// Reconcile two collections of multisets with a known bound `d` on the number of
 /// element-level changes, by packing into a set of sets and running the cascading
-/// protocol (Theorem 3.7 with the Section 3.4 transformation).
+/// protocol (Theorem 3.7 with the Section 3.4 transformation). Delegates to the
+/// sans-I/O parties of [`crate::session`] driven over an in-memory link.
 ///
 /// Returns Bob's recovered copy of Alice's collection and the measured communication.
 pub fn reconcile_known(
@@ -183,20 +201,14 @@ pub fn reconcile_known(
     params: &SosParams,
     packing: &PairPacking,
 ) -> Result<(SetOfMultisets, recon_base::CommStats), ReconError> {
-    let alice_sos = alice.to_set_of_sets(packing)?;
-    let bob_sos = bob.to_set_of_sets(packing)?;
-    // One logical multiset change touches at most two packed pairs plus possibly the
-    // occurrence marker of two groups.
-    let packed_d = 4 * d.max(1);
-    let max_child = alice_sos
-        .max_child_size()
-        .max(bob_sos.max_child_size())
-        .max(params.max_child_size)
-        .max(1);
-    let sos_params = SosParams::new(params.seed, max_child);
-    let outcome: SosOutcome = cascading::run_known(&alice_sos, &bob_sos, packed_d, &sos_params)?;
-    let recovered = SetOfMultisets::from_set_of_sets(&outcome.recovered, packing)?;
-    Ok((recovered, outcome.stats))
+    let sos_params = resolved_params(alice, bob, params, packing)?;
+    let builder = SessionBuilder::new(sos_params.seed).amplification(Amplification::replicate(4));
+    let amplification = builder.config().amplification;
+    let outcome = builder.run(
+        crate::session::mom_known_alice(alice, d, &sos_params, packing, amplification)?,
+        crate::session::mom_known_bob(bob, &sos_params, packing, amplification)?,
+    )?;
+    Ok((outcome.recovered, outcome.stats))
 }
 
 #[cfg(test)]
@@ -241,9 +253,8 @@ mod tests {
     #[test]
     fn identical_collections_reconcile() {
         let packing = PairPacking::default();
-        let collection = SetOfMultisets::from_children(
-            (0..40u64).map(|i| ms(&[(i, 1 + i % 3), (i + 100, 2)])),
-        );
+        let collection =
+            SetOfMultisets::from_children((0..40u64).map(|i| ms(&[(i, 1 + i % 3), (i + 100, 2)])));
         let params = SosParams::new(5, 8);
         let (recovered, stats) =
             reconcile_known(&collection, &collection, 2, &params, &packing).unwrap();

@@ -7,12 +7,13 @@
 //! reconciliation (Corollary 2.2 / 3.2). Communication is `O(d̂ · h log u)` bits —
 //! the baseline every smarter protocol in this crate is compared against in Table 1.
 
+use crate::session;
 use crate::types::{SetOfSets, SosOutcome, SosParams};
-use recon_base::comm::{Direction, Transcript};
 use recon_base::wire::{Decode, Encode, WireError};
 use recon_base::ReconError;
-use recon_estimator::{L0Config, L0Estimator, Side};
+use recon_estimator::L0Config;
 use recon_iblt::{Iblt, IbltConfig};
+use recon_protocol::{Amplification, SessionBuilder};
 
 /// Alice's one-round message for the naive protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,71 +123,39 @@ impl NaiveProtocol {
 
 /// Theorem 3.3 driver: one-round SSRK (known bound `d_hat` on differing child sets),
 /// with up to two replicated attempts (Section 3.2's amplification) counted against
-/// the communication budget.
+/// the communication budget. Delegates to the sans-I/O parties of
+/// [`crate::session`] driven over an in-memory link.
 pub fn run_known(
     alice: &SetOfSets,
     bob: &SetOfSets,
     d_hat: usize,
     params: &SosParams,
 ) -> Result<SosOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-    let mut last_err = ReconError::RetriesExhausted { attempts: 0 };
-    for attempt in 0..3u64 {
-        let attempt_params = SosParams { seed: params.role_seed(0xAA00 + attempt), ..*params };
-        let protocol = NaiveProtocol::new(attempt_params);
-        let digest = protocol.digest(alice, d_hat);
-        transcript.record(Direction::AliceToBob, "naive outer IBLT", &digest);
-        match protocol.reconcile(&digest, bob) {
-            Ok(recovered) => {
-                return Ok(SosOutcome { recovered, stats: transcript.stats() });
-            }
-            Err(e) => last_err = e,
-        }
-    }
-    Err(last_err)
+    let builder = SessionBuilder::new(params.seed).amplification(Amplification::replicate(3));
+    let amplification = builder.config().amplification;
+    builder.run(
+        session::naive_known_alice(alice, d_hat, params, amplification)?,
+        session::naive_known_bob(bob, params, amplification),
+    )
 }
 
 /// Theorem 3.4 driver: two-round SSRU (unknown difference). Bob first sends an ℓ0
 /// estimator over his child-set hashes so Alice can bound the number of differing
-/// children, then the known-`d̂` protocol runs.
+/// children, then the known-`d̂` protocol runs (doubling the bound on retries).
 pub fn run_unknown(
     alice: &SetOfSets,
     bob: &SetOfSets,
     params: &SosParams,
 ) -> Result<SosOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-
-    let est_cfg = L0Config::default().with_seed(params.role_seed(0xAB));
-    let mut bob_est = L0Estimator::new(&est_cfg);
-    for h in bob.child_hashes(params.seed) {
-        bob_est.update(h, Side::B);
-    }
-    transcript.record(Direction::BobToAlice, "child-hash difference estimator", &bob_est);
-
-    let mut alice_est = L0Estimator::new(&est_cfg);
-    for h in alice.child_hashes(params.seed) {
-        alice_est.update(h, Side::A);
-    }
-    let estimate = alice_est.merge(&bob_est)?.estimate();
-    let mut d_hat = (estimate * 2).max(4);
-
-    let mut last_err = ReconError::RetriesExhausted { attempts: 0 };
-    for attempt in 0..5u64 {
-        let attempt_params = SosParams { seed: params.role_seed(0xAC00 + attempt), ..*params };
-        let protocol = NaiveProtocol::new(attempt_params);
-        let digest = protocol.digest(alice, d_hat);
-        transcript.record(Direction::AliceToBob, "naive outer IBLT", &digest);
-        match protocol.reconcile(&digest, bob) {
-            Ok(recovered) => {
-                return Ok(SosOutcome { recovered, stats: transcript.stats() });
-            }
-            Err(e) => {
-                last_err = e;
-                d_hat *= 2;
-            }
-        }
-    }
-    Err(last_err)
+    let builder = SessionBuilder::new(params.seed)
+        .amplification(Amplification::replicate(5))
+        .estimator(L0Config::default());
+    let amplification = builder.config().amplification;
+    let estimator = builder.config().estimator;
+    builder.run(
+        session::naive_unknown_alice(alice, params, amplification, estimator),
+        session::naive_unknown_bob(bob, params, amplification, estimator),
+    )
 }
 
 #[cfg(test)]

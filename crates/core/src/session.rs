@@ -1,0 +1,800 @@
+//! Sans-I/O [`Party`] implementations of the set-of-sets protocols.
+//!
+//! Every protocol family of Section 3 is expressed as a pair of party state
+//! machines: the one-round families (naive, IBLT-of-IBLTs, cascading) through the
+//! generic amplification combinators of `recon-protocol`, the multi-round family
+//! (Theorems 3.9/3.10) as bespoke machines. The pairs reproduce, message for
+//! message, the transcripts of the legacy `run_known`/`run_unknown` drivers —
+//! which now delegate here — and are what the graph schemes embed via
+//! [`recon_protocol::Nested`].
+
+use crate::cascading::CascadingProtocol;
+use crate::iblt_of_iblts::IbltOfIbltsProtocol;
+use crate::multiround::ChildPatch;
+use crate::multiset_of_multisets::{PairPacking, SetOfMultisets};
+use crate::naive::NaiveProtocol;
+use crate::types::{ChildSet, SetOfSets, SosParams};
+use recon_base::rng::split_seed;
+use recon_base::ReconError;
+use recon_estimator::{L0Config, L0Estimator, Side};
+use recon_iblt::{Iblt, IbltConfig};
+use recon_protocol::{
+    Amplification, AmplifiedReceiver, AmplifiedSender, Deferred, Envelope, Exhaust, Party, Step,
+    WithPreamble,
+};
+use recon_set::{CharPolyProtocol, IbltSetProtocol};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Envelope tag: a one-round set-of-sets digest (any of the three families).
+pub const TAG_SOS_DIGEST: u16 = 0x5051;
+/// Envelope tag: an uncharged replica request.
+pub const TAG_SOS_RETRY: u16 = 0x5052;
+/// Envelope tag: the metered 1-byte NACK of the doubling protocols (Cor 3.6/3.8).
+pub const TAG_SOS_NACK: u16 = 0x5053;
+/// Envelope tag: a child-hash difference estimator (Theorems 3.4/3.10).
+pub const TAG_SOS_ESTIMATOR: u16 = 0x5054;
+/// Envelope tag: multi-round round 1, Alice's child-hash IBLT + parent hash.
+pub const TAG_MR_HASHES: u16 = 0x5055;
+/// Envelope tag: multi-round round 2, Bob's hash IBLT + per-child estimators.
+pub const TAG_MR_ESTIMATORS: u16 = 0x5056;
+/// Envelope tag: multi-round round 3, Alice's per-child patches.
+pub const TAG_MR_PATCHES: u16 = 0x5057;
+/// Envelope tag: multi-round fallback, Bob's patch failure report.
+pub const TAG_MR_FAILURES: u16 = 0x5058;
+/// Envelope tag: multi-round fallback, Alice's verbatim child sets.
+pub const TAG_MR_FULL: u16 = 0x5059;
+
+fn retry_all(_: &ReconError) -> bool {
+    true
+}
+
+fn control_retry(_attempt: u64) -> Envelope {
+    Envelope::control(TAG_SOS_RETRY, "retry request", &())
+}
+
+fn metered_nack(_attempt: u64) -> Envelope {
+    Envelope::round(TAG_SOS_NACK, "NACK (double d)", &1u8)
+}
+
+// ---------------------------------------------------------------------------
+// Naive protocol (Theorems 3.3 / 3.4)
+// ---------------------------------------------------------------------------
+
+/// Alice's side of Theorem 3.3 (naive SSRK, known bound on differing children).
+pub fn naive_known_alice(
+    sos: &SetOfSets,
+    d_hat: usize,
+    params: &SosParams,
+    amplification: Amplification,
+) -> Result<impl Party<Output = ()>, ReconError> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedSender::new(amplification.max_attempts, move |attempt| {
+        let attempt_params = SosParams { seed: params.role_seed(0xAA00 + attempt), ..params };
+        let digest = NaiveProtocol::new(attempt_params).digest(&sos, d_hat);
+        Ok(Envelope::round(TAG_SOS_DIGEST, "naive outer IBLT", &digest))
+    })
+}
+
+/// Bob's side of Theorem 3.3.
+pub fn naive_known_bob(
+    sos: &SetOfSets,
+    params: &SosParams,
+    amplification: Amplification,
+) -> impl Party<Output = SetOfSets> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedReceiver::new(
+        amplification.max_attempts,
+        move |attempt, envelope: Envelope| {
+            let attempt_params = SosParams { seed: params.role_seed(0xAA00 + attempt), ..params };
+            NaiveProtocol::new(attempt_params).reconcile(&envelope.decode_payload()?, &sos)
+        },
+        retry_all,
+        control_retry,
+        Exhaust::LastError,
+    )
+}
+
+/// Alice's side of Theorem 3.4 (naive SSRU): waits for Bob's child-hash
+/// estimator, then runs the known-bound protocol with a doubled-on-retry bound.
+pub fn naive_unknown_alice(
+    sos: &SetOfSets,
+    params: &SosParams,
+    amplification: Amplification,
+    estimator: L0Config,
+) -> impl Party<Output = ()> {
+    let sos = sos.clone();
+    let params = *params;
+    let estimator_cfg = estimator.with_seed(params.role_seed(0xAB));
+    Deferred::new(move |envelope: Envelope| {
+        let bob_estimator: L0Estimator = envelope.decode_payload()?;
+        let mut alice_estimator = L0Estimator::new(&estimator_cfg);
+        for h in sos.child_hashes(params.seed) {
+            alice_estimator.update(h, Side::A);
+        }
+        let estimate = alice_estimator.merge(&bob_estimator)?.estimate();
+        let base_d_hat = (estimate * 2).max(4);
+        AmplifiedSender::new(amplification.max_attempts, move |attempt| {
+            let attempt_params = SosParams { seed: params.role_seed(0xAC00 + attempt), ..params };
+            let d_hat = base_d_hat << attempt;
+            let digest = NaiveProtocol::new(attempt_params).digest(&sos, d_hat);
+            Ok(Envelope::round(TAG_SOS_DIGEST, "naive outer IBLT", &digest))
+        })
+    })
+}
+
+/// Bob's side of Theorem 3.4: sends his estimator, then decodes digests.
+pub fn naive_unknown_bob(
+    sos: &SetOfSets,
+    params: &SosParams,
+    amplification: Amplification,
+    estimator: L0Config,
+) -> impl Party<Output = SetOfSets> {
+    let estimator_cfg = estimator.with_seed(params.role_seed(0xAB));
+    let mut bob_estimator = L0Estimator::new(&estimator_cfg);
+    for h in sos.child_hashes(params.seed) {
+        bob_estimator.update(h, Side::B);
+    }
+    let preamble =
+        [Envelope::round(TAG_SOS_ESTIMATOR, "child-hash difference estimator", &bob_estimator)];
+
+    let sos = sos.clone();
+    let params = *params;
+    let receiver = AmplifiedReceiver::new(
+        amplification.max_attempts,
+        move |attempt, envelope: Envelope| {
+            let attempt_params = SosParams { seed: params.role_seed(0xAC00 + attempt), ..params };
+            NaiveProtocol::new(attempt_params).reconcile(&envelope.decode_payload()?, &sos)
+        },
+        retry_all,
+        control_retry,
+        Exhaust::LastError,
+    );
+    WithPreamble::new(preamble, receiver)
+}
+
+// ---------------------------------------------------------------------------
+// IBLT-of-IBLTs protocol (Theorem 3.5 / Corollary 3.6)
+// ---------------------------------------------------------------------------
+
+/// Alice's side of Theorem 3.5 (one-round SSRK, known `d` and `d_hat`).
+pub fn ioi_known_alice(
+    sos: &SetOfSets,
+    d: usize,
+    d_hat: usize,
+    params: &SosParams,
+    amplification: Amplification,
+) -> Result<impl Party<Output = ()>, ReconError> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedSender::new(amplification.max_attempts, move |attempt| {
+        let attempt_params = SosParams { seed: params.role_seed(0xBB00 + attempt), ..params };
+        let digest = IbltOfIbltsProtocol::new(attempt_params).digest(&sos, d, d_hat);
+        Ok(Envelope::round(TAG_SOS_DIGEST, "IBLT of child-IBLT encodings", &digest))
+    })
+}
+
+/// Bob's side of Theorem 3.5.
+pub fn ioi_known_bob(
+    sos: &SetOfSets,
+    params: &SosParams,
+    amplification: Amplification,
+) -> impl Party<Output = SetOfSets> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedReceiver::new(
+        amplification.max_attempts,
+        move |attempt, envelope: Envelope| {
+            let attempt_params = SosParams { seed: params.role_seed(0xBB00 + attempt), ..params };
+            IbltOfIbltsProtocol::new(attempt_params).reconcile(&envelope.decode_payload()?, &sos)
+        },
+        retry_all,
+        control_retry,
+        Exhaust::LastError,
+    )
+}
+
+/// Alice's side of Corollary 3.6 (SSRU by repeated doubling `d = 1, 2, 4, …`).
+/// `children_cap` bounds `d_hat` by the larger parent-set size — a universe
+/// parameter both parties agree on out of band (the legacy driver computes it
+/// from both inputs).
+pub fn ioi_unknown_alice(
+    sos: &SetOfSets,
+    params: &SosParams,
+    children_cap: usize,
+    amplification: Amplification,
+) -> Result<impl Party<Output = ()>, ReconError> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedSender::new(amplification.max_attempts, move |attempt| {
+        let attempt_params = SosParams { seed: params.role_seed(0xBC00 + attempt), ..params };
+        let d = 1usize << attempt;
+        let d_hat = d.min(children_cap.max(1));
+        let digest = IbltOfIbltsProtocol::new(attempt_params).digest(&sos, d, d_hat);
+        Ok(Envelope::round(TAG_SOS_DIGEST, "IBLT of child-IBLT encodings", &digest))
+    })
+}
+
+/// Bob's side of Corollary 3.6: each failure is acknowledged with a metered
+/// 1-byte NACK so the doubling is an explicit round of communication.
+pub fn ioi_unknown_bob(
+    sos: &SetOfSets,
+    params: &SosParams,
+    amplification: Amplification,
+) -> impl Party<Output = SetOfSets> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedReceiver::new(
+        amplification.max_attempts,
+        move |attempt, envelope: Envelope| {
+            let attempt_params = SosParams { seed: params.role_seed(0xBC00 + attempt), ..params };
+            IbltOfIbltsProtocol::new(attempt_params).reconcile(&envelope.decode_payload()?, &sos)
+        },
+        retry_all,
+        metered_nack,
+        Exhaust::RetriesExhausted,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Cascading protocol (Theorem 3.7 / Corollary 3.8)
+// ---------------------------------------------------------------------------
+
+/// Alice's side of Theorem 3.7 (one-round SSRK via cascading IBLTs of IBLTs).
+pub fn cascading_known_alice(
+    sos: &SetOfSets,
+    d: usize,
+    params: &SosParams,
+    amplification: Amplification,
+) -> Result<impl Party<Output = ()>, ReconError> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedSender::new(amplification.max_attempts, move |attempt| {
+        let attempt_params = SosParams { seed: params.role_seed(0xCC00 + attempt), ..params };
+        let digest = CascadingProtocol::new(attempt_params).digest(&sos, d);
+        Ok(Envelope::round(TAG_SOS_DIGEST, "cascading IBLTs of IBLTs", &digest))
+    })
+}
+
+/// Bob's side of Theorem 3.7.
+pub fn cascading_known_bob(
+    sos: &SetOfSets,
+    params: &SosParams,
+    amplification: Amplification,
+) -> impl Party<Output = SetOfSets> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedReceiver::new(
+        amplification.max_attempts,
+        move |attempt, envelope: Envelope| {
+            let attempt_params = SosParams { seed: params.role_seed(0xCC00 + attempt), ..params };
+            CascadingProtocol::new(attempt_params).reconcile(&envelope.decode_payload()?, &sos)
+        },
+        retry_all,
+        control_retry,
+        Exhaust::LastError,
+    )
+}
+
+/// Alice's side of Corollary 3.8 (SSRU by repeated doubling `d = 2, 4, 8, …`).
+pub fn cascading_unknown_alice(
+    sos: &SetOfSets,
+    params: &SosParams,
+    amplification: Amplification,
+) -> Result<impl Party<Output = ()>, ReconError> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedSender::new(amplification.max_attempts, move |attempt| {
+        let attempt_params = SosParams { seed: params.role_seed(0xCD00 + attempt), ..params };
+        let d = 2usize << attempt;
+        let digest = CascadingProtocol::new(attempt_params).digest(&sos, d);
+        Ok(Envelope::round(TAG_SOS_DIGEST, "cascading IBLTs of IBLTs", &digest))
+    })
+}
+
+/// Bob's side of Corollary 3.8.
+pub fn cascading_unknown_bob(
+    sos: &SetOfSets,
+    params: &SosParams,
+    amplification: Amplification,
+) -> impl Party<Output = SetOfSets> {
+    let sos = sos.clone();
+    let params = *params;
+    AmplifiedReceiver::new(
+        amplification.max_attempts,
+        move |attempt, envelope: Envelope| {
+            let attempt_params = SosParams { seed: params.role_seed(0xCD00 + attempt), ..params };
+            CascadingProtocol::new(attempt_params).reconcile(&envelope.decode_payload()?, &sos)
+        },
+        retry_all,
+        metered_nack,
+        Exhaust::RetriesExhausted,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Sets/multisets of multisets (Section 3.4)
+// ---------------------------------------------------------------------------
+
+/// Alice's side of the Section 3.4 adapter: pack the collection into a plain set
+/// of sets and run the cascading protocol on it. `resolved_params` must carry the
+/// agreed-on `max_child_size` covering both parties' *packed* children (the
+/// legacy driver computes it from both inputs; see
+/// [`crate::multiset_of_multisets::reconcile_known`]).
+pub fn mom_known_alice(
+    collection: &SetOfMultisets,
+    d: usize,
+    resolved_params: &SosParams,
+    packing: &PairPacking,
+    amplification: Amplification,
+) -> Result<impl Party<Output = ()>, ReconError> {
+    let packed = collection.to_set_of_sets(packing)?;
+    let packed_d = 4 * d.max(1);
+    cascading_known_alice(&packed, packed_d, resolved_params, amplification)
+}
+
+/// Bob's side of the Section 3.4 adapter: reconcile the packed set of sets, then
+/// unpack the recovered collection.
+pub fn mom_known_bob(
+    collection: &SetOfMultisets,
+    resolved_params: &SosParams,
+    packing: &PairPacking,
+    amplification: Amplification,
+) -> Result<impl Party<Output = SetOfMultisets>, ReconError> {
+    let packed = collection.to_set_of_sets(packing)?;
+    let packing = *packing;
+    let params = *resolved_params;
+    Ok(AmplifiedReceiver::new(
+        amplification.max_attempts,
+        move |attempt, envelope: Envelope| {
+            let attempt_params = SosParams { seed: params.role_seed(0xCC00 + attempt), ..params };
+            let recovered = CascadingProtocol::new(attempt_params)
+                .reconcile(&envelope.decode_payload()?, &packed)?;
+            SetOfMultisets::from_set_of_sets(&recovered, &packing)
+        },
+        retry_all,
+        control_retry,
+        Exhaust::LastError,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Multi-round protocol (Theorems 3.9 / 3.10)
+// ---------------------------------------------------------------------------
+
+/// Compact estimator configuration used for the per-child estimators of round 3
+/// (`O(log(d̂/δ) log h)` bits per differing child).
+fn child_estimator_config(seed: u64) -> L0Config {
+    L0Config { reps: 5, levels: 20, buckets: 16, threshold: 8, seed }
+}
+
+fn hash_iblt_config(params: &SosParams) -> IbltConfig {
+    IbltConfig::for_u64_keys(params.role_seed(0xD1))
+}
+
+fn hash_table(sos: &SetOfSets, d_hat: usize, params: &SosParams) -> Iblt {
+    let mut table = Iblt::with_expected_diff((2 * d_hat).max(2), &hash_iblt_config(params));
+    for h in sos.child_hashes(params.seed) {
+        table.insert_u64(h);
+    }
+    table
+}
+
+/// Alice's state machine for Theorem 3.9 (the known-`d` multi-round protocol).
+pub struct MultiroundAlice {
+    sos: SetOfSets,
+    params: SosParams,
+    d: usize,
+    alice_hash_table: Iblt,
+    outbox: VecDeque<Envelope>,
+}
+
+/// Build Alice's side of Theorem 3.9.
+pub fn multiround_known_alice(
+    sos: &SetOfSets,
+    d: usize,
+    d_hat: usize,
+    params: &SosParams,
+) -> MultiroundAlice {
+    let alice_hash_table = hash_table(sos, d_hat, params);
+    let parent_hash = sos.parent_hash(params.seed);
+    let mut outbox = VecDeque::new();
+    outbox.push_back(Envelope::round(
+        TAG_MR_HASHES,
+        "child-hash IBLT",
+        &(alice_hash_table.clone(), parent_hash),
+    ));
+    MultiroundAlice { sos: sos.clone(), params: *params, d, alice_hash_table, outbox }
+}
+
+impl Party for MultiroundAlice {
+    type Output = ();
+
+    fn poll_send(&mut self) -> Option<Envelope> {
+        self.outbox.pop_front()
+    }
+
+    fn handle(&mut self, envelope: Envelope) -> Result<Step<()>, ReconError> {
+        let seed = self.params.seed;
+        match envelope.tag {
+            TAG_MR_ESTIMATORS => {
+                let (bob_hash_table, bob_estimators): (Iblt, Vec<(u64, L0Estimator)>) =
+                    envelope.decode_payload()?;
+                let hash_diff = self.alice_hash_table.subtract(&bob_hash_table)?.decode();
+                if !hash_diff.complete {
+                    return Err(ReconError::PeelingFailure { remaining_cells: 0 });
+                }
+                let alice_differing: Vec<u64> = hash_diff.positive_u64();
+
+                let charpoly_threshold = (self.d as f64).sqrt().ceil() as usize;
+                let charpoly = CharPolyProtocol::new(self.params.role_seed(0xD4));
+                let mut patches: Vec<ChildPatch> = Vec::new();
+                for &ah in &alice_differing {
+                    let child =
+                        self.sos.child_by_hash(ah, seed).ok_or(ReconError::ChecksumFailure)?;
+                    // Find the most similar of Bob's differing children by merged
+                    // estimate.
+                    let mut best: Option<(u64, usize)> = None;
+                    for (bh, bob_est) in &bob_estimators {
+                        let cfg =
+                            child_estimator_config(split_seed(self.params.role_seed(0xD2), *bh));
+                        let mut alice_side = L0Estimator::new(&cfg);
+                        for &x in child {
+                            alice_side.update(x, Side::A);
+                        }
+                        let estimate = alice_side.merge(bob_est)?.estimate();
+                        if best.is_none_or(|(_, e)| estimate < e) {
+                            best = Some((*bh, estimate));
+                        }
+                    }
+                    let patch = match best {
+                        None => ChildPatch::Full {
+                            alice_hash: ah,
+                            child: child.iter().copied().collect(),
+                        },
+                        Some((target_hash, estimate)) => {
+                            let bound = (2 * estimate + 2).min(2 * child.len() + 2);
+                            let elements_fit_charpoly =
+                                child.iter().all(|&x| x < CharPolyProtocol::DEFAULT_UNIVERSE_BOUND);
+                            if estimate < charpoly_threshold && elements_fit_charpoly {
+                                ChildPatch::CharPoly {
+                                    alice_hash: ah,
+                                    target_hash,
+                                    digest: charpoly.digest(child, bound)?,
+                                }
+                            } else {
+                                let protocol = IbltSetProtocol::new(self.params.role_seed(0xD5));
+                                ChildPatch::Iblt {
+                                    alice_hash: ah,
+                                    target_hash,
+                                    digest: protocol.digest(child, bound),
+                                }
+                            }
+                        }
+                    };
+                    patches.push(patch);
+                }
+                self.outbox.push_back(Envelope::round(
+                    TAG_MR_PATCHES,
+                    "per-child set reconciliation payloads",
+                    &patches,
+                ));
+                Ok(Step::Continue)
+            }
+            TAG_MR_FAILURES => {
+                let fallback_needed: Vec<u64> = envelope.decode_payload()?;
+                let mut full: Vec<(u64, Vec<u64>)> = Vec::new();
+                for &h in &fallback_needed {
+                    let child =
+                        self.sos.child_by_hash(h, seed).ok_or(ReconError::ChecksumFailure)?;
+                    full.push((h, child.iter().copied().collect()));
+                }
+                self.outbox.push_back(Envelope::round(
+                    TAG_MR_FULL,
+                    "full child sets (fallback)",
+                    &full,
+                ));
+                Ok(Step::Continue)
+            }
+            _ => Err(ReconError::InvalidInput(format!(
+                "unexpected envelope tag {:#x} for multi-round Alice",
+                envelope.tag
+            ))),
+        }
+    }
+}
+
+/// Bob's state machine for Theorem 3.9.
+pub struct MultiroundBob {
+    sos: SetOfSets,
+    params: SosParams,
+    parent_hash: u64,
+    bob_children: BTreeMap<u64, ChildSet>,
+    recovered_children: Vec<ChildSet>,
+    outbox: VecDeque<Envelope>,
+}
+
+/// Build Bob's side of Theorem 3.9. Bob sizes his child-hash IBLT to mirror the
+/// table Alice sends, so he needs no prior difference bound of his own.
+pub fn multiround_known_bob(sos: &SetOfSets, params: &SosParams) -> MultiroundBob {
+    MultiroundBob {
+        sos: sos.clone(),
+        params: *params,
+        parent_hash: 0,
+        bob_children: BTreeMap::new(),
+        recovered_children: Vec::new(),
+        outbox: VecDeque::new(),
+    }
+}
+
+impl MultiroundBob {
+    fn finish(&mut self) -> Result<SetOfSets, ReconError> {
+        let mut result = self.sos.clone();
+        for child in self.bob_children.values() {
+            result.remove(child);
+        }
+        for child in self.recovered_children.drain(..) {
+            result.insert(child);
+        }
+        if result.parent_hash(self.params.seed) != self.parent_hash {
+            return Err(ReconError::ChecksumFailure);
+        }
+        Ok(result)
+    }
+}
+
+impl Party for MultiroundBob {
+    type Output = SetOfSets;
+
+    fn poll_send(&mut self) -> Option<Envelope> {
+        self.outbox.pop_front()
+    }
+
+    fn handle(&mut self, envelope: Envelope) -> Result<Step<SetOfSets>, ReconError> {
+        let seed = self.params.seed;
+        match envelope.tag {
+            TAG_MR_HASHES => {
+                let (alice_hash_table, parent_hash): (Iblt, u64) = envelope.decode_payload()?;
+                self.parent_hash = parent_hash;
+                // Mirror Alice's table size so the tables subtract cell-for-cell.
+                let cfg = hash_iblt_config(&self.params);
+                let mut bob_hash_table = Iblt::with_cells(alice_hash_table.cells(), &cfg);
+                for h in self.sos.child_hashes(seed) {
+                    bob_hash_table.insert_u64(h);
+                }
+                let hash_diff = alice_hash_table.subtract(&bob_hash_table)?.decode();
+                if !hash_diff.complete {
+                    return Err(ReconError::PeelingFailure { remaining_cells: 0 });
+                }
+                let bob_differing: Vec<u64> = hash_diff.negative_u64();
+
+                let mut bob_estimators: Vec<(u64, L0Estimator)> = Vec::new();
+                for &h in &bob_differing {
+                    let child =
+                        self.sos.child_by_hash(h, seed).ok_or(ReconError::ChecksumFailure)?.clone();
+                    let cfg = child_estimator_config(split_seed(self.params.role_seed(0xD2), h));
+                    let mut est = L0Estimator::new(&cfg);
+                    for &x in &child {
+                        est.update(x, Side::B);
+                    }
+                    bob_estimators.push((h, est));
+                    self.bob_children.insert(h, child);
+                }
+                self.outbox.push_back(Envelope::round(
+                    TAG_MR_ESTIMATORS,
+                    "child-hash IBLT + per-child estimators",
+                    &(bob_hash_table, bob_estimators),
+                ));
+                Ok(Step::Continue)
+            }
+            TAG_MR_PATCHES => {
+                let patches: Vec<ChildPatch> = envelope.decode_payload()?;
+                let iblt_protocol = IbltSetProtocol::new(self.params.role_seed(0xD5));
+                let charpoly = CharPolyProtocol::new(self.params.role_seed(0xD4));
+                let mut fallback_needed: Vec<u64> = Vec::new();
+                for patch in &patches {
+                    match patch {
+                        ChildPatch::Full { child, .. } => {
+                            self.recovered_children.push(child.iter().copied().collect());
+                        }
+                        ChildPatch::Iblt { alice_hash, target_hash, digest } => {
+                            let target = self
+                                .bob_children
+                                .get(target_hash)
+                                .ok_or(ReconError::ChecksumFailure)?;
+                            let target_set = target.iter().copied().collect();
+                            match iblt_protocol.reconcile(digest, &target_set) {
+                                Ok(rec)
+                                    if SetOfSets::child_hash(
+                                        &rec.iter().copied().collect(),
+                                        seed,
+                                    ) == *alice_hash =>
+                                {
+                                    self.recovered_children.push(rec.into_iter().collect());
+                                }
+                                _ => fallback_needed.push(*alice_hash),
+                            }
+                        }
+                        ChildPatch::CharPoly { alice_hash, target_hash, digest } => {
+                            let target = self
+                                .bob_children
+                                .get(target_hash)
+                                .ok_or(ReconError::ChecksumFailure)?;
+                            let target_set = target.iter().copied().collect();
+                            match charpoly.reconcile(digest, &target_set) {
+                                Ok(rec)
+                                    if SetOfSets::child_hash(
+                                        &rec.iter().copied().collect(),
+                                        seed,
+                                    ) == *alice_hash =>
+                                {
+                                    self.recovered_children.push(rec.into_iter().collect());
+                                }
+                                _ => fallback_needed.push(*alice_hash),
+                            }
+                        }
+                    }
+                }
+                if fallback_needed.is_empty() {
+                    return Ok(Step::Done(self.finish()?));
+                }
+                // Rare: an estimator under-shot and a patch failed verification. Ask
+                // for those children verbatim; counted honestly against the budget.
+                self.outbox.push_back(Envelope::round(
+                    TAG_MR_FAILURES,
+                    "patch failure report",
+                    &fallback_needed,
+                ));
+                Ok(Step::Continue)
+            }
+            TAG_MR_FULL => {
+                let full: Vec<(u64, Vec<u64>)> = envelope.decode_payload()?;
+                for (_, child) in full {
+                    self.recovered_children.push(child.into_iter().collect());
+                }
+                Ok(Step::Done(self.finish()?))
+            }
+            _ => Err(ReconError::InvalidInput(format!(
+                "unexpected envelope tag {:#x} for multi-round Bob",
+                envelope.tag
+            ))),
+        }
+    }
+}
+
+/// Alice's side of Theorem 3.10 (unknown `d`): round 0 receives Bob's child-hash
+/// estimator, from which `d_hat` (and the per-child budget `d = d_hat · h`) is
+/// derived before the Theorem 3.9 machine starts.
+pub fn multiround_unknown_alice(
+    sos: &SetOfSets,
+    params: &SosParams,
+    estimator: L0Config,
+) -> impl Party<Output = ()> {
+    let sos = sos.clone();
+    let params = *params;
+    let estimator_cfg = estimator.with_seed(params.role_seed(0xD0));
+    Deferred::new(move |envelope: Envelope| {
+        let bob_estimator: L0Estimator = envelope.decode_payload()?;
+        let mut alice_estimator = L0Estimator::new(&estimator_cfg);
+        for h in sos.child_hashes(params.seed) {
+            alice_estimator.update(h, Side::A);
+        }
+        let d_hat = (alice_estimator.merge(&bob_estimator)?.estimate() * 2).max(4);
+        // With d unknown, use the generous per-child budget d = d̂ · h as the switch
+        // point between the IBLT and charpoly branches; the per-child estimators of
+        // round 3 provide the real per-child bounds.
+        let d = d_hat * params.max_child_size;
+        Ok(multiround_known_alice(&sos, d, d_hat, &params))
+    })
+}
+
+/// Bob's side of Theorem 3.10: sends his child-hash estimator, then runs the
+/// Theorem 3.9 machine.
+pub fn multiround_unknown_bob(
+    sos: &SetOfSets,
+    params: &SosParams,
+    estimator: L0Config,
+) -> impl Party<Output = SetOfSets> {
+    let estimator_cfg = estimator.with_seed(params.role_seed(0xD0));
+    let mut bob_estimator = L0Estimator::new(&estimator_cfg);
+    for h in sos.child_hashes(params.seed) {
+        bob_estimator.update(h, Side::B);
+    }
+    let preamble =
+        [Envelope::round(TAG_SOS_ESTIMATOR, "child-hash difference estimator", &bob_estimator)];
+    WithPreamble::new(preamble, multiround_known_bob(sos, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_pair, WorkloadParams};
+    use recon_protocol::SessionBuilder;
+
+    fn params() -> (WorkloadParams, SosParams) {
+        let w = WorkloadParams::new(64, 12, 1 << 20);
+        (w, SosParams::new(0x5E55, w.max_child_size))
+    }
+
+    #[test]
+    fn all_known_d_families_recover_through_a_session() {
+        let (w, p) = params();
+        let (alice, bob) = generate_pair(&w, 6, 7);
+        let builder = SessionBuilder::new(p.seed);
+
+        let naive = builder
+            .run(
+                naive_known_alice(&alice, 6, &p, Amplification::replicate(3)).unwrap(),
+                naive_known_bob(&bob, &p, Amplification::replicate(3)),
+            )
+            .unwrap();
+        assert_eq!(naive.recovered, alice);
+        assert_eq!(naive.stats.rounds, 1);
+
+        let ioi = builder
+            .run(
+                ioi_known_alice(&alice, 6, 6, &p, Amplification::replicate(3)).unwrap(),
+                ioi_known_bob(&bob, &p, Amplification::replicate(3)),
+            )
+            .unwrap();
+        assert_eq!(ioi.recovered, alice);
+
+        let cascade = builder
+            .run(
+                cascading_known_alice(&alice, 6, &p, Amplification::replicate(4)).unwrap(),
+                cascading_known_bob(&bob, &p, Amplification::replicate(4)),
+            )
+            .unwrap();
+        assert_eq!(cascade.recovered, alice);
+
+        let multi = builder
+            .run(multiround_known_alice(&alice, 6, 6, &p), multiround_known_bob(&bob, &p))
+            .unwrap();
+        assert_eq!(multi.recovered, alice);
+        assert!(multi.stats.rounds >= 3);
+    }
+
+    #[test]
+    fn unknown_d_families_recover_through_a_session() {
+        let (w, p) = params();
+        let (alice, bob) = generate_pair(&w, 5, 11);
+        let builder = SessionBuilder::new(p.seed);
+        let est = L0Config::default();
+
+        let naive = builder
+            .run(
+                naive_unknown_alice(&alice, &p, Amplification::replicate(5), est),
+                naive_unknown_bob(&bob, &p, Amplification::replicate(5), est),
+            )
+            .unwrap();
+        assert_eq!(naive.recovered, alice);
+        assert!(naive.stats.rounds >= 2);
+
+        let max_possible = alice.total_elements() + bob.total_elements() + 2;
+        let doubling = Amplification::doubling(1, 2 * max_possible);
+        let cap = alice.num_children().max(bob.num_children()).max(1);
+        let ioi = builder
+            .run(
+                ioi_unknown_alice(&alice, &p, cap, doubling).unwrap(),
+                ioi_unknown_bob(&bob, &p, doubling),
+            )
+            .unwrap();
+        assert_eq!(ioi.recovered, alice);
+
+        let doubling2 = Amplification::doubling(2, 2 * max_possible);
+        let cascade = builder
+            .run(
+                cascading_unknown_alice(&alice, &p, doubling2).unwrap(),
+                cascading_unknown_bob(&bob, &p, doubling2),
+            )
+            .unwrap();
+        assert_eq!(cascade.recovered, alice);
+
+        let multi = builder
+            .run(multiround_unknown_alice(&alice, &p, est), multiround_unknown_bob(&bob, &p, est))
+            .unwrap();
+        assert_eq!(multi.recovered, alice);
+        assert!(multi.stats.rounds >= 4);
+    }
+}

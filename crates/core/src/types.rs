@@ -229,13 +229,7 @@ impl SosParams {
 
 /// The result of a locally-driven set-of-sets reconciliation: Bob's recovered copy
 /// of Alice's parent set plus the measured communication.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SosOutcome {
-    /// Bob's reconstruction of Alice's set of sets.
-    pub recovered: SetOfSets,
-    /// Measured communication and rounds.
-    pub stats: recon_base::CommStats,
-}
+pub type SosOutcome = recon_protocol::Outcome<SetOfSets>;
 
 #[cfg(test)]
 mod tests {

@@ -112,11 +112,7 @@ pub fn perturb(
 
 /// Generate an (Alice, Bob) instance: a random base set of sets and a copy perturbed
 /// by exactly `d` element changes. Returns `(alice, bob)`.
-pub fn generate_pair(
-    params: &WorkloadParams,
-    d: usize,
-    seed: u64,
-) -> (SetOfSets, SetOfSets) {
+pub fn generate_pair(params: &WorkloadParams, d: usize, seed: u64) -> (SetOfSets, SetOfSets) {
     let mut rng = Xoshiro256::new(seed);
     let alice = random_set_of_sets(params, &mut rng);
     let bob = perturb(&alice, d, params, &mut rng);

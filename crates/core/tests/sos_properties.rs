@@ -2,12 +2,12 @@
 //! generation and the protocols' never-wrong guarantee.
 
 use proptest::prelude::*;
+use recon_base::rng::Xoshiro256;
 use recon_sos::workload::{generate_pair, perturb, random_set_of_sets, WorkloadParams};
 use recon_sos::{
     cascading, differing_children, matching_difference, naive, relaxed_difference, SetOfSets,
     SosParams,
 };
-use recon_base::rng::Xoshiro256;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

@@ -79,10 +79,7 @@ impl L0Estimator {
     /// Create an empty estimator.
     pub fn new(cfg: &L0Config) -> Self {
         assert!(cfg.reps >= 1 && cfg.levels >= 1 && cfg.buckets >= 4);
-        Self {
-            cfg: *cfg,
-            counters: vec![vec![0u8; cfg.levels * cfg.buckets]; cfg.reps],
-        }
+        Self { cfg: *cfg, counters: vec![vec![0u8; cfg.levels * cfg.buckets]; cfg.reps] }
     }
 
     /// The configuration this estimator was built with.
@@ -136,7 +133,8 @@ impl L0Estimator {
     /// `1 − δ` for `reps = O(log 1/δ)`; returns 0 only when no difference left any
     /// trace in any repetition.
     pub fn estimate(&self) -> usize {
-        let mut per_rep: Vec<usize> = self.counters.iter().map(|rep| self.estimate_rep(rep)).collect();
+        let mut per_rep: Vec<usize> =
+            self.counters.iter().map(|rep| self.estimate_rep(rep)).collect();
         per_rep.sort_unstable();
         per_rep[per_rep.len() / 2]
     }
@@ -272,10 +270,7 @@ mod tests {
         for d in [1usize, 2, 4, 8] {
             let (alice, bob) = build_pair(10_000, d, 7 + d as u64);
             let est = alice.merge(&bob).unwrap().estimate();
-            assert!(
-                est >= d.saturating_sub(1) && est <= d * 2 + 2,
-                "d = {d}, estimate = {est}"
-            );
+            assert!(est >= d.saturating_sub(1) && est <= d * 2 + 2, "d = {d}, estimate = {est}");
         }
     }
 
@@ -284,10 +279,7 @@ mod tests {
         for d in [64usize, 256, 1024, 4096] {
             let (alice, bob) = build_pair(20_000, d, 1000 + d as u64);
             let est = alice.merge(&bob).unwrap().estimate();
-            assert!(
-                est >= d / 4 && est <= d * 4,
-                "d = {d}, estimate = {est} outside [d/4, 4d]"
-            );
+            assert!(est >= d / 4 && est <= d * 4, "d = {d}, estimate = {est} outside [d/4, 4d]");
         }
     }
 

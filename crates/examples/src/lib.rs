@@ -17,9 +17,10 @@ pub mod prelude {
     pub use recon_field::{Fp, Poly};
     pub use recon_graph::{degree_neighborhood, degree_order, forest, general, Forest, Graph};
     pub use recon_iblt::{Iblt, IbltConfig};
-    pub use recon_set::{
-        CharPolyProtocol, IbltSetProtocol, Multiset, MultisetProtocol, SetDiff,
+    pub use recon_protocol::{
+        Amplification, Envelope, Outcome, Party, Session, SessionBuilder, Step,
     };
+    pub use recon_set::{CharPolyProtocol, IbltSetProtocol, Multiset, MultisetProtocol, SetDiff};
     pub use recon_sos::{
         cascading, iblt_of_iblts, multiround, naive, workload, SetOfSets, SosParams,
     };

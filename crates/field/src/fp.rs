@@ -149,6 +149,7 @@ impl MulAssign for Fp {
 impl Div for Fp {
     type Output = Fp;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // field division IS multiplication by the inverse
     fn div(self, rhs: Fp) -> Fp {
         self * rhs.inv()
     }
@@ -175,7 +176,7 @@ mod tests {
     fn construction_reduces() {
         assert_eq!(Fp::new(MODULUS), Fp::ZERO);
         assert_eq!(Fp::new(MODULUS + 5), Fp::new(5));
-        assert_eq!(Fp::new(u64::MAX).value() < MODULUS, true);
+        assert!(Fp::new(u64::MAX).value() < MODULUS);
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! evaluations of `χ_{S_A}/χ_{S_B}` at `d` points, the unknown coefficients of the
 //! (monic) numerator and denominator satisfy a `d × d` linear system, solved here.
 
+// Row/column index arithmetic is the clearest way to write Gaussian elimination;
+// iterator rewrites obscure the pivoting structure.
+#![allow(clippy::needless_range_loop, clippy::assign_op_pattern)]
+
 use crate::fp::Fp;
 
 /// Solve the square linear system `A·x = b` over GF(2^61 − 1).
@@ -129,10 +133,7 @@ pub fn solve_consistent(matrix: &[Vec<Fp>], rhs: &[Fp]) -> Option<Vec<Fp>> {
 /// Multiply a square matrix by a vector (testing helper, also used by the
 /// charpoly protocol's self-checks).
 pub fn mat_vec(matrix: &[Vec<Fp>], x: &[Fp]) -> Vec<Fp> {
-    matrix
-        .iter()
-        .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
-        .collect()
+    matrix.iter().map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum()).collect()
 }
 
 #[cfg(test)]
@@ -199,10 +200,7 @@ mod tests {
     }
 
     fn mat_vec_rect(matrix: &[Vec<Fp>], x: &[Fp]) -> Vec<Fp> {
-        matrix
-            .iter()
-            .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect()
+        matrix.iter().map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum()).collect()
     }
 
     #[test]

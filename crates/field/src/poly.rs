@@ -204,13 +204,8 @@ impl Poly {
         if self.coeffs.len() <= 1 {
             return Poly::zero();
         }
-        let coeffs = self
-            .coeffs
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(i, &c)| c * Fp::new(i as u64))
-            .collect();
+        let coeffs =
+            self.coeffs.iter().enumerate().skip(1).map(|(i, &c)| c * Fp::new(i as u64)).collect();
         Poly::from_coeffs(coeffs)
     }
 

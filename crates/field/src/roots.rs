@@ -31,7 +31,7 @@ pub fn find_roots(f: &Poly, seed: u64) -> Vec<Fp> {
     if f.is_zero() || f.degree() == Some(0) {
         return roots;
     }
-    let mut rng = Xoshiro256::new(seed ^ 0x5EED_0F_2007_5EED);
+    let mut rng = Xoshiro256::new(seed ^ 0x005E_ED0F_2007_5EED);
     // Keep only the square-free part with roots in the field: gcd(f, z^p − z).
     let f = f.monic();
     let zp = Poly::x().pow_mod(MODULUS, &f);

@@ -13,12 +13,12 @@
 //! signature, and finishes with labeled-edge set reconciliation.
 
 use crate::graph::Graph;
-use recon_base::comm::{CommStats, Direction, Transcript};
+use crate::session;
 use recon_base::ReconError;
-use recon_set::{IbltSetProtocol, Multiset};
+use recon_protocol::{Outcome, SessionBuilder};
+use recon_set::Multiset;
 use recon_sos::multiset_of_multisets::{self, PairPacking, SetOfMultisets};
 use recon_sos::SosParams;
-use std::collections::{HashMap, HashSet};
 
 /// Parameters of the degree-neighborhood scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,7 +73,7 @@ pub fn min_disjointness(graph: &Graph, degree_cap: usize) -> usize {
     }
 }
 
-fn canonical_key(sig: &Multiset) -> Vec<(u64, u64)> {
+pub(crate) fn canonical_key(sig: &Multiset) -> Vec<(u64, u64)> {
     let mut pairs: Vec<(u64, u64)> = sig.iter().collect();
     pairs.sort_unstable();
     pairs
@@ -84,150 +84,33 @@ fn canonical_key(sig: &Multiset) -> Vec<(u64, u64)> {
 ///
 /// Returns Bob's reconstruction of Alice's graph on her canonical labeling, plus the
 /// measured communication. Fails with [`ReconError::SeparationFailure`] when the
-/// signatures do not produce an unambiguous conforming labeling.
+/// signatures do not produce an unambiguous conforming labeling. Delegates to the
+/// sans-I/O party pair of [`crate::session`] driven over an in-memory link.
 pub fn reconcile(
     alice: &Graph,
     bob: &Graph,
     d: usize,
     params: &DegreeNeighborhoodParams,
-) -> Result<(Graph, CommStats), ReconError> {
+) -> Result<Outcome<Graph>, ReconError> {
     if alice.num_vertices() != bob.num_vertices() {
         return Err(ReconError::InvalidInput("graphs must have the same vertex count".into()));
     }
-    let n = alice.num_vertices();
-    let d = d.max(1);
-    let mut transcript = Transcript::new();
-
-    // --- Signature collections. ----------------------------------------------------
-    let alice_sigs = signatures(alice, params.degree_cap);
-    let bob_sigs = signatures(bob, params.degree_cap);
-    {
-        let distinct: HashSet<Vec<(u64, u64)>> = alice_sigs.iter().map(canonical_key).collect();
-        if distinct.len() != alice_sigs.len() {
-            return Err(ReconError::SeparationFailure(
-                "two vertices share a degree-neighborhood signature".to_string(),
-            ));
-        }
-    }
-    let alice_collection = SetOfMultisets::from_children(alice_sigs.iter().cloned());
-    let bob_collection = SetOfMultisets::from_children(bob_sigs.iter().cloned());
-
-    // --- Set-of-multisets reconciliation (Section 3.4 + Theorem 3.7). --------------
-    // Each edge change perturbs the signatures of the two endpoints and of all their
-    // neighbors, i.e. O(pn) multiset elements; size the difference bound accordingly.
-    let element_changes = 2 * d * (params.degree_cap + 2);
+    // The two parties must agree on the packed child-size bound; the local driver
+    // derives it from both inputs, like the legacy implementation did.
     let packing = PairPacking::default();
-    let sos_params = SosParams::new(params.seed ^ 0xDE16, params.degree_cap.max(4));
-    let (recovered_collection, sos_stats) = multiset_of_multisets::reconcile_known(
+    let alice_collection = SetOfMultisets::from_children(signatures(alice, params.degree_cap));
+    let bob_collection = SetOfMultisets::from_children(signatures(bob, params.degree_cap));
+    let base_params = SosParams::new(params.seed ^ 0xDE16, params.degree_cap.max(4));
+    let resolved = multiset_of_multisets::resolved_params(
         &alice_collection,
         &bob_collection,
-        element_changes,
-        &sos_params,
+        &base_params,
         &packing,
     )?;
-    transcript.record_bytes(
-        Direction::AliceToBob,
-        "degree-neighborhood signatures (set of multisets)",
-        sos_stats.bytes_alice_to_bob,
-    );
-
-    // --- Conforming labeling. -------------------------------------------------------
-    // Alice's canonical labeling: sort her signatures; ties are impossible (checked
-    // above). Bob reproduces the same order from the recovered collection.
-    let mut alice_sorted: Vec<Vec<(u64, u64)>> = recovered_collection
-        .children()
-        .iter()
-        .map(canonical_key)
-        .collect();
-    alice_sorted.sort();
-    let alice_rank: HashMap<Vec<(u64, u64)>, u32> = alice_sorted
-        .iter()
-        .enumerate()
-        .map(|(i, k)| (k.clone(), i as u32))
-        .collect();
-    if alice_rank.len() != n {
-        return Err(ReconError::SeparationFailure(
-            "recovered signature collection has duplicates".to_string(),
-        ));
-    }
-    let alice_labels: Vec<u32> = alice_sigs
-        .iter()
-        .map(|s| alice_rank.get(&canonical_key(s)).copied())
-        .collect::<Option<Vec<_>>>()
-        .ok_or_else(|| {
-            ReconError::SeparationFailure("Alice signature missing from recovered collection".into())
-        })?;
-
-    // Bob: exact matches first, then nearest-signature matching for perturbed ones.
-    let recovered_multisets: Vec<Multiset> = alice_sorted
-        .iter()
-        .map(|pairs| {
-            let mut m = Multiset::new();
-            for &(x, c) in pairs {
-                m.insert_n(x, c);
-            }
-            m
-        })
-        .collect();
-    let mut bob_labels: Vec<Option<u32>> = vec![None; n];
-    let mut used: HashSet<u32> = HashSet::new();
-    let mut unmatched: Vec<u32> = Vec::new();
-    for (v, sig) in bob_sigs.iter().enumerate() {
-        if let Some(&rank) = alice_rank.get(&canonical_key(sig)) {
-            bob_labels[v] = Some(rank);
-            used.insert(rank);
-        } else {
-            unmatched.push(v as u32);
-        }
-    }
-    for &v in &unmatched {
-        let sig = &bob_sigs[v as usize];
-        let mut candidates = recovered_multisets
-            .iter()
-            .enumerate()
-            .filter(|(rank, m)| {
-                !used.contains(&(*rank as u32)) && m.difference_size(sig) <= 2 * d
-            })
-            .map(|(rank, _)| rank as u32);
-        let Some(rank) = candidates.next() else {
-            return Err(ReconError::SeparationFailure(format!(
-                "vertex {v} has no signature within distance {}",
-                2 * d
-            )));
-        };
-        if candidates.next().is_some() {
-            return Err(ReconError::SeparationFailure(format!(
-                "vertex {v} matches multiple signatures within distance {}",
-                2 * d
-            )));
-        }
-        bob_labels[v as usize] = Some(rank);
-        used.insert(rank);
-    }
-    let bob_labels: Vec<u32> = bob_labels.into_iter().map(|l| l.expect("assigned")).collect();
-
-    // --- Labeled edge reconciliation (Corollary 2.2), same round. -------------------
-    let edge_protocol = IbltSetProtocol::new(params.seed ^ 0xED61);
-    let alice_edges: HashSet<u64> = alice
-        .edges()
-        .iter()
-        .map(|&(u, v)| Graph::edge_key(alice_labels[u as usize], alice_labels[v as usize]))
-        .collect();
-    let bob_edges: HashSet<u64> = bob
-        .edges()
-        .iter()
-        .map(|&(u, v)| Graph::edge_key(bob_labels[u as usize], bob_labels[v as usize]))
-        .collect();
-    let edge_digest = edge_protocol.digest(&alice_edges, 2 * d + 4);
-    transcript.record_parallel(Direction::AliceToBob, "labeled edge IBLT", &edge_digest);
-    let recovered_edges = edge_protocol.reconcile(&edge_digest, &bob_edges)?;
-
-    let mut result = Graph::new(n);
-    for key in recovered_edges {
-        let (u, v) = Graph::key_edge(key);
-        result.add_edge(u, v);
-    }
-    Ok((result, transcript.stats()))
+    SessionBuilder::new(params.seed).run(
+        session::degree_neighborhood_alice(alice, d, params, &resolved)?,
+        session::degree_neighborhood_bob(bob, d, params, &resolved)?,
+    )
 }
 
 #[cfg(test)]
@@ -260,9 +143,9 @@ mod tests {
         let g = Graph::gnp(80, 0.15, &mut rng);
         let params = DegreeNeighborhoodParams::for_gnp(80, 0.15, 11);
         match reconcile(&g, &g, 1, &params) {
-            Ok((recovered, stats)) => {
-                assert_eq!(recovered.num_edges(), g.num_edges());
-                assert_eq!(stats.rounds, 1);
+            Ok(outcome) => {
+                assert_eq!(outcome.recovered.num_edges(), g.num_edges());
+                assert_eq!(outcome.stats.rounds, 1);
             }
             Err(ReconError::SeparationFailure(_)) => {
                 // Small sparse graphs can legitimately have twin vertices.
@@ -281,14 +164,15 @@ mod tests {
         let bob = base.perturb(1, &mut rng);
         let params = DegreeNeighborhoodParams::for_gnp(128, 0.12, 23);
         match reconcile(&alice, &bob, 2, &params) {
-            Ok((recovered, stats)) => {
-                assert_eq!(recovered.num_edges(), alice.num_edges());
+            Ok(outcome) => {
+                assert_eq!(outcome.recovered.num_edges(), alice.num_edges());
                 let mut a_deg: Vec<usize> = (0..128u32).map(|v| alice.degree(v)).collect();
-                let mut r_deg: Vec<usize> = (0..128u32).map(|v| recovered.degree(v)).collect();
+                let mut r_deg: Vec<usize> =
+                    (0..128u32).map(|v| outcome.recovered.degree(v)).collect();
                 a_deg.sort_unstable();
                 r_deg.sort_unstable();
                 assert_eq!(a_deg, r_deg);
-                assert!(stats.total_bytes() > 0);
+                assert!(outcome.stats.total_bytes() > 0);
             }
             Err(ReconError::SeparationFailure(_)) => {
                 // Theorem 5.5 is asymptotic; at n = 128 occasional twin signatures
@@ -310,9 +194,6 @@ mod tests {
     fn twin_vertices_surface_as_separation_failure() {
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3)]);
         let params = DegreeNeighborhoodParams { degree_cap: 10, seed: 3 };
-        assert!(matches!(
-            reconcile(&g, &g, 1, &params),
-            Err(ReconError::SeparationFailure(_))
-        ));
+        assert!(matches!(reconcile(&g, &g, 1, &params), Err(ReconError::SeparationFailure(_))));
     }
 }

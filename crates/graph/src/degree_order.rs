@@ -12,10 +12,10 @@
 //! set (Corollary 2.2).
 
 use crate::graph::Graph;
-use recon_base::comm::{CommStats, Direction, Transcript};
+use crate::session;
 use recon_base::ReconError;
-use recon_set::IbltSetProtocol;
-use recon_sos::{cascading, ChildSet, SetOfSets, SosParams};
+use recon_protocol::{Outcome, SessionBuilder};
+use recon_sos::{ChildSet, SetOfSets};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Parameters of the degree-ordering scheme.
@@ -83,8 +83,7 @@ pub fn is_separated(graph: &Graph, h: usize, a: usize, b: usize) -> bool {
     }
     for i in 0..sigs.signatures.len() {
         for j in (i + 1)..sigs.signatures.len() {
-            let diff =
-                sigs.signatures[i].1.symmetric_difference(&sigs.signatures[j].1).count();
+            let diff = sigs.signatures[i].1.symmetric_difference(&sigs.signatures[j].1).count();
             if diff < b {
                 return false;
             }
@@ -93,7 +92,7 @@ pub fn is_separated(graph: &Graph, h: usize, a: usize, b: usize) -> bool {
     true
 }
 
-fn signature_set_of_sets(sigs: &DegreeOrderSignatures) -> Result<SetOfSets, ReconError> {
+pub(crate) fn signature_set_of_sets(sigs: &DegreeOrderSignatures) -> Result<SetOfSets, ReconError> {
     let children: Vec<ChildSet> = sigs.signatures.iter().map(|(_, s)| s.clone()).collect();
     let distinct: HashSet<&ChildSet> = children.iter().collect();
     if distinct.len() != children.len() {
@@ -106,7 +105,7 @@ fn signature_set_of_sets(sigs: &DegreeOrderSignatures) -> Result<SetOfSets, Reco
 
 /// Alice's labeling: anchors get labels `0..h` by degree rank, the remaining
 /// vertices get labels `h..n` by lexicographic order of their signatures.
-fn label_map_from_signatures(
+pub(crate) fn label_map_from_signatures(
     sigs: &DegreeOrderSignatures,
     h: usize,
 ) -> (HashMap<u32, u32>, Vec<ChildSet>) {
@@ -130,113 +129,21 @@ fn label_map_from_signatures(
 /// labeling, hence isomorphic to `G_A` — together with the measured communication.
 /// Fails with [`ReconError::SeparationFailure`] when the signature scheme cannot
 /// produce an unambiguous labeling (the base graph was not sufficiently separated
-/// for this `h` and `d`).
+/// for this `h` and `d`). Delegates to the sans-I/O party pair of
+/// [`crate::session`] driven over an in-memory link.
 pub fn reconcile(
     alice: &Graph,
     bob: &Graph,
     d: usize,
     params: &DegreeOrderParams,
-) -> Result<(Graph, CommStats), ReconError> {
+) -> Result<Outcome<Graph>, ReconError> {
     if alice.num_vertices() != bob.num_vertices() {
         return Err(ReconError::InvalidInput("graphs must have the same vertex count".into()));
     }
-    let n = alice.num_vertices();
-    let h = params.h.min(n);
-    let d = d.max(1);
-    let mut transcript = Transcript::new();
-
-    // --- Signature set-of-sets reconciliation (Theorem 3.7). ----------------------
-    let alice_sigs = signatures(alice, h);
-    let bob_sigs = signatures(bob, h);
-    let alice_sos = signature_set_of_sets(&alice_sigs)?;
-    let bob_sos = signature_set_of_sets(&bob_sigs)?;
-    let sos_params = SosParams::new(params.seed ^ 0xD06, h.max(1));
-    let sos_outcome =
-        cascading::run_known(&alice_sos, &bob_sos, 2 * d, &sos_params).map_err(|e| match e {
-            ReconError::PeelingFailure { .. }
-            | ReconError::ChecksumFailure
-            | ReconError::NoMatchingChild { .. } => ReconError::SeparationFailure(
-                "signature sets changed by more than the bound; the top-h ordering did not \
-                 conform under the perturbation"
-                    .to_string(),
-            ),
-            other => other,
-        })?;
-    transcript.record_bytes(
-        Direction::AliceToBob,
-        "signature set-of-sets (cascading IBLTs)",
-        sos_outcome.stats.bytes_alice_to_bob,
-    );
-
-    // --- Conforming labeling. ------------------------------------------------------
-    let (alice_labels, alice_sorted_sigs) = label_map_from_signatures(&alice_sigs, h);
-    // Bob reconstructs Alice's sorted signature list from the recovered set of sets
-    // (identical to alice_sorted_sigs whenever the reconciliation succeeded).
-    let recovered_sigs: Vec<ChildSet> = sos_outcome.recovered.children().to_vec();
-    debug_assert_eq!(recovered_sigs, alice_sorted_sigs);
-
-    let mut bob_labels: HashMap<u32, u32> = HashMap::new();
-    for (rank, &v) in bob_sigs.order[..h].iter().enumerate() {
-        bob_labels.insert(v, rank as u32);
-    }
-    for (v, sig) in &bob_sigs.signatures {
-        let mut matches = recovered_sigs
-            .iter()
-            .enumerate()
-            .filter(|(_, alice_sig)| sig.symmetric_difference(alice_sig).count() <= d);
-        let Some((idx, _)) = matches.next() else {
-            return Err(ReconError::SeparationFailure(format!(
-                "vertex {v} has no signature within distance {d}"
-            )));
-        };
-        if matches.next().is_some() {
-            return Err(ReconError::SeparationFailure(format!(
-                "vertex {v} matches multiple signatures within distance {d}"
-            )));
-        }
-        bob_labels.insert(*v, (h + idx) as u32);
-    }
-    if bob_labels.values().collect::<HashSet<_>>().len() != n {
-        return Err(ReconError::SeparationFailure(
-            "conforming labeling is not a bijection".to_string(),
-        ));
-    }
-
-    // --- Labeled edge reconciliation (Corollary 2.2), in the same round. ----------
-    let edge_protocol = IbltSetProtocol::new(params.seed ^ 0xED6E);
-    let alice_edges: HashSet<u64> = alice
-        .edges()
-        .iter()
-        .map(|&(u, v)| Graph::edge_key(alice_labels[&u], alice_labels[&v]))
-        .collect();
-    let bob_edges: HashSet<u64> = bob
-        .edges()
-        .iter()
-        .map(|&(u, v)| Graph::edge_key(bob_labels[&u], bob_labels[&v]))
-        .collect();
-    let edge_digest = edge_protocol.digest(&alice_edges, 2 * d + 4);
-    transcript.record_parallel(Direction::AliceToBob, "labeled edge IBLT", &edge_digest);
-    let recovered_edges = edge_protocol.reconcile(&edge_digest, &bob_edges).map_err(|e| {
-        // If the labeled-edge difference blew past 2d, the labelings did not conform:
-        // the underlying cause is insufficient separation, so report it as such.
-        match e {
-            ReconError::PeelingFailure { .. } | ReconError::ChecksumFailure => {
-                ReconError::SeparationFailure(
-                    "labeled edge difference exceeded the bound; anchor ordering or signature \
-                     matching did not conform"
-                        .to_string(),
-                )
-            }
-            other => other,
-        }
-    })?;
-
-    let mut result = Graph::new(n);
-    for key in recovered_edges {
-        let (u, v) = Graph::key_edge(key);
-        result.add_edge(u, v);
-    }
-    Ok((result, transcript.stats()))
+    SessionBuilder::new(params.seed).run(
+        session::degree_order_alice(alice, d, params)?,
+        session::degree_order_bob(bob, d, params)?,
+    )
 }
 
 #[cfg(test)]
@@ -252,7 +159,7 @@ mod tests {
     #[test]
     fn recommended_h_is_reasonable() {
         let h = recommended_h(10_000, 0.3, 4, 0.25);
-        assert!(h >= 4 && h <= 2_500, "h = {h}");
+        assert!((4..=2_500).contains(&h), "h = {h}");
         assert!(recommended_h(100, 0.5, 2, 0.25) >= 4);
     }
 
@@ -322,15 +229,15 @@ mod tests {
             let alice = perturb_off_anchor(&base, 48, d / 2, &mut rng);
             let bob = perturb_off_anchor(&base, 48, d - d / 2, &mut rng);
             let params = DegreeOrderParams { h: 48, seed: 1000 + d as u64 };
-            let (recovered, stats) = reconcile(&alice, &bob, d, &params).unwrap();
-            assert_eq!(recovered.num_edges(), alice.num_edges(), "d = {d}");
+            let outcome = reconcile(&alice, &bob, d, &params).unwrap();
+            assert_eq!(outcome.recovered.num_edges(), alice.num_edges(), "d = {d}");
             let mut a_deg: Vec<usize> = (0..200u32).map(|v| alice.degree(v)).collect();
-            let mut r_deg: Vec<usize> = (0..200u32).map(|v| recovered.degree(v)).collect();
+            let mut r_deg: Vec<usize> = (0..200u32).map(|v| outcome.recovered.degree(v)).collect();
             a_deg.sort_unstable();
             r_deg.sort_unstable();
             assert_eq!(a_deg, r_deg, "d = {d}");
-            assert!(stats.total_bytes() > 0);
-            assert_eq!(stats.rounds, 1);
+            assert!(outcome.stats.total_bytes() > 0);
+            assert_eq!(outcome.stats.rounds, 1);
         }
     }
 
@@ -345,8 +252,8 @@ mod tests {
             let bob = base.perturb(d - d / 2, &mut rng);
             let params = DegreeOrderParams { h: 48, seed: 2000 + d as u64 };
             match reconcile(&alice, &bob, d, &params) {
-                Ok((recovered, _)) => {
-                    assert_eq!(recovered.num_edges(), alice.num_edges(), "d = {d}");
+                Ok(outcome) => {
+                    assert_eq!(outcome.recovered.num_edges(), alice.num_edges(), "d = {d}");
                 }
                 Err(ReconError::SeparationFailure(_)) => {}
                 Err(other) => panic!("unexpected error at d = {d}: {other}"),
@@ -358,10 +265,10 @@ mod tests {
     fn identical_graphs_reconcile_exactly() {
         let g = dense_random_graph(120, 0.4, 3);
         let params = DegreeOrderParams { h: 40, seed: 5 };
-        let (recovered, _) = reconcile(&g, &g, 2, &params).unwrap();
+        let outcome = reconcile(&g, &g, 2, &params).unwrap();
         // With zero differences the recovered graph is exactly Alice's graph under
         // her canonical relabeling, so edge count and degree sequence must agree.
-        assert_eq!(recovered.num_edges(), g.num_edges());
+        assert_eq!(outcome.recovered.num_edges(), g.num_edges());
     }
 
     #[test]
@@ -380,8 +287,8 @@ mod tests {
         let mut rng = Xoshiro256::new(4);
         let alice = base.perturb(1, &mut rng);
         let params = DegreeOrderParams { h: 3, seed: 77 };
-        if let Ok((recovered, _)) = reconcile(&alice, &base, 2, &params) {
-            assert!(recovered.is_isomorphic_bruteforce(&alice));
+        if let Ok(outcome) = reconcile(&alice, &base, 2, &params) {
+            assert!(outcome.recovered.is_isomorphic_bruteforce(&alice));
         }
     }
 }

@@ -12,10 +12,10 @@
 //! Theorem 3.7) therefore costs `O(dσ log(dσ) log n)` bits, after which Bob
 //! reconstructs a forest isomorphic to Alice's from the recovered signatures.
 
-use recon_base::comm::{CommStats, Direction, Transcript};
 use recon_base::hash::{hash_u64_set, truncate_bits};
 use recon_base::rng::Xoshiro256;
 use recon_base::ReconError;
+use recon_protocol::{Outcome, SessionBuilder};
 use recon_set::Multiset;
 use recon_sos::multiset_of_multisets::{self, PairPacking, SetOfMultisets};
 use recon_sos::SosParams;
@@ -142,7 +142,7 @@ impl Forest {
             // Rejection-sample a parent that respects the depth cap.
             for _ in 0..32 {
                 let candidate = rng.next_index(v as usize) as u32;
-                if forest.depth(candidate) + 1 <= max_depth {
+                if forest.depth(candidate) < max_depth {
                     forest.parent[v as usize] = Some(candidate);
                     break;
                 }
@@ -330,9 +330,7 @@ pub fn reconstruct(collection: &SetOfMultisets) -> Result<Forest, ReconError> {
         let parents = ids_of[sig].clone();
         for parent in parents {
             for &(child_sig, multiplicity) in &group.children {
-                let pool = unattached
-                    .get_mut(&child_sig)
-                    .ok_or(ReconError::ChecksumFailure)?;
+                let pool = unattached.get_mut(&child_sig).ok_or(ReconError::ChecksumFailure)?;
                 if (pool.len() as u64) < multiplicity {
                     return Err(ReconError::ChecksumFailure);
                 }
@@ -351,62 +349,33 @@ pub fn reconstruct(collection: &SetOfMultisets) -> Result<Forest, ReconError> {
 /// either forest.
 ///
 /// Returns a forest isomorphic to Alice's, plus the measured communication.
+/// Delegates to the sans-I/O party pair of [`crate::session`] driven over an
+/// in-memory link.
 pub fn reconcile(
     alice: &Forest,
     bob: &Forest,
     d: usize,
     sigma: usize,
     seed: u64,
-) -> Result<(Forest, CommStats), ReconError> {
-    let d = d.max(1);
-    let sigma = sigma.max(1);
-    let mut transcript = Transcript::new();
-
+) -> Result<Outcome<Forest>, ReconError> {
     let alice_collection = alice.vertex_multisets(seed);
     let bob_collection = bob.vertex_multisets(seed);
-
-    // Each edge update changes the signatures of at most σ ancestors; each changed
-    // signature touches its own multiset and its parent's multiset. (The pair-level
-    // expansion factor is applied inside the set-of-multisets reconciliation.)
-    let element_changes = d * (sigma + 2);
+    // The parties must agree on the packed child-size bound; the local driver
+    // derives it from both inputs, like the legacy implementation did.
     let packing = PairPacking::default();
-    let max_child = alice_collection
-        .max_child_distinct()
-        .max(bob_collection.max_child_distinct())
-        .max(2)
-        + 1;
-    let sos_params = SosParams::new(seed ^ 0xF07E57, max_child);
-    let (recovered_collection, sos_stats) = multiset_of_multisets::reconcile_known(
+    let max_child =
+        alice_collection.max_child_distinct().max(bob_collection.max_child_distinct()).max(2) + 1;
+    let base_params = SosParams::new(seed ^ 0xF07E57, max_child);
+    let resolved = multiset_of_multisets::resolved_params(
         &alice_collection,
         &bob_collection,
-        element_changes,
-        &sos_params,
+        &base_params,
         &packing,
     )?;
-    transcript.record_bytes(
-        Direction::AliceToBob,
-        "vertex/edge signature multisets",
-        sos_stats.bytes_alice_to_bob,
-    );
-    // Alice also sends a hash of her root-signature multiset so Bob can verify the
-    // reconstruction end to end.
-    let alice_sigs = alice.signatures(seed);
-    let alice_root_hash = hash_u64_set(
-        alice.roots().into_iter().map(|r| alice_sigs[r as usize]),
-        seed ^ 0x2007,
-    );
-    transcript.record_parallel(Direction::AliceToBob, "root signature hash", &alice_root_hash);
-
-    let forest = reconstruct(&recovered_collection)?;
-    let forest_sigs = forest.signatures(seed);
-    let forest_root_hash = hash_u64_set(
-        forest.roots().into_iter().map(|r| forest_sigs[r as usize]),
-        seed ^ 0x2007,
-    );
-    if forest.num_vertices() != alice.num_vertices() || forest_root_hash != alice_root_hash {
-        return Err(ReconError::ChecksumFailure);
-    }
-    Ok((forest, transcript.stats()))
+    SessionBuilder::new(seed).run(
+        crate::session::forest_alice(alice, d, sigma, seed, &resolved)?,
+        crate::session::forest_bob(bob, seed, &resolved)?,
+    )
 }
 
 /// Build a forest from an explicit parent array (panics if the pointers contain a
@@ -466,7 +435,7 @@ mod tests {
         let mut rng = Xoshiro256::new(3);
         let f = Forest::random(500, 0.05, 6, &mut rng);
         assert!(f.max_depth() <= 6);
-        assert!(f.roots().len() >= 1);
+        assert!(!f.roots().is_empty());
     }
 
     #[test]
@@ -476,7 +445,7 @@ mod tests {
         let g = f.perturb(6, &mut rng);
         // Each update changes exactly one parent pointer.
         let changed = (0..200u32).filter(|&v| f.parent(v) != g.parent(v)).count();
-        assert!(changed >= 1 && changed <= 6);
+        assert!((1..=6).contains(&changed));
     }
 
     #[test]
@@ -506,8 +475,7 @@ mod tests {
         let star = from_parents(&[None, Some(0), Some(0), Some(0), Some(0)]);
         let rebuilt = reconstruct(&star.vertex_multisets(1)).unwrap();
         assert!(rebuilt.is_isomorphic(&star, 1));
-        let two_chains =
-            from_parents(&[None, Some(0), Some(1), None, Some(3), Some(4)]);
+        let two_chains = from_parents(&[None, Some(0), Some(1), None, Some(3), Some(4)]);
         let rebuilt2 = reconstruct(&two_chains.vertex_multisets(1)).unwrap();
         assert!(rebuilt2.is_isomorphic(&two_chains, 1));
     }
@@ -516,9 +484,9 @@ mod tests {
     fn identical_forests_reconcile() {
         let mut rng = Xoshiro256::new(21);
         let f = Forest::random(400, 0.1, 6, &mut rng);
-        let (recovered, stats) = reconcile(&f, &f, 1, 6, 5).unwrap();
-        assert!(recovered.is_isomorphic(&f, 5));
-        assert_eq!(stats.rounds, 1);
+        let outcome = reconcile(&f, &f, 1, 6, 5).unwrap();
+        assert!(outcome.recovered.is_isomorphic(&f, 5));
+        assert_eq!(outcome.stats.rounds, 1);
     }
 
     #[test]
@@ -529,9 +497,9 @@ mod tests {
             let alice = base.perturb(d / 2, &mut rng);
             let bob = base.perturb(d - d / 2, &mut rng);
             let sigma = alice.max_depth().max(bob.max_depth()).max(1);
-            let (recovered, stats) = reconcile(&alice, &bob, d, sigma, 100 + d as u64).unwrap();
-            assert!(recovered.is_isomorphic(&alice, 100 + d as u64), "d = {d}");
-            assert!(stats.total_bytes() > 0);
+            let outcome = reconcile(&alice, &bob, d, sigma, 100 + d as u64).unwrap();
+            assert!(outcome.recovered.is_isomorphic(&alice, 100 + d as u64), "d = {d}");
+            assert!(outcome.stats.total_bytes() > 0);
         }
     }
 
@@ -542,8 +510,8 @@ mod tests {
         let large = Forest::random(2000, 0.1, 5, &mut rng);
         let small_alice = small.perturb(2, &mut rng);
         let large_alice = large.perturb(2, &mut rng);
-        let (_, small_stats) = reconcile(&small_alice, &small, 2, 6, 7).unwrap();
-        let (_, large_stats) = reconcile(&large_alice, &large, 2, 6, 7).unwrap();
+        let small_stats = reconcile(&small_alice, &small, 2, 6, 7).unwrap().stats;
+        let large_stats = reconcile(&large_alice, &large, 2, 6, 7).unwrap().stats;
         // Ten times more vertices should not mean ten times more communication.
         assert!(
             large_stats.total_bytes() < 4 * small_stats.total_bytes(),

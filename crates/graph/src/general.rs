@@ -48,7 +48,11 @@ pub fn isomorphism_protocol(alice: &Graph, bob: &Graph, seed: u64) -> (bool, Com
     let alice_canon = alice.canonical_form_small();
     let value = fingerprint(alice_canon, r);
     // Alice sends (r, p_A(r)): two field elements.
-    transcript.record(Direction::AliceToBob, "isomorphism fingerprint", &(r.value(), value.value()));
+    transcript.record(
+        Direction::AliceToBob,
+        "isomorphism fingerprint",
+        &(r.value(), value.value()),
+    );
     let bob_canon = bob.canonical_form_small();
     let verdict = fingerprint(bob_canon, r) == value;
     (verdict, transcript.stats())
@@ -186,8 +190,7 @@ pub fn lower_bound_decode(graph: &Graph, n: usize, d: usize) -> Option<Vec<u64>>
     // A core vertex with index i has exactly i+1 pendant (degree-1) neighbors.
     let mut by_pendants: Vec<Option<u32>> = vec![None; core + 1];
     for v in 0..graph.num_vertices() as u32 {
-        let pendant_neighbors =
-            graph.neighbors(v).filter(|&w| graph.degree(w) == 1).count();
+        let pendant_neighbors = graph.neighbors(v).filter(|&w| graph.degree(w) == 1).count();
         if pendant_neighbors >= 1 && pendant_neighbors <= core && graph.degree(v) > 1 {
             by_pendants[pendant_neighbors] = Some(v);
         }

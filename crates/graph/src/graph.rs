@@ -209,6 +209,7 @@ impl Graph {
         best
     }
 
+    #[allow(clippy::needless_range_loop)] // the (i, j) pair indexing mirrors the math
     fn bitmap_under(&self, perm: &[u32]) -> u64 {
         // Pair (i, j) with i < j (relabeled) maps to bit index i*n + j (sparse but
         // fine for n ≤ 10 since C(10,2) = 45 < 64 when compacted).
@@ -231,15 +232,17 @@ impl Graph {
     }
 }
 
-fn permute_and_check(g: &Graph, perm: &mut Vec<u32>, k: usize, target: &BTreeSet<(u32, u32)>) -> bool {
+fn permute_and_check(
+    g: &Graph,
+    perm: &mut Vec<u32>,
+    k: usize,
+    target: &BTreeSet<(u32, u32)>,
+) -> bool {
     if k == perm.len() {
-        return g
-            .edges()
-            .iter()
-            .all(|&(u, v)| {
-                let (a, b) = (perm[u as usize], perm[v as usize]);
-                target.contains(&(a.min(b), a.max(b)))
-            });
+        return g.edges().iter().all(|&(u, v)| {
+            let (a, b) = (perm[u as usize], perm[v as usize]);
+            target.contains(&(a.min(b), a.max(b)))
+        });
     }
     for i in k..perm.len() {
         perm.swap(k, i);

@@ -30,9 +30,9 @@
 //! let bob = base.perturb(2, &mut rng);     // Bob's copy drifted by 2 other edges
 //!
 //! let params = degree_order::DegreeOrderParams { h: 16, seed: 99 };
-//! if let Ok((recovered, stats)) = degree_order::reconcile(&alice, &bob, 4, &params) {
-//!     assert_eq!(recovered.num_edges(), alice.num_edges());
-//!     println!("graph reconciled with {stats}");
+//! if let Ok(outcome) = degree_order::reconcile(&alice, &bob, 4, &params) {
+//!     assert_eq!(outcome.recovered.num_edges(), alice.num_edges());
+//!     println!("graph reconciled with {}", outcome.stats);
 //! }
 //! ```
 
@@ -44,6 +44,7 @@ pub mod degree_order;
 pub mod forest;
 pub mod general;
 pub mod graph;
+pub mod session;
 
 pub use forest::Forest;
 pub use graph::Graph;

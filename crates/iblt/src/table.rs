@@ -600,10 +600,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            failures * 50 <= trials,
-            "decode failure rate too high: {failures}/{trials}"
-        );
+        assert!(failures * 50 <= trials, "decode failure rate too high: {failures}/{trials}");
     }
 
     #[test]

@@ -90,7 +90,7 @@ proptest! {
     ) {
         let cfg = IbltConfig::for_u64_keys(seed);
         // Deliberately under-provisioned half the time.
-        let mut table = Iblt::with_cells(if seed % 2 == 0 { 12 } else { 256 }, &cfg);
+        let mut table = Iblt::with_cells(if seed.is_multiple_of(2) { 12 } else { 256 }, &cfg);
         for &k in &keys {
             table.insert_u64(k);
         }

@@ -1,0 +1,51 @@
+//! # recon-protocol
+//!
+//! The sans-I/O protocol layer of the `recon` workspace: a uniform way to express
+//! every reconciliation protocol of *"Reconciling Graphs and Sets of Sets"*
+//! (Mitzenmacher & Morgan, PODS 2018) as a pair of [`Party`] state machines
+//! exchanging tagged, wire-encoded [`Envelope`]s, driven by a generic [`Session`]
+//! over a pluggable [`Link`].
+//!
+//! The paper presents its results as *message-passing protocols* — explicit
+//! rounds, explicit bit budgets, two parties. This crate makes that structure the
+//! API:
+//!
+//! * [`Envelope`] — one message: a tag, a transcript label, a wire-encoded
+//!   payload, and a [`Meter`] describing how the message is charged (new round,
+//!   parallel, aggregate, or uncharged control traffic).
+//! * [`Party`] — one side of a protocol: `poll_send()` and `handle(envelope)`.
+//!   No sockets, no transcripts, no shared state: the same machine runs in tests,
+//!   across processes, or (later) over async transports.
+//! * [`Session`] / [`SessionBuilder`] — the driver: moves envelopes between an
+//!   Alice and a Bob until Bob produces his output, returning an [`Outcome`]
+//!   with the recovered data and the measured [`CommStats`]. The in-memory
+//!   [`MemoryLink`] records into a [`Transcript`], reproducing exactly the
+//!   byte/round accounting of the legacy one-shot drivers.
+//! * [`amplify`] — the paper's two amplification patterns (replication under
+//!   fresh hash functions, repeated doubling of the difference bound) as reusable
+//!   party combinators, plus estimator-round helpers.
+//! * [`Nested`] — embeds one protocol inside another with aggregate charging,
+//!   the way the graph theorems consume set-of-sets reconciliation.
+//!
+//! The concrete protocol families implement their parties in their own crates
+//! (`recon-set`, `recon-sos`, `recon-graph`) on top of this layer.
+//!
+//! [`CommStats`]: recon_base::CommStats
+//! [`Transcript`]: recon_base::Transcript
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplify;
+pub mod envelope;
+pub mod link;
+pub mod nested;
+pub mod party;
+pub mod session;
+
+pub use amplify::{AmplifiedReceiver, AmplifiedSender, Deferred, Exhaust, WithPreamble};
+pub use envelope::{Envelope, Meter, NESTED_TAG_BIT};
+pub use link::{Link, MemoryLink};
+pub use nested::Nested;
+pub use party::{Party, Step};
+pub use session::{Amplification, Outcome, Session, SessionBuilder, SessionConfig};

@@ -1,0 +1,238 @@
+//! The generic [`Session`] driver and its [`SessionBuilder`] front-end.
+//!
+//! A session moves envelopes between an Alice and a Bob [`Party`] over a
+//! pluggable [`Link`] until Bob produces his output. Because the parties are
+//! sans-I/O state machines and the link observes every envelope, the in-memory
+//! session reproduces byte-for-byte the `CommStats` of the legacy one-shot
+//! drivers — which are now thin wrappers over this module.
+
+use crate::link::{Link, MemoryLink};
+use crate::party::{Party, Step};
+use recon_base::comm::{CommStats, Direction};
+use recon_base::ReconError;
+use recon_estimator::L0Config;
+
+/// The result of a protocol session: Bob's output plus the measured
+/// communication. Replaces the per-family outcome types (`ReconcileOutcome`,
+/// `SosOutcome`, the graph crates' `(recovered, stats)` tuples), which are now
+/// aliases of this type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome<T> {
+    /// Bob's reconstruction of Alice's data (set, set of sets, graph, forest, …).
+    pub recovered: T,
+    /// Measured communication and rounds.
+    pub stats: CommStats,
+}
+
+/// Retry/doubling amplification budget shared by both parties of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Amplification {
+    /// Maximum number of digest transmissions (attempts) allowed.
+    pub max_attempts: u64,
+}
+
+impl Amplification {
+    /// Exactly one attempt (protocols that are exact or verified end-to-end).
+    pub fn single() -> Self {
+        Self { max_attempts: 1 }
+    }
+
+    /// Up to `attempts` replicated attempts under independent hash functions
+    /// (Section 3.2's replication-based amplification).
+    pub fn replicate(attempts: u64) -> Self {
+        Self { max_attempts: attempts.max(1) }
+    }
+
+    /// Repeated doubling from `start` while the doubled bound stays within
+    /// `limit` (the Corollary 3.6/3.8 pattern: `d = start, 2·start, 4·start, …`).
+    pub fn doubling(start: usize, limit: usize) -> Self {
+        let mut attempts = 0u64;
+        let mut bound = start.max(1) as u128;
+        while bound <= limit as u128 {
+            attempts += 1;
+            bound *= 2;
+        }
+        Self { max_attempts: attempts.max(1) }
+    }
+}
+
+impl Default for Amplification {
+    fn default() -> Self {
+        Self::replicate(3)
+    }
+}
+
+/// Shared configuration both parties of a session are constructed from: the
+/// public-coin seed, the amplification policy and the difference-estimator
+/// shape. Party factories derive their per-role seeds from `seed` exactly as
+/// the legacy drivers did, so a given configuration reproduces a given
+/// transcript bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Public-coin seed shared by Alice and Bob.
+    pub seed: u64,
+    /// Retry/doubling budget.
+    pub amplification: Amplification,
+    /// Base shape of the ℓ0 difference estimator used by unknown-`d` protocols
+    /// (each protocol re-seeds it from `seed`; the shape fields are what matter).
+    pub estimator: L0Config,
+}
+
+/// Builder for protocol sessions: seeds, amplification policy and estimator
+/// configuration, plus the entry point that actually drives a party pair.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    config: SessionConfig,
+}
+
+impl SessionBuilder {
+    /// A builder with the given public-coin seed and default policy.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            config: SessionConfig {
+                seed,
+                amplification: Amplification::default(),
+                estimator: L0Config::default(),
+            },
+        }
+    }
+
+    /// Set the amplification policy.
+    pub fn amplification(mut self, amplification: Amplification) -> Self {
+        self.config.amplification = amplification;
+        self
+    }
+
+    /// Set the difference-estimator shape.
+    pub fn estimator(mut self, estimator: L0Config) -> Self {
+        self.config.estimator = estimator;
+        self
+    }
+
+    /// The configuration party factories consume.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Drive `alice` and `bob` over an in-memory link and return Bob's output
+    /// with the measured communication.
+    pub fn run<A: Party, B: Party>(
+        &self,
+        alice: A,
+        bob: B,
+    ) -> Result<Outcome<B::Output>, ReconError> {
+        let mut link = MemoryLink::new();
+        let recovered = Session::new(&mut link).run(alice, bob)?;
+        Ok(Outcome { recovered, stats: link.stats() })
+    }
+}
+
+/// A two-party protocol session over a pluggable link.
+#[derive(Debug)]
+pub struct Session<L: Link> {
+    link: L,
+    delivered: usize,
+}
+
+impl<L: Link> Session<L> {
+    /// A session transporting envelopes through `link`.
+    pub fn new(link: L) -> Self {
+        Self { link, delivered: 0 }
+    }
+
+    /// Number of envelopes delivered so far (metered or not).
+    pub fn messages_delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Drive the party pair to completion: poll each side for outgoing envelopes,
+    /// deliver them through the link, and hand them to the other side, until Bob
+    /// returns [`Step::Done`]. Alice's completion (if any) is implicit — per the
+    /// paper's one-way convention she never learns whether Bob succeeded unless
+    /// the protocol itself sends an acknowledgement.
+    pub fn run<A: Party, B: Party>(
+        &mut self,
+        mut alice: A,
+        mut bob: B,
+    ) -> Result<B::Output, ReconError> {
+        loop {
+            let mut progressed = false;
+            while let Some(envelope) = alice.poll_send() {
+                progressed = true;
+                self.link.deliver(Direction::AliceToBob, &envelope)?;
+                self.delivered += 1;
+                if let Step::Done(output) = bob.handle(envelope)? {
+                    return Ok(output);
+                }
+            }
+            while let Some(envelope) = bob.poll_send() {
+                progressed = true;
+                self.link.deliver(Direction::BobToAlice, &envelope)?;
+                self.delivered += 1;
+                alice.handle(envelope)?;
+            }
+            if !progressed {
+                return Err(ReconError::SessionStalled { messages_exchanged: self.delivered });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amplify::{AmplifiedReceiver, AmplifiedSender, Exhaust};
+    use crate::envelope::Envelope;
+
+    #[test]
+    fn amplification_budgets() {
+        assert_eq!(Amplification::single().max_attempts, 1);
+        assert_eq!(Amplification::replicate(3).max_attempts, 3);
+        assert_eq!(Amplification::replicate(0).max_attempts, 1);
+        // 1, 2, 4, 8, 16 ≤ 20 < 32 → 5 attempts.
+        assert_eq!(Amplification::doubling(1, 20).max_attempts, 5);
+        assert_eq!(Amplification::doubling(2, 1).max_attempts, 1);
+    }
+
+    #[test]
+    fn builder_runs_a_retrying_pair_and_measures_it() {
+        let alice =
+            AmplifiedSender::new(3, |attempt| Ok(Envelope::round(1, "digest", &attempt))).unwrap();
+        let bob: AmplifiedReceiver<u64> = AmplifiedReceiver::new(
+            3,
+            |attempt, env| {
+                if attempt < 2 {
+                    Err(ReconError::ChecksumFailure)
+                } else {
+                    env.decode_payload::<u64>()
+                }
+            },
+            |_| true,
+            |_| Envelope::control(2, "nack", &()),
+            Exhaust::LastError,
+        );
+        let outcome = SessionBuilder::new(7).run(alice, bob).unwrap();
+        assert_eq!(outcome.recovered, 2);
+        // Three digests of 8 bytes; control NACKs are neither counted nor rounded.
+        assert_eq!(outcome.stats.rounds, 3);
+        assert_eq!(outcome.stats.messages, 3);
+        assert_eq!(outcome.stats.bytes_alice_to_bob, 24);
+        assert_eq!(outcome.stats.bytes_bob_to_alice, 0);
+    }
+
+    #[test]
+    fn stalled_sessions_error_out() {
+        struct Mute;
+        impl Party for Mute {
+            type Output = ();
+            fn poll_send(&mut self) -> Option<Envelope> {
+                None
+            }
+            fn handle(&mut self, _envelope: Envelope) -> Result<Step<()>, ReconError> {
+                Ok(Step::Continue)
+            }
+        }
+        let result = SessionBuilder::new(1).run(Mute, Mute);
+        assert!(matches!(result, Err(ReconError::SessionStalled { messages_exchanged: 0 })));
+    }
+}

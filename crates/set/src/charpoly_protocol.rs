@@ -198,8 +198,7 @@ impl CharPolyProtocol {
             rhs.push(f * z_pow_deg_extra - z_pow_deg_missing);
         }
 
-        let solution =
-            solve_consistent(&matrix, &rhs).ok_or(ReconError::InterpolationFailure)?;
+        let solution = solve_consistent(&matrix, &rhs).ok_or(ReconError::InterpolationFailure)?;
 
         let mut p_coeffs: Vec<Fp> = solution[..deg_missing].to_vec();
         p_coeffs.push(Fp::ONE);

@@ -42,9 +42,12 @@ pub mod diff;
 pub mod iblt_protocol;
 pub mod multiset;
 pub mod protocol;
+pub mod session;
 
 pub use charpoly_protocol::{CharPolyDigest, CharPolyProtocol};
 pub use diff::SetDiff;
 pub use iblt_protocol::{IbltSetProtocol, SetDigest};
 pub use multiset::{Multiset, MultisetProtocol};
-pub use protocol::{reconcile_known, reconcile_known_charpoly, reconcile_unknown, ReconcileOutcome};
+pub use protocol::{
+    reconcile_known, reconcile_known_charpoly, reconcile_unknown, ReconcileOutcome,
+};

@@ -1,27 +1,20 @@
-//! End-to-end drivers that run both parties locally and measure communication.
+//! One-shot drivers for the plain-set protocols, as thin wrappers over the
+//! sans-I/O session layer.
 //!
-//! These drivers are what the benchmark harness and the higher-level graph protocols
-//! call: they wire Alice's and Bob's halves of a protocol together through a
-//! [`Transcript`] so that the exact bytes and rounds are recorded, matching the way
-//! the paper accounts for communication.
+//! Each driver builds the two [`recon_protocol::Party`] state machines from
+//! [`crate::session`] and runs them through a [`SessionBuilder`] over an
+//! in-memory link, so the exact bytes and rounds are recorded the same way the
+//! paper accounts for communication. Callers that want to separate the parties
+//! (different processes, real transports) use [`crate::session`] directly.
 
-use crate::charpoly_protocol::CharPolyProtocol;
-use crate::iblt_protocol::IbltSetProtocol;
-use recon_base::comm::{CommStats, Direction, Transcript};
-use recon_base::rng::split_seed;
+use crate::session;
 use recon_base::ReconError;
-use recon_estimator::{L0Config, L0Estimator, Side};
+use recon_protocol::{Amplification, Outcome, SessionBuilder};
 use std::collections::HashSet;
 
 /// The result of a locally-driven reconciliation: Bob's recovered copy of Alice's
 /// set plus the measured communication.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ReconcileOutcome {
-    /// Bob's reconstruction of Alice's set.
-    pub recovered: HashSet<u64>,
-    /// Measured communication and rounds.
-    pub stats: CommStats,
-}
+pub type ReconcileOutcome = Outcome<HashSet<u64>>;
 
 /// Corollary 2.2: one-round set reconciliation with a known difference bound `d`.
 ///
@@ -36,22 +29,11 @@ pub fn reconcile_known(
     d: usize,
     seed: u64,
 ) -> Result<ReconcileOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-    let mut last_err = ReconError::RetriesExhausted { attempts: 0 };
-    for attempt in 0..3u64 {
-        let protocol = IbltSetProtocol::new(split_seed(seed, 0x2E0 + attempt));
-        let digest = protocol.digest(alice, d);
-        let label = if attempt == 0 { "set digest (IBLT)" } else { "set digest (replica)" };
-        transcript.record(Direction::AliceToBob, label, &digest);
-        match protocol.reconcile(&digest, bob) {
-            Ok(recovered) => return Ok(ReconcileOutcome { recovered, stats: transcript.stats() }),
-            Err(e @ (ReconError::PeelingFailure { .. } | ReconError::ChecksumFailure)) => {
-                last_err = e;
-            }
-            Err(other) => return Err(other),
-        }
-    }
-    Err(last_err)
+    let builder = SessionBuilder::new(seed).amplification(Amplification::replicate(3));
+    builder.run(
+        session::iblt_known_alice(alice, d, builder.config())?,
+        session::iblt_known_bob(bob, builder.config()),
+    )
 }
 
 /// Theorem 2.3: one-round *exact* set reconciliation via characteristic polynomials.
@@ -61,12 +43,11 @@ pub fn reconcile_known_charpoly(
     d: usize,
     seed: u64,
 ) -> Result<ReconcileOutcome, ReconError> {
-    let protocol = CharPolyProtocol::new(seed);
-    let mut transcript = Transcript::new();
-    let digest = protocol.digest(alice, d)?;
-    transcript.record(Direction::AliceToBob, "characteristic polynomial evaluations", &digest);
-    let recovered = protocol.reconcile(&digest, bob)?;
-    Ok(ReconcileOutcome { recovered, stats: transcript.stats() })
+    let builder = SessionBuilder::new(seed).amplification(Amplification::single());
+    builder.run(
+        session::charpoly_known_alice(alice, d, builder.config())?,
+        session::charpoly_known_bob(bob, builder.config()),
+    )
 }
 
 /// Corollary 3.2: two-round set reconciliation when `d` is unknown.
@@ -75,51 +56,18 @@ pub fn reconcile_known_charpoly(
 /// Round 2: Alice merges in her own elements, queries the estimate, inflates it by a
 /// constant safety factor, and replies with an IBLT digest sized accordingly. If the
 /// estimate was still too small (the estimator only promises a constant-factor
-/// approximation), the driver retries with a doubled bound, which models the paper's
+/// approximation), the parties retry with a doubled bound, which models the paper's
 /// replication-based amplification while keeping the expected round count at 2.
 pub fn reconcile_unknown(
     alice: &HashSet<u64>,
     bob: &HashSet<u64>,
     seed: u64,
 ) -> Result<ReconcileOutcome, ReconError> {
-    let mut transcript = Transcript::new();
-
-    // Round 1 (Bob → Alice): the set difference estimator.
-    let est_cfg = L0Config::default().with_seed(split_seed(seed, 0xE57));
-    let mut bob_estimator = L0Estimator::new(&est_cfg);
-    for &x in bob {
-        bob_estimator.update(x, Side::B);
-    }
-    transcript.record(Direction::BobToAlice, "l0 difference estimator", &bob_estimator);
-
-    // Alice merges her elements and queries.
-    let mut alice_estimator = L0Estimator::new(&est_cfg);
-    for &x in alice {
-        alice_estimator.update(x, Side::A);
-    }
-    let merged = alice_estimator.merge(&bob_estimator)?;
-    let estimate = merged.estimate();
-
-    // Constant-factor headroom over the estimate (the paper's protocols take the
-    // estimate "as a bound on d"); retries double the bound on the rare occasions
-    // the estimator's constant-factor guarantee lands under the truth.
-    let mut bound = (estimate * 2).max(8);
-    let protocol = IbltSetProtocol::new(split_seed(seed, 0x5E71));
-    for attempt in 0..6 {
-        let digest = protocol.digest(alice, bound);
-        let label = if attempt == 0 { "set digest (IBLT)" } else { "set digest (retry)" };
-        transcript.record(Direction::AliceToBob, label, &digest);
-        match protocol.reconcile(&digest, bob) {
-            Ok(recovered) => {
-                return Ok(ReconcileOutcome { recovered, stats: transcript.stats() });
-            }
-            Err(ReconError::PeelingFailure { .. }) | Err(ReconError::ChecksumFailure) => {
-                bound *= 2;
-            }
-            Err(other) => return Err(other),
-        }
-    }
-    Err(ReconError::RetriesExhausted { attempts: 6 })
+    let builder = SessionBuilder::new(seed).amplification(Amplification::replicate(6));
+    builder.run(
+        session::unknown_alice(alice, builder.config()),
+        session::unknown_bob(bob, builder.config()),
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,204 @@
+//! Sans-I/O [`Party`] implementations of the plain-set protocols.
+//!
+//! Each factory builds *one side* of a protocol from that party's own data plus
+//! the shared [`SessionConfig`] (public-coin seed, amplification policy,
+//! estimator shape). The pairs reproduce, message for message, the transcripts of
+//! the legacy one-shot drivers in [`crate::protocol`] — which now delegate here.
+
+use crate::charpoly_protocol::CharPolyProtocol;
+use crate::iblt_protocol::IbltSetProtocol;
+use recon_base::rng::split_seed;
+use recon_base::ReconError;
+use recon_estimator::{L0Estimator, Side};
+use recon_protocol::{
+    AmplifiedReceiver, AmplifiedSender, Deferred, Envelope, Exhaust, Party, SessionConfig,
+    WithPreamble,
+};
+use std::collections::HashSet;
+
+/// Envelope tag: an IBLT or characteristic-polynomial set digest.
+pub const TAG_DIGEST: u16 = 0x5E01;
+/// Envelope tag: a retry request (control, uncharged).
+pub const TAG_RETRY: u16 = 0x5E02;
+/// Envelope tag: the ℓ0 difference estimator of Corollary 3.2.
+pub const TAG_ESTIMATOR: u16 = 0x5E03;
+
+fn retryable_iblt_failure(error: &ReconError) -> bool {
+    matches!(error, ReconError::PeelingFailure { .. } | ReconError::ChecksumFailure)
+}
+
+fn control_retry(_attempt: u64) -> Envelope {
+    Envelope::control(TAG_RETRY, "retry request", &())
+}
+
+/// Alice's side of Corollary 2.2 (one-round IBLT set reconciliation, known `d`),
+/// with replication-based amplification per the shared config.
+pub fn iblt_known_alice(
+    set: &HashSet<u64>,
+    d: usize,
+    config: &SessionConfig,
+) -> Result<impl Party<Output = ()>, ReconError> {
+    let set = set.clone();
+    let seed = config.seed;
+    AmplifiedSender::new(config.amplification.max_attempts, move |attempt| {
+        let protocol = IbltSetProtocol::new(split_seed(seed, 0x2E0 + attempt));
+        let digest = protocol.digest(&set, d);
+        let label = if attempt == 0 { "set digest (IBLT)" } else { "set digest (replica)" };
+        Ok(Envelope::round(TAG_DIGEST, label, &digest))
+    })
+}
+
+/// Bob's side of Corollary 2.2: decodes each digest against his set, requesting
+/// a replica on detectable failures.
+pub fn iblt_known_bob(
+    set: &HashSet<u64>,
+    config: &SessionConfig,
+) -> impl Party<Output = HashSet<u64>> {
+    let set = set.clone();
+    let seed = config.seed;
+    AmplifiedReceiver::new(
+        config.amplification.max_attempts,
+        move |attempt, envelope: Envelope| {
+            let digest = envelope.decode_payload()?;
+            let protocol = IbltSetProtocol::new(split_seed(seed, 0x2E0 + attempt));
+            protocol.reconcile(&digest, &set)
+        },
+        retryable_iblt_failure,
+        control_retry,
+        Exhaust::LastError,
+    )
+}
+
+/// Alice's side of Theorem 2.3 (one-round exact reconciliation via
+/// characteristic polynomials). Exact protocols need no amplification.
+pub fn charpoly_known_alice(
+    set: &HashSet<u64>,
+    d: usize,
+    config: &SessionConfig,
+) -> Result<impl Party<Output = ()>, ReconError> {
+    let protocol = CharPolyProtocol::new(config.seed);
+    let digest = protocol.digest(set, d)?;
+    AmplifiedSender::new(1, move |_| {
+        Ok(Envelope::round(TAG_DIGEST, "characteristic polynomial evaluations", &digest))
+    })
+}
+
+/// Bob's side of Theorem 2.3.
+pub fn charpoly_known_bob(
+    set: &HashSet<u64>,
+    config: &SessionConfig,
+) -> impl Party<Output = HashSet<u64>> {
+    let set = set.clone();
+    let protocol = CharPolyProtocol::new(config.seed);
+    AmplifiedReceiver::new(
+        1,
+        move |_, envelope: Envelope| {
+            let digest = envelope.decode_payload()?;
+            protocol.reconcile(&digest, &set)
+        },
+        |_| false,
+        control_retry,
+        Exhaust::LastError,
+    )
+}
+
+/// Alice's side of Corollary 3.2 (two-round reconciliation, unknown `d`): she
+/// waits for Bob's ℓ0 estimator, merges in her own elements, and sizes an
+/// amplified IBLT digest from the estimate (doubling the bound on each retry).
+pub fn unknown_alice(set: &HashSet<u64>, config: &SessionConfig) -> impl Party<Output = ()> {
+    let set = set.clone();
+    let seed = config.seed;
+    let estimator_cfg = config.estimator.with_seed(split_seed(seed, 0xE57));
+    let max_attempts = config.amplification.max_attempts;
+    Deferred::new(move |envelope: Envelope| {
+        let bob_estimator: L0Estimator = envelope.decode_payload()?;
+        let mut alice_estimator = L0Estimator::new(&estimator_cfg);
+        for &x in &set {
+            alice_estimator.update(x, Side::A);
+        }
+        let estimate = alice_estimator.merge(&bob_estimator)?.estimate();
+        // Constant-factor headroom over the estimate; retries double the bound.
+        let base_bound = (estimate * 2).max(8);
+        let protocol = IbltSetProtocol::new(split_seed(seed, 0x5E71));
+        AmplifiedSender::new(max_attempts, move |attempt| {
+            let bound = base_bound << attempt;
+            let digest = protocol.digest(&set, bound);
+            let label = if attempt == 0 { "set digest (IBLT)" } else { "set digest (retry)" };
+            Ok(Envelope::round(TAG_DIGEST, label, &digest))
+        })
+    })
+}
+
+/// Bob's side of Corollary 3.2: sends his estimator first, then decodes digests.
+pub fn unknown_bob(
+    set: &HashSet<u64>,
+    config: &SessionConfig,
+) -> impl Party<Output = HashSet<u64>> {
+    let estimator_cfg = config.estimator.with_seed(split_seed(config.seed, 0xE57));
+    let mut bob_estimator = L0Estimator::new(&estimator_cfg);
+    for &x in set {
+        bob_estimator.update(x, Side::B);
+    }
+    let preamble = [Envelope::round(TAG_ESTIMATOR, "l0 difference estimator", &bob_estimator)];
+
+    let set = set.clone();
+    let protocol = IbltSetProtocol::new(split_seed(config.seed, 0x5E71));
+    let receiver = AmplifiedReceiver::new(
+        config.amplification.max_attempts,
+        move |_, envelope: Envelope| {
+            let digest = envelope.decode_payload()?;
+            protocol.reconcile(&digest, &set)
+        },
+        retryable_iblt_failure,
+        control_retry,
+        Exhaust::RetriesExhausted,
+    );
+    WithPreamble::new(preamble, receiver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_base::rng::Xoshiro256;
+    use recon_protocol::{Amplification, SessionBuilder};
+
+    fn random_sets(n: usize, d: usize, seed: u64) -> (HashSet<u64>, HashSet<u64>) {
+        let mut rng = Xoshiro256::new(seed);
+        let mut alice: HashSet<u64> = (0..n).map(|_| rng.next_below(1 << 50)).collect();
+        let mut bob = alice.clone();
+        for _ in 0..d / 2 {
+            alice.insert(rng.next_below(1 << 50));
+        }
+        for _ in 0..(d - d / 2) {
+            bob.insert(rng.next_below(1 << 50));
+        }
+        (alice, bob)
+    }
+
+    #[test]
+    fn session_driven_iblt_pair_recovers() {
+        let (alice, bob) = random_sets(500, 12, 3);
+        let builder = SessionBuilder::new(9).amplification(Amplification::replicate(3));
+        let outcome = builder
+            .run(
+                iblt_known_alice(&alice, 16, builder.config()).unwrap(),
+                iblt_known_bob(&bob, builder.config()),
+            )
+            .unwrap();
+        assert_eq!(outcome.recovered, alice);
+        assert_eq!(outcome.stats.rounds, 1);
+        assert_eq!(outcome.stats.bytes_bob_to_alice, 0);
+    }
+
+    #[test]
+    fn session_driven_unknown_pair_recovers() {
+        let (alice, bob) = random_sets(800, 24, 4);
+        let builder = SessionBuilder::new(11).amplification(Amplification::replicate(6));
+        let outcome = builder
+            .run(unknown_alice(&alice, builder.config()), unknown_bob(&bob, builder.config()))
+            .unwrap();
+        assert_eq!(outcome.recovered, alice);
+        assert!(outcome.stats.rounds >= 2);
+        assert!(outcome.stats.bytes_bob_to_alice > 0);
+    }
+}

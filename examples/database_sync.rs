@@ -9,6 +9,7 @@
 
 use recon_apps::database::{BinaryTable, SosProtocolKind};
 use recon_base::rng::Xoshiro256;
+use recon_protocol::Outcome;
 
 fn main() {
     let (s, u, d) = (512usize, 128u32, 8usize);
@@ -34,7 +35,7 @@ fn main() {
         ("cascading (Thm 3.7)", SosProtocolKind::Cascading),
         ("multi-round (Thm 3.9)", SosProtocolKind::MultiRound),
     ] {
-        let (recovered, stats) = bob.reconcile_from(&alice, d, kind, 7).expect(name);
+        let Outcome { recovered, stats } = bob.reconcile_from(&alice, d, kind, 7).expect(name);
         println!(
             "{:<28} {:>12} {:>8} {:>10} {:>17.2}x",
             name,

@@ -4,6 +4,7 @@
 //! Run with: `cargo run -p recon-examples --release --example document_collections`
 
 use recon_apps::documents::{reconcile_collections, Collection};
+use recon_protocol::Outcome;
 
 fn main() {
     let shingle_width = 3;
@@ -38,7 +39,7 @@ fn main() {
     );
 
     let d = 64; // generous bound on the total shingle-level difference
-    let (report, stats) =
+    let Outcome { recovered: report, stats } =
         reconcile_collections(&remote, &local, d, 16, 41).expect("collection reconciliation");
 
     println!(

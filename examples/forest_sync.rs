@@ -4,6 +4,7 @@
 
 use recon_base::rng::Xoshiro256;
 use recon_graph::forest::{self, Forest};
+use recon_protocol::Outcome;
 
 fn main() {
     let mut rng = Xoshiro256::new(3);
@@ -23,7 +24,7 @@ fn main() {
     );
 
     let sigma_bound = alice.max_depth().max(bob.max_depth()).max(1);
-    let (recovered, stats) =
+    let Outcome { recovered, stats } =
         forest::reconcile(&alice, &bob, d, sigma_bound, 17).expect("forest reconciliation");
 
     println!("communication: {stats}");

@@ -6,8 +6,7 @@
 use recon_graph::general::{figure1_instance, figure1_merges};
 
 fn describe(graph: &recon_graph::Graph) -> String {
-    let edges: Vec<String> =
-        graph.edges().iter().map(|&(u, v)| format!("{{{u},{v}}}")).collect();
+    let edges: Vec<String> = graph.edges().iter().map(|&(u, v)| format!("{{{u},{v}}}")).collect();
     format!("{} vertices, edges: {}", graph.num_vertices(), edges.join(" "))
 }
 

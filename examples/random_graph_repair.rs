@@ -7,6 +7,7 @@ use recon_base::rng::Xoshiro256;
 use recon_graph::degree_neighborhood::{self, DegreeNeighborhoodParams};
 use recon_graph::degree_order::{self, DegreeOrderParams};
 use recon_graph::Graph;
+use recon_protocol::Outcome;
 
 fn main() {
     // --- Degree-ordering scheme on a dense-ish graph (Theorem 5.2). ---------------
@@ -23,7 +24,7 @@ fn main() {
     );
     let params = DegreeOrderParams { h: 48, seed: 11 };
     match degree_order::reconcile(&alice, &bob, d, &params) {
-        Ok((recovered, stats)) => {
+        Ok(Outcome { recovered, stats }) => {
             println!(
                 "degree-ordering scheme: recovered a graph with {} edges using {stats}",
                 recovered.num_edges()
@@ -48,7 +49,7 @@ fn main() {
     );
     let params = DegreeNeighborhoodParams::for_gnp(n, p, 13);
     match degree_neighborhood::reconcile(&alice, &bob, 2, &params) {
-        Ok((recovered, stats)) => {
+        Ok(Outcome { recovered, stats }) => {
             println!(
                 "degree-neighborhood scheme: recovered a graph with {} edges using {stats}",
                 recovered.num_edges()

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use recon_apps::database::{BinaryTable, SosProtocolKind};
 use recon_apps::documents::{reconcile_collections, shingles, Collection};
 use recon_base::rng::Xoshiro256;
+use recon_protocol::Outcome;
 
 #[test]
 fn database_sync_end_to_end_for_every_protocol() {
@@ -17,7 +18,8 @@ fn database_sync_end_to_end_for_every_protocol() {
         SosProtocolKind::Cascading,
         SosProtocolKind::MultiRound,
     ] {
-        let (recovered, stats) = bob.reconcile_from(&alice, 10, kind, 9).expect("reconcile");
+        let Outcome { recovered, stats } =
+            bob.reconcile_from(&alice, 10, kind, 9).expect("reconcile");
         assert_eq!(recovered, alice, "{kind:?}");
         assert!(stats.total_bytes() > 0);
     }
@@ -33,8 +35,8 @@ fn database_sync_with_row_insertions_and_deletions() {
     bob_rows.remove(&removed);
     let bob = BinaryTable::from_set_of_sets(64, bob_rows).unwrap();
     let d = removed.len() + 2;
-    let (recovered, _) =
-        bob.reconcile_from(&alice, d, SosProtocolKind::Cascading, 11).expect("reconcile");
+    let recovered =
+        bob.reconcile_from(&alice, d, SosProtocolKind::Cascading, 11).expect("reconcile").recovered;
     assert_eq!(recovered, alice);
 }
 
@@ -47,7 +49,7 @@ fn document_collections_classify_remote_documents() {
     remote.add_document("alpha beta gamma delta epsilon zeta");
     remote.add_document("one two three four five six eight");
     remote.add_document("completely unrelated text about databases and graphs");
-    let (report, _) = reconcile_collections(&remote, &local, 40, 6, 3).expect("collections");
+    let report = reconcile_collections(&remote, &local, 40, 6, 3).expect("collections").recovered;
     assert_eq!(report.exact_duplicates, 1);
     assert_eq!(report.near_duplicates.len(), 1);
     assert_eq!(report.fresh_documents.len(), 1);
@@ -82,7 +84,7 @@ proptest! {
         let mut rng = Xoshiro256::new(seed);
         let alice = BinaryTable::random(rows, cols, 0.5, &mut rng);
         let bob = alice.flip_bits(d, &mut rng);
-        let (recovered, stats) = bob
+        let Outcome { recovered, stats } = bob
             .reconcile_from(&alice, d.max(1), SosProtocolKind::Cascading, seed ^ 1)
             .expect("reconcile");
         prop_assert_eq!(recovered, alice);

@@ -7,13 +7,15 @@ use recon_graph::degree_order::{self, DegreeOrderParams};
 use recon_graph::forest::{self, Forest};
 use recon_graph::general;
 use recon_graph::Graph;
+use recon_protocol::Outcome;
 
 #[test]
 fn degree_ordering_end_to_end_on_identical_graphs() {
     let mut rng = Xoshiro256::new(1);
     let g = Graph::gnp(256, 0.4, &mut rng);
     let params = DegreeOrderParams { h: 48, seed: 3 };
-    let (recovered, stats) = degree_order::reconcile(&g, &g, 2, &params).expect("reconcile");
+    let Outcome { recovered, stats } =
+        degree_order::reconcile(&g, &g, 2, &params).expect("reconcile");
     assert_eq!(recovered.num_edges(), g.num_edges());
     assert_eq!(stats.rounds, 1);
     // O(d log n)-ish communication: far below retransmitting ~13k edges (>100 KiB).
@@ -29,7 +31,7 @@ fn degree_ordering_never_returns_a_wrong_graph() {
         let bob = base.perturb(d - d / 2, &mut rng);
         let params = DegreeOrderParams { h: 40, seed: 100 + d as u64 };
         match degree_order::reconcile(&alice, &bob, d, &params) {
-            Ok((recovered, _)) => {
+            Ok(Outcome { recovered, .. }) => {
                 let mut a: Vec<usize> = (0..160u32).map(|v| alice.degree(v)).collect();
                 let mut r: Vec<usize> = (0..160u32).map(|v| recovered.degree(v)).collect();
                 a.sort_unstable();
@@ -51,7 +53,7 @@ fn degree_neighborhood_end_to_end_on_sparse_graphs() {
     let bob = base.perturb(1, &mut rng);
     let params = DegreeNeighborhoodParams::for_gnp(160, 0.1, 7);
     match degree_neighborhood::reconcile(&alice, &bob, 2, &params) {
-        Ok((recovered, stats)) => {
+        Ok(Outcome { recovered, stats }) => {
             assert_eq!(recovered.num_edges(), alice.num_edges());
             let mut a: Vec<usize> = (0..160u32).map(|v| alice.degree(v)).collect();
             let mut r: Vec<usize> = (0..160u32).map(|v| recovered.degree(v)).collect();
@@ -73,7 +75,7 @@ fn forest_reconciliation_end_to_end() {
         let alice = base.perturb(d / 2, &mut rng);
         let bob = base.perturb(d - d / 2, &mut rng);
         let sigma = alice.max_depth().max(bob.max_depth()).max(1);
-        let (recovered, stats) =
+        let Outcome { recovered, stats } =
             forest::reconcile(&alice, &bob, d, sigma, 40 + d as u64).expect("forest");
         assert!(recovered.is_isomorphic(&alice, 40 + d as u64), "d = {d}");
         // Communication grows with d·σ, not with the vertex count; the absolute

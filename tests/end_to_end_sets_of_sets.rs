@@ -114,10 +114,8 @@ fn communication_ordering_matches_table_1_for_large_u() {
     let params = SosParams::new(23, workload.max_child_size);
     let naive_bytes =
         naive::run_known(&alice, &bob, d, &params).expect("naive").stats.total_bytes();
-    let flat_bytes = iblt_of_iblts::run_known(&alice, &bob, d, d, &params)
-        .expect("flat")
-        .stats
-        .total_bytes();
+    let flat_bytes =
+        iblt_of_iblts::run_known(&alice, &bob, d, d, &params).expect("flat").stats.total_bytes();
     let cascade_bytes =
         cascading::run_known(&alice, &bob, d, &params).expect("cascade").stats.total_bytes();
     assert!(flat_bytes < naive_bytes, "{flat_bytes} !< {naive_bytes}");

@@ -1,0 +1,335 @@
+//! Transport-equivalence tests for the sans-I/O session layer.
+//!
+//! Every protocol family is driven two ways: through the one-shot drivers (which
+//! delegate to `recon_protocol::Session` over an in-memory link) and *manually*,
+//! message by message, with each [`Envelope`] serialized to bytes and decoded on
+//! the far side — the way two separate processes would exchange them. The
+//! recovered data and the measured [`CommStats`] must agree byte for byte: the
+//! accounting is a property of the protocol, not of the transport.
+
+use proptest::prelude::*;
+use recon_base::comm::{CommStats, Direction, Transcript};
+use recon_base::rng::Xoshiro256;
+use recon_base::wire::{Decode, Encode};
+use recon_base::ReconError;
+use recon_estimator::L0Config;
+use recon_protocol::{Amplification, Envelope, Meter, Party, SessionBuilder, Step};
+use recon_set::{
+    reconcile_known, reconcile_known_charpoly, reconcile_unknown, session as set_session,
+};
+use recon_sos::workload::{generate_pair, WorkloadParams};
+use recon_sos::{cascading, iblt_of_iblts, multiround, naive, session as sos_session, SosParams};
+use std::collections::HashSet;
+
+/// Drive a party pair by hand, pushing every envelope through a serialize →
+/// deserialize round trip, and account for it exactly like `MemoryLink` does.
+fn drive_over_bytes<A: Party, B: Party>(
+    mut alice: A,
+    mut bob: B,
+) -> Result<(B::Output, CommStats), ReconError> {
+    // Deliberately an *independent* reimplementation of MemoryLink's metering
+    // rather than a call into it: the one-shot drivers under test already run
+    // through MemoryLink, so reusing it here would make the accounting
+    // comparison tautological. If the Meter rules change in one place and not
+    // the other, these tests fail loudly instead of agreeing by construction.
+    fn record(transcript: &mut Transcript, direction: Direction, envelope: &Envelope) {
+        match envelope.meter {
+            Meter::Round => {
+                transcript.record_bytes(direction, &envelope.label, envelope.payload.len());
+            }
+            Meter::Parallel => {
+                transcript.record_parallel_bytes(
+                    direction,
+                    &envelope.label,
+                    envelope.payload.len(),
+                );
+            }
+            Meter::Explicit { bytes, parallel } => {
+                if parallel {
+                    transcript.record_parallel_bytes(direction, &envelope.label, bytes as usize);
+                } else {
+                    transcript.record_bytes(direction, &envelope.label, bytes as usize);
+                }
+            }
+            Meter::Control => {}
+        }
+    }
+
+    let mut transcript = Transcript::new();
+    loop {
+        let mut progressed = false;
+        while let Some(envelope) = alice.poll_send() {
+            progressed = true;
+            let wire_bytes = envelope.to_bytes();
+            let envelope = Envelope::from_bytes(&wire_bytes).expect("envelope wire roundtrip");
+            record(&mut transcript, Direction::AliceToBob, &envelope);
+            if let Step::Done(output) = bob.handle(envelope)? {
+                return Ok((output, transcript.stats()));
+            }
+        }
+        while let Some(envelope) = bob.poll_send() {
+            progressed = true;
+            let wire_bytes = envelope.to_bytes();
+            let envelope = Envelope::from_bytes(&wire_bytes).expect("envelope wire roundtrip");
+            record(&mut transcript, Direction::BobToAlice, &envelope);
+            alice.handle(envelope)?;
+        }
+        assert!(progressed, "party pair stalled");
+    }
+}
+
+fn random_set_pair(n: usize, d: usize, seed: u64) -> (HashSet<u64>, HashSet<u64>) {
+    let mut rng = Xoshiro256::new(seed);
+    let mut alice: HashSet<u64> = (0..n).map(|_| rng.next_below(1 << 48)).collect();
+    let mut bob = alice.clone();
+    for _ in 0..d / 2 {
+        alice.insert(rng.next_below(1 << 48));
+    }
+    for _ in 0..(d - d / 2) {
+        bob.insert(rng.next_below(1 << 48));
+    }
+    (alice, bob)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// IBLT set reconciliation (Cor 2.2): manual byte-level driving reproduces the
+    /// one-shot driver's output and CommStats exactly.
+    #[test]
+    fn set_iblt_known_matches_driver(
+        n in 50usize..400, d in 0usize..24, seed in any::<u64>()
+    ) {
+        let (alice, bob) = random_set_pair(n, d, seed);
+        let bound = d.max(1) + 2;
+        let driver = reconcile_known(&alice, &bob, bound, seed ^ 1).expect("driver");
+
+        let builder = SessionBuilder::new(seed ^ 1).amplification(Amplification::replicate(3));
+        let (recovered, stats) = drive_over_bytes(
+            set_session::iblt_known_alice(&alice, bound, builder.config()).expect("alice"),
+            set_session::iblt_known_bob(&bob, builder.config()),
+        )
+        .expect("session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+    }
+
+    /// Characteristic-polynomial set reconciliation (Thm 2.3).
+    #[test]
+    fn set_charpoly_matches_driver(
+        n in 50usize..300, d in 0usize..16, seed in any::<u64>()
+    ) {
+        let (alice, bob) = random_set_pair(n, d, seed);
+        let bound = d.max(1) + 2;
+        let driver = reconcile_known_charpoly(&alice, &bob, bound, seed ^ 2).expect("driver");
+
+        let builder = SessionBuilder::new(seed ^ 2).amplification(Amplification::single());
+        let (recovered, stats) = drive_over_bytes(
+            set_session::charpoly_known_alice(&alice, bound, builder.config()).expect("alice"),
+            set_session::charpoly_known_bob(&bob, builder.config()),
+        )
+        .expect("session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+    }
+
+    /// Unknown-d set reconciliation (Cor 3.2), including the estimator round.
+    #[test]
+    fn set_unknown_matches_driver(
+        n in 100usize..500, d in 0usize..48, seed in any::<u64>()
+    ) {
+        let (alice, bob) = random_set_pair(n, d, seed);
+        let driver = reconcile_unknown(&alice, &bob, seed ^ 3).expect("driver");
+
+        let builder = SessionBuilder::new(seed ^ 3).amplification(Amplification::replicate(6));
+        let (recovered, stats) = drive_over_bytes(
+            set_session::unknown_alice(&alice, builder.config()),
+            set_session::unknown_bob(&bob, builder.config()),
+        )
+        .expect("session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+    }
+
+    /// All four set-of-sets families, known-d variants.
+    #[test]
+    fn sos_known_families_match_drivers(seed in any::<u64>(), d in 1usize..8) {
+        let workload = WorkloadParams::new(48, 12, 1 << 28);
+        let (alice, bob) = generate_pair(&workload, d, seed);
+        let params = SosParams::new(seed ^ 0x50, workload.max_child_size);
+
+        let driver = naive::run_known(&alice, &bob, d, &params).expect("naive driver");
+        let (recovered, stats) = drive_over_bytes(
+            sos_session::naive_known_alice(&alice, d, &params, Amplification::replicate(3))
+                .expect("alice"),
+            sos_session::naive_known_bob(&bob, &params, Amplification::replicate(3)),
+        )
+        .expect("naive session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+
+        let driver = iblt_of_iblts::run_known(&alice, &bob, d, d, &params).expect("ioi driver");
+        let (recovered, stats) = drive_over_bytes(
+            sos_session::ioi_known_alice(&alice, d, d, &params, Amplification::replicate(3))
+                .expect("alice"),
+            sos_session::ioi_known_bob(&bob, &params, Amplification::replicate(3)),
+        )
+        .expect("ioi session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+
+        let driver = cascading::run_known(&alice, &bob, d, &params).expect("cascading driver");
+        let (recovered, stats) = drive_over_bytes(
+            sos_session::cascading_known_alice(&alice, d, &params, Amplification::replicate(4))
+                .expect("alice"),
+            sos_session::cascading_known_bob(&bob, &params, Amplification::replicate(4)),
+        )
+        .expect("cascading session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+
+        // Theorem 3.9 has no amplification, so some random instances legitimately
+        // fail with constant probability; the session must agree either way.
+        let session_result = drive_over_bytes(
+            sos_session::multiround_known_alice(&alice, d, d, &params),
+            sos_session::multiround_known_bob(&bob, &params),
+        );
+        match multiround::run_known(&alice, &bob, d, d, &params) {
+            Ok(driver) => {
+                let (recovered, stats) = session_result.expect("multiround session");
+                prop_assert_eq!(&recovered, &driver.recovered);
+                prop_assert_eq!(stats, driver.stats);
+            }
+            Err(driver_error) => {
+                let session_error = session_result.expect_err("session must fail too");
+                prop_assert_eq!(
+                    format!("{session_error}"), format!("{driver_error}"),
+                    "both runs must fail identically"
+                );
+            }
+        }
+    }
+
+    /// All four set-of-sets families, unknown-d variants (estimator rounds and
+    /// metered NACK doubling included).
+    #[test]
+    fn sos_unknown_families_match_drivers(seed in any::<u64>(), d in 1usize..6) {
+        let workload = WorkloadParams::new(40, 10, 1 << 28);
+        let (alice, bob) = generate_pair(&workload, d, seed);
+        let params = SosParams::new(seed ^ 0x51, workload.max_child_size);
+        let estimator = L0Config::default();
+
+        let driver = naive::run_unknown(&alice, &bob, &params).expect("naive driver");
+        let (recovered, stats) = drive_over_bytes(
+            sos_session::naive_unknown_alice(
+                &alice,
+                &params,
+                Amplification::replicate(5),
+                estimator,
+            ),
+            sos_session::naive_unknown_bob(&bob, &params, Amplification::replicate(5), estimator),
+        )
+        .expect("naive session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+
+        let max_possible = alice.total_elements() + bob.total_elements() + 2;
+        let children_cap = alice.num_children().max(bob.num_children()).max(1);
+        let doubling = Amplification::doubling(1, 2 * max_possible);
+        let driver = iblt_of_iblts::run_unknown(&alice, &bob, &params).expect("ioi driver");
+        let (recovered, stats) = drive_over_bytes(
+            sos_session::ioi_unknown_alice(&alice, &params, children_cap, doubling)
+                .expect("alice"),
+            sos_session::ioi_unknown_bob(&bob, &params, doubling),
+        )
+        .expect("ioi session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+
+        let doubling = Amplification::doubling(2, 2 * max_possible);
+        let driver = cascading::run_unknown(&alice, &bob, &params).expect("cascading driver");
+        let (recovered, stats) = drive_over_bytes(
+            sos_session::cascading_unknown_alice(&alice, &params, doubling).expect("alice"),
+            sos_session::cascading_unknown_bob(&bob, &params, doubling),
+        )
+        .expect("cascading session");
+        prop_assert_eq!(&recovered, &driver.recovered);
+        prop_assert_eq!(stats, driver.stats);
+
+        let session_result = drive_over_bytes(
+            sos_session::multiround_unknown_alice(&alice, &params, estimator),
+            sos_session::multiround_unknown_bob(&bob, &params, estimator),
+        );
+        match multiround::run_unknown(&alice, &bob, &params) {
+            Ok(driver) => {
+                let (recovered, stats) = session_result.expect("multiround session");
+                prop_assert_eq!(&recovered, &driver.recovered);
+                prop_assert_eq!(stats, driver.stats);
+            }
+            Err(driver_error) => {
+                let session_error = session_result.expect_err("session must fail too");
+                prop_assert_eq!(
+                    format!("{session_error}"), format!("{driver_error}"),
+                    "both runs must fail identically"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degree_order_session_matches_driver() {
+    use recon_graph::degree_order::{self, DegreeOrderParams};
+    use recon_graph::{session as graph_session, Graph};
+
+    let mut rng = Xoshiro256::new(17);
+    let base = Graph::gnp(200, 0.35, &mut rng);
+    let params = DegreeOrderParams { h: 48, seed: 91 };
+    let driver = degree_order::reconcile(&base, &base, 4, &params).expect("driver");
+
+    let (recovered, stats) = drive_over_bytes(
+        graph_session::degree_order_alice(&base, 4, &params).expect("alice"),
+        graph_session::degree_order_bob(&base, 4, &params).expect("bob"),
+    )
+    .expect("session");
+    assert_eq!(recovered.num_edges(), driver.recovered.num_edges());
+    assert_eq!(stats, driver.stats);
+    assert_eq!(stats.rounds, 1, "charge + parallel edge digest share one round");
+    assert_eq!(stats.messages, 2);
+}
+
+#[test]
+fn forest_session_matches_driver() {
+    use recon_graph::forest::{self, Forest};
+    use recon_graph::session as graph_session;
+    use recon_sos::multiset_of_multisets::{self, PairPacking};
+
+    let mut rng = Xoshiro256::new(23);
+    let base = Forest::random(300, 0.1, 5, &mut rng);
+    let alice = base.perturb(2, &mut rng);
+    let seed = 501u64;
+    let driver = forest::reconcile(&alice, &base, 4, 6, seed).expect("driver");
+
+    let packing = PairPacking::default();
+    let alice_collection = alice.vertex_multisets(seed);
+    let bob_collection = base.vertex_multisets(seed);
+    let max_child =
+        alice_collection.max_child_distinct().max(bob_collection.max_child_distinct()).max(2) + 1;
+    let base_params = SosParams::new(seed ^ 0xF07E57, max_child);
+    let resolved = multiset_of_multisets::resolved_params(
+        &alice_collection,
+        &bob_collection,
+        &base_params,
+        &packing,
+    )
+    .expect("resolved params");
+
+    let (recovered, stats) = drive_over_bytes(
+        graph_session::forest_alice(&alice, 4, 6, seed, &resolved).expect("alice"),
+        graph_session::forest_bob(&base, seed, &resolved).expect("bob"),
+    )
+    .expect("session");
+    assert!(recovered.is_isomorphic(&driver.recovered, seed));
+    assert_eq!(stats, driver.stats);
+    assert_eq!(stats.rounds, 1);
+}
