@@ -19,4 +19,6 @@ pub mod database;
 pub mod documents;
 
 pub use database::BinaryTable;
-pub use documents::{Collection, CollectionDiffReport};
+pub use documents::{
+    reconcile_collections, reconcile_collections_sharded, Collection, CollectionDiffReport,
+};

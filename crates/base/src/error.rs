@@ -53,6 +53,9 @@ pub enum ReconError {
     InvalidInput(String),
     /// A message failed to deserialize.
     Wire(WireError),
+    /// A transport-level failure: the underlying byte stream errored, closed
+    /// mid-session, or delivered unframeable garbage.
+    Transport(String),
     /// A sans-I/O session stalled: neither party had a message to send and the
     /// receiving party had not produced its output (a protocol logic error).
     SessionStalled {
@@ -83,6 +86,7 @@ impl fmt::Display for ReconError {
             ReconError::SeparationFailure(why) => write!(f, "graph separation failure: {why}"),
             ReconError::InvalidInput(why) => write!(f, "invalid input: {why}"),
             ReconError::Wire(e) => write!(f, "wire decode error: {e}"),
+            ReconError::Transport(why) => write!(f, "transport failure: {why}"),
             ReconError::SessionStalled { messages_exchanged } => {
                 write!(f, "protocol session stalled after {messages_exchanged} message(s)")
             }

@@ -1,0 +1,198 @@
+//! Sharded set-of-sets reconciliation: split a collection into per-shard
+//! sub-collections by hashed child identity and reconcile all shards
+//! concurrently over one multiplexed link.
+//!
+//! A child set is assigned to a shard by hashing its canonical encoding
+//! ([`SetOfSets::child_hash`]) under a seed derived from the shared
+//! [`ShardedRunner`], so Alice and Bob agree on the split without
+//! communicating. A single flipped bit turns one child into another; the old
+//! and new versions may hash to *different* shards, where they surface as one
+//! missing and one extra child respectively — which is exactly the difference
+//! model the child-level protocols already handle. Per-shard difference bounds
+//! therefore count differing children, like Theorem 3.3's `d̂`.
+
+use crate::session;
+use crate::types::{SetOfSets, SosParams};
+use recon_base::rng::split_seed;
+use recon_base::ReconError;
+use recon_protocol::{Amplification, Party, ShardedOutcome, ShardedRunner};
+
+/// Salt separating the child→shard map from every protocol seed.
+const CHILD_SHARD_SALT: u64 = 0x5AAD_C41D;
+
+/// The shard a child set belongs to under `runner`'s seed.
+pub fn shard_of_child(child: &crate::types::ChildSet, runner: &ShardedRunner) -> usize {
+    let key = SetOfSets::child_hash(child, split_seed(runner.seed(), CHILD_SHARD_SALT));
+    runner.shard_of_key(key)
+}
+
+/// Split `sos` into `runner.num_shards()` disjoint sub-collections. The union
+/// of the shards is the original collection and both parties compute the same
+/// assignment locally.
+pub fn shard_set_of_sets(sos: &SetOfSets, runner: &ShardedRunner) -> Vec<SetOfSets> {
+    let mut buckets: Vec<Vec<crate::types::ChildSet>> = vec![Vec::new(); runner.num_shards()];
+    for child in sos.children() {
+        buckets[shard_of_child(child, runner)].push(child.clone());
+    }
+    buckets.into_iter().map(SetOfSets::from_children).collect()
+}
+
+/// Which child-level family reconciles each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardedSosFamily {
+    /// Theorem 3.3: children as opaque items in one outer IBLT.
+    Naive,
+    /// Theorem 3.5 / Algorithm 1: an IBLT of child IBLTs.
+    IbltOfIblts,
+    /// Theorem 3.7 / Algorithm 2: cascading child IBLTs.
+    Cascading,
+}
+
+/// Reconcile two collections shard by shard, all shards multiplexed over one
+/// framed link; Bob recovers Alice's full collection as the union of the shard
+/// recoveries.
+///
+/// `per_shard_d` is the difference bound handed to every shard's protocol, in
+/// that family's own units: differing children for
+/// [`ShardedSosFamily::Naive`], flipped bits for the other two. Because a
+/// flipped bit rehashes its child to a (generally) different shard, both the
+/// old and the new version surface as *whole-child* differences in their
+/// respective shards — so a safe bit-level bound covers `2d` full child
+/// weights, not `d` individual bits (see the module docs).
+pub fn reconcile_known_sharded(
+    alice: &SetOfSets,
+    bob: &SetOfSets,
+    per_shard_d: usize,
+    family: ShardedSosFamily,
+    params: &SosParams,
+    amplification: Amplification,
+    runner: &ShardedRunner,
+) -> Result<ShardedOutcome<SetOfSets>, ReconError> {
+    let alice_shards = shard_set_of_sets(alice, runner);
+    let bob_shards = shard_set_of_sets(bob, runner);
+    type Pair = (Box<dyn Party<Output = ()>>, Box<dyn Party<Output = SetOfSets>>);
+    let mut pairs: Vec<Pair> = Vec::with_capacity(runner.num_shards());
+    for (shard, (alice_shard, bob_shard)) in alice_shards.iter().zip(&bob_shards).enumerate() {
+        // Each shard gets independent public coins but shares the universe
+        // bound, so encodings stay compatible with the unsharded protocols.
+        let shard_params = SosParams::new(runner.shard_seed(shard), params.max_child_size);
+        let pair: Pair = match family {
+            ShardedSosFamily::Naive => (
+                Box::new(session::naive_known_alice(
+                    alice_shard,
+                    per_shard_d,
+                    &shard_params,
+                    amplification,
+                )?),
+                Box::new(session::naive_known_bob(bob_shard, &shard_params, amplification)),
+            ),
+            ShardedSosFamily::IbltOfIblts => (
+                Box::new(session::ioi_known_alice(
+                    alice_shard,
+                    per_shard_d,
+                    per_shard_d,
+                    &shard_params,
+                    amplification,
+                )?),
+                Box::new(session::ioi_known_bob(bob_shard, &shard_params, amplification)),
+            ),
+            ShardedSosFamily::Cascading => (
+                Box::new(session::cascading_known_alice(
+                    alice_shard,
+                    per_shard_d,
+                    &shard_params,
+                    amplification,
+                )?),
+                Box::new(session::cascading_known_bob(bob_shard, &shard_params, amplification)),
+            ),
+        };
+        pairs.push(pair);
+    }
+    let outcomes = runner.run_pairs(pairs)?;
+    let per_shard: Vec<_> = outcomes.iter().map(|o| o.stats).collect();
+    let stats = ShardedRunner::merge_stats(&per_shard);
+    let mut children = Vec::new();
+    for outcome in outcomes {
+        children.extend(outcome.recovered.children().iter().cloned());
+    }
+    Ok(ShardedOutcome { recovered: SetOfSets::from_children(children), per_shard, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_pair, WorkloadParams};
+
+    #[test]
+    fn shards_partition_the_collection() {
+        let workload = WorkloadParams::new(60, 10, 1 << 28);
+        let (alice, _) = generate_pair(&workload, 4, 8);
+        let runner = ShardedRunner::new(5, 31);
+        let shards = shard_set_of_sets(&alice, &runner);
+        assert_eq!(shards.len(), 5);
+        assert_eq!(shards.iter().map(SetOfSets::num_children).sum::<usize>(), alice.num_children());
+        let mut union: Vec<_> = shards.iter().flat_map(|s| s.children().to_vec()).collect();
+        union.sort();
+        let mut original = alice.children().to_vec();
+        original.sort();
+        assert_eq!(union, original);
+    }
+
+    #[test]
+    fn every_family_recovers_alice_shard_by_shard() {
+        let workload = WorkloadParams::new(48, 12, 1 << 28);
+        let d = 5;
+        let (alice, bob) = generate_pair(&workload, d, 77);
+        let params = SosParams::new(123, workload.max_child_size);
+        let runner = ShardedRunner::new(4, 9);
+        for family in
+            [ShardedSosFamily::Naive, ShardedSosFamily::IbltOfIblts, ShardedSosFamily::Cascading]
+        {
+            // Each flipped bit can surface as up to two whole-child differences,
+            // all of which could land in one shard; covering 2d full child
+            // weights is safe in both families' units (children and bits).
+            let per_shard_d = match family {
+                ShardedSosFamily::Naive => 2 * d + 2,
+                _ => (2 * d + 2) * (workload.max_child_size + 1),
+            };
+            let outcome = reconcile_known_sharded(
+                &alice,
+                &bob,
+                per_shard_d,
+                family,
+                &params,
+                Amplification::replicate(4),
+                &runner,
+            )
+            .unwrap();
+            assert_eq!(outcome.recovered, alice, "{family:?}");
+            assert_eq!(outcome.per_shard.len(), 4);
+            assert_eq!(
+                outcome.stats.total_bytes(),
+                outcome.per_shard.iter().map(|s| s.total_bytes()).sum::<usize>(),
+                "{family:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_sos_runs_are_deterministic() {
+        let workload = WorkloadParams::new(40, 8, 1 << 24);
+        let (alice, bob) = generate_pair(&workload, 3, 5);
+        let params = SosParams::new(7, workload.max_child_size);
+        let runner = ShardedRunner::new(3, 55);
+        let run = || {
+            reconcile_known_sharded(
+                &alice,
+                &bob,
+                8,
+                ShardedSosFamily::Cascading,
+                &params,
+                Amplification::replicate(4),
+                &runner,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

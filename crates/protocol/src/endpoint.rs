@@ -1,0 +1,581 @@
+//! The multiplexed [`Endpoint`]: many concurrent sessions over one framed
+//! [`Transport`], plus the [`ShardedRunner`] that fans a partitioned workload
+//! out across such sessions.
+//!
+//! Where [`Session::run`](crate::Session::run) drives exactly one blocking
+//! reconciliation per link, an `Endpoint` owns any number of
+//! [`SessionCore`]s, each identified by a [`SessionId`] both peers agreed on,
+//! and pumps them all through a single byte stream: [`Endpoint::poll`] drains
+//! every session's outgoing envelopes into session-tagged [`Frame`]s, then
+//! dispatches every arrived frame to its session. Per-session [`Transcript`]s
+//! apply exactly the metering of [`MemoryLink`](crate::MemoryLink), so a
+//! protocol multiplexed across a shared connection reports the same
+//! [`CommStats`] as the same protocol run alone — amortizing transport setup
+//! without distorting the paper's accounting.
+//!
+//! Session lifecycle: a party that produces its output (or fails) finishes its
+//! session; the endpoint then frames an uncharged [`FrameBody::Fin`] so the
+//! peer — whose own party may never complete, like Alice in the paper's
+//! one-way convention — can retire its half. Outcomes are collected with
+//! [`Endpoint::take_outcome`]; an Alice-side session is closed with
+//! [`Endpoint::close`], which yields its accounting.
+
+use crate::envelope::Envelope;
+use crate::frame::{Frame, FrameBody, SessionId};
+use crate::party::Party;
+use crate::session::{Outcome, SessionCore};
+use crate::transport::{MemoryTransport, Transport};
+use recon_base::comm::{CommStats, Direction, Transcript};
+use recon_base::rng::split_seed;
+use recon_base::ReconError;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Which paper role the local party plays in a session. The role fixes the
+/// [`Direction`] its envelopes are recorded under, so both endpoints of a link
+/// reconstruct identical per-session transcripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The party whose data is being recovered; sends `A→B`.
+    Alice,
+    /// The recovering party; sends `B→A`.
+    Bob,
+}
+
+impl Role {
+    fn outgoing(self) -> Direction {
+        match self {
+            Role::Alice => Direction::AliceToBob,
+            Role::Bob => Direction::BobToAlice,
+        }
+    }
+
+    fn incoming(self) -> Direction {
+        match self {
+            Role::Alice => Direction::BobToAlice,
+            Role::Bob => Direction::AliceToBob,
+        }
+    }
+}
+
+/// Object-safe view of a [`SessionCore`] with the output type erased, so one
+/// endpoint can host sessions of heterogeneous protocols.
+trait ErasedSession {
+    fn poll_send(&mut self) -> Option<Envelope>;
+    fn handle(&mut self, envelope: Envelope) -> Result<bool, ReconError>;
+    fn is_done(&self) -> bool;
+    fn take_output(&mut self) -> Option<Box<dyn Any>>;
+}
+
+impl<P> ErasedSession for SessionCore<P>
+where
+    P: Party + 'static,
+    P::Output: 'static,
+{
+    fn poll_send(&mut self) -> Option<Envelope> {
+        SessionCore::poll_send(self)
+    }
+
+    fn handle(&mut self, envelope: Envelope) -> Result<bool, ReconError> {
+        SessionCore::handle(self, envelope)
+    }
+
+    fn is_done(&self) -> bool {
+        SessionCore::is_done(self)
+    }
+
+    fn take_output(&mut self) -> Option<Box<dyn Any>> {
+        SessionCore::take_output(self).map(|output| Box::new(output) as Box<dyn Any>)
+    }
+}
+
+struct Slot {
+    role: Role,
+    session: Box<dyn ErasedSession>,
+    transcript: Transcript,
+    error: Option<ReconError>,
+    peer_finished: bool,
+    fin_sent: bool,
+}
+
+impl Slot {
+    /// A session that will make no further local progress: its party completed,
+    /// failed terminally, or the peer declared the session over.
+    fn finished(&self) -> bool {
+        self.session.is_done() || self.error.is_some() || self.peer_finished
+    }
+}
+
+/// A multiplexer of concurrent protocol sessions over one framed transport.
+pub struct Endpoint<T: Transport> {
+    transport: T,
+    sessions: BTreeMap<SessionId, Slot>,
+    frames_dispatched: usize,
+}
+
+impl<T: Transport> Endpoint<T> {
+    /// An endpoint speaking over `transport`, with no sessions yet.
+    pub fn new(transport: T) -> Self {
+        Self { transport, sessions: BTreeMap::new(), frames_dispatched: 0 }
+    }
+
+    /// Register the local half of session `id`. The peer endpoint must register
+    /// the opposite role under the same id. Fails on a duplicate id.
+    pub fn register<P>(&mut self, id: SessionId, role: Role, party: P) -> Result<(), ReconError>
+    where
+        P: Party + 'static,
+        P::Output: 'static,
+    {
+        if self.sessions.contains_key(&id) {
+            return Err(ReconError::InvalidInput(format!("session id {id} already registered")));
+        }
+        self.sessions.insert(
+            id,
+            Slot {
+                role,
+                session: Box::new(SessionCore::new(party)),
+                transcript: Transcript::new(),
+                error: None,
+                peer_finished: false,
+                fin_sent: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Pump the multiplexer once: frame and send every session's pending
+    /// envelopes, then dispatch every frame the transport has fully received.
+    /// Returns whether any work happened — drivers loop until their sessions
+    /// finish and treat a no-progress iteration as "waiting on the peer".
+    pub fn poll(&mut self) -> Result<bool, ReconError> {
+        let mut progressed = self.pump_sends()?;
+        while let Some(frame) = self.transport.recv()? {
+            progressed = true;
+            self.dispatch(frame)?;
+        }
+        // Dispatching may have queued responses; get them onto the wire now so
+        // a peer polling in lockstep sees them on its next iteration.
+        progressed |= self.pump_sends()?;
+        Ok(progressed)
+    }
+
+    fn pump_sends(&mut self) -> Result<bool, ReconError> {
+        let mut progressed = false;
+        for (&id, slot) in self.sessions.iter_mut() {
+            while let Some(envelope) = slot.session.poll_send() {
+                progressed = true;
+                envelope.record_into(&mut slot.transcript, slot.role.outgoing());
+                self.transport.send(&Frame::envelope(id, envelope))?;
+            }
+            if slot.finished() && !slot.fin_sent {
+                progressed = true;
+                slot.fin_sent = true;
+                self.transport.send(&Frame::fin(id))?;
+            }
+        }
+        self.transport.flush()?;
+        Ok(progressed)
+    }
+
+    fn dispatch(&mut self, frame: Frame) -> Result<(), ReconError> {
+        self.frames_dispatched += 1;
+        let Some(slot) = self.sessions.get_mut(&frame.session_id) else {
+            return match frame.body {
+                // A Fin for an already-closed session is normal shutdown skew.
+                FrameBody::Fin => Ok(()),
+                FrameBody::Envelope(_) => Err(ReconError::Transport(format!(
+                    "envelope for unknown session {}",
+                    frame.session_id
+                ))),
+            };
+        };
+        match frame.body {
+            FrameBody::Fin => slot.peer_finished = true,
+            FrameBody::Envelope(envelope) => {
+                if slot.finished() {
+                    // Late frame after local completion/failure; drop it, like
+                    // the blocking driver drops undelivered envelopes once the
+                    // receiving party returns its output.
+                    return Ok(());
+                }
+                envelope.record_into(&mut slot.transcript, slot.role.incoming());
+                if let Err(error) = slot.session.handle(envelope) {
+                    slot.error = Some(error);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of sessions still making progress (registered and not finished).
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.values().filter(|slot| !slot.finished()).count()
+    }
+
+    /// Number of sessions currently registered (finished or not).
+    pub fn registered_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total frames dispatched to sessions so far.
+    pub fn frames_dispatched(&self) -> usize {
+        self.frames_dispatched
+    }
+
+    /// Whether session `id` is finished (`None` if unknown/already taken).
+    pub fn is_finished(&self, id: SessionId) -> Option<bool> {
+        self.sessions.get(&id).map(Slot::finished)
+    }
+
+    /// The communication recorded for session `id` so far.
+    pub fn stats(&self, id: SessionId) -> Option<CommStats> {
+        self.sessions.get(&id).map(|slot| slot.transcript.stats())
+    }
+
+    /// Collect the outcome of a completed session, removing it from the
+    /// endpoint. Returns `None` while the session is still running, `Some(Err)`
+    /// if its party failed, and `Some(Ok)` with the recovered output plus this
+    /// session's measured communication otherwise. The requested output type
+    /// must match the registered party's.
+    pub fn take_outcome<O: 'static>(
+        &mut self,
+        id: SessionId,
+    ) -> Option<Result<Outcome<O>, ReconError>> {
+        let slot = self.sessions.get(&id)?;
+        if slot.error.is_none() && !slot.session.is_done() {
+            return None;
+        }
+        let mut slot = self.sessions.remove(&id).expect("checked above");
+        if !slot.fin_sent {
+            // Retiring before the next poll: tell the peer now. Best-effort,
+            // like `close` — the session itself already completed, and a peer
+            // that tore the transport down no longer needs the notification.
+            let _ = self.transport.send(&Frame::fin(id));
+        }
+        if let Some(error) = slot.error {
+            return Some(Err(error));
+        }
+        let output = slot.session.take_output().expect("done session has an output");
+        match output.downcast::<O>() {
+            Ok(recovered) => {
+                Some(Ok(Outcome { recovered: *recovered, stats: slot.transcript.stats() }))
+            }
+            Err(_) => {
+                Some(Err(ReconError::InvalidInput(format!("session {id} output type mismatch"))))
+            }
+        }
+    }
+
+    /// Retire session `id` regardless of local completion — how an Alice-side
+    /// endpoint (whose party never produces an output) releases a session once
+    /// the peer's Fin arrived. Returns the session's accounting.
+    pub fn close(&mut self, id: SessionId) -> Option<CommStats> {
+        let slot = self.sessions.remove(&id)?;
+        if !slot.fin_sent {
+            let _ = self.transport.send(&Frame::fin(id));
+        }
+        Some(slot.transcript.stats())
+    }
+
+    /// The underlying transport (e.g. for its framed-byte counters).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+}
+
+/// Drive two connected in-process endpoints until every session on both sides
+/// has finished. Errors with [`ReconError::SessionStalled`] if neither side can
+/// make progress while sessions remain open — a protocol logic error, since an
+/// in-process pair has no genuine "waiting on the network" state.
+pub fn drive_pair<TA: Transport, TB: Transport>(
+    a: &mut Endpoint<TA>,
+    b: &mut Endpoint<TB>,
+) -> Result<(), ReconError> {
+    loop {
+        let progressed_a = a.poll()?;
+        let progressed_b = b.poll()?;
+        if a.open_sessions() == 0 && b.open_sessions() == 0 {
+            return Ok(());
+        }
+        if !progressed_a && !progressed_b {
+            return Err(ReconError::SessionStalled {
+                messages_exchanged: a.frames_dispatched() + b.frames_dispatched(),
+            });
+        }
+    }
+}
+
+/// The result of a sharded reconciliation: the reassembled output plus both the
+/// per-shard and the merged communication accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedOutcome<T> {
+    /// The union of the per-shard recoveries.
+    pub recovered: T,
+    /// Each shard's own `CommStats`, in shard order.
+    pub per_shard: Vec<CommStats>,
+    /// The merged accounting per [`ShardedRunner::merge_stats`].
+    pub stats: CommStats,
+}
+
+/// A deterministic fan-out of a reconciliation workload across concurrent
+/// sessions multiplexed over one link.
+///
+/// The runner fixes the two ingredients both parties must agree on *without
+/// communicating*: how keys map to shards ([`ShardedRunner::shard_of_key`], a
+/// seeded hash — the power-of-choices intuition: spreading keys across `k`
+/// bins keeps every bin's difference small) and the per-shard public-coin
+/// seeds ([`ShardedRunner::shard_seed`]). Domain crates build per-shard party
+/// pairs from those and hand them to [`ShardedRunner::run_pairs`], which runs
+/// them all through a single framed in-memory endpoint pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedRunner {
+    num_shards: usize,
+    seed: u64,
+}
+
+/// Salt separating the shard-assignment hash from the per-shard protocol seeds.
+const SHARD_ASSIGN_SALT: u64 = 0x5AAD_0001;
+
+impl ShardedRunner {
+    /// A runner splitting work into `num_shards` shards (at least 1) under the
+    /// shared public-coin `seed`.
+    pub fn new(num_shards: usize, seed: u64) -> Self {
+        Self { num_shards: num_shards.max(1), seed }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shared seed the shard map and per-shard seeds derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shard a key belongs to — a seeded hash, so both parties agree and
+    /// the assignment is adversarially balanced rather than range-based.
+    pub fn shard_of_key(&self, key: u64) -> usize {
+        (recon_base::hash::hash64(key, split_seed(self.seed, SHARD_ASSIGN_SALT))
+            % self.num_shards as u64) as usize
+    }
+
+    /// The public-coin seed for shard `shard`'s protocol instance.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        split_seed(self.seed, shard as u64)
+    }
+
+    /// Run per-shard party pairs concurrently through one framed in-memory
+    /// endpoint pair: shard `i`'s pair becomes session id `i` on a shared
+    /// [`MemoryTransport`]. Returns the per-shard outcomes in shard order; the
+    /// first failing shard's error aborts the whole run.
+    pub fn run_pairs<A, B>(
+        &self,
+        pairs: impl IntoIterator<Item = (A, B)>,
+    ) -> Result<Vec<Outcome<B::Output>>, ReconError>
+    where
+        A: Party + 'static,
+        B: Party + 'static,
+        B::Output: 'static,
+    {
+        let (transport_a, transport_b) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(transport_a);
+        let mut bob_end = Endpoint::new(transport_b);
+        let mut count = 0usize;
+        for (id, (alice, bob)) in pairs.into_iter().enumerate() {
+            alice_end.register(id as SessionId, Role::Alice, alice)?;
+            bob_end.register(id as SessionId, Role::Bob, bob)?;
+            count += 1;
+        }
+        drive_pair(&mut alice_end, &mut bob_end)?;
+        let mut outcomes = Vec::with_capacity(count);
+        for id in 0..count as SessionId {
+            let outcome = bob_end
+                .take_outcome::<B::Output>(id)
+                .expect("drive_pair finished every session")?;
+            // The Alice side observed the very same envelopes.
+            let alice_stats = alice_end.close(id);
+            debug_assert_eq!(
+                Some(outcome.stats),
+                alice_stats,
+                "both endpoints must account session {id} identically"
+            );
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+
+    /// Merge per-shard accounting into one [`CommStats`]: bytes and messages
+    /// add up; rounds take the maximum, because the shards' messages travel
+    /// concurrently over the shared link (the paper's "in parallel" reading).
+    pub fn merge_stats(per_shard: &[CommStats]) -> CommStats {
+        CommStats {
+            rounds: per_shard.iter().map(|s| s.rounds).max().unwrap_or(0),
+            messages: per_shard.iter().map(|s| s.messages).sum(),
+            bytes_alice_to_bob: per_shard.iter().map(|s| s.bytes_alice_to_bob).sum(),
+            bytes_bob_to_alice: per_shard.iter().map(|s| s.bytes_bob_to_alice).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amplify::{AmplifiedReceiver, AmplifiedSender, Exhaust};
+    use crate::session::SessionBuilder;
+
+    fn counting_pair(
+        payload: u64,
+        fail_before: u64,
+    ) -> (impl Party<Output = ()>, impl Party<Output = u64>) {
+        let alice = AmplifiedSender::new(4, move |attempt| {
+            Ok(Envelope::round(1, "digest", &(payload + attempt)))
+        })
+        .unwrap();
+        let bob = AmplifiedReceiver::new(
+            4,
+            move |attempt, env: Envelope| {
+                if attempt < fail_before {
+                    Err(ReconError::ChecksumFailure)
+                } else {
+                    env.decode_payload::<u64>()
+                }
+            },
+            |_| true,
+            |_| Envelope::control(2, "retry", &()),
+            Exhaust::LastError,
+        );
+        (alice, bob)
+    }
+
+    #[test]
+    fn one_endpoint_pair_multiplexes_many_sessions() {
+        let (ta, tb) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(ta);
+        let mut bob_end = Endpoint::new(tb);
+
+        // Sessions with different retry depths finish at different times over
+        // the same link.
+        for id in 0..5u64 {
+            let (alice, bob) = counting_pair(100 * id, id % 3);
+            alice_end.register(id, Role::Alice, alice).unwrap();
+            bob_end.register(id, Role::Bob, bob).unwrap();
+        }
+        drive_pair(&mut alice_end, &mut bob_end).unwrap();
+
+        for id in 0..5u64 {
+            let outcome = bob_end.take_outcome::<u64>(id).unwrap().unwrap();
+            assert_eq!(outcome.recovered, 100 * id + id % 3);
+            // Each replica is one 8-byte round; retries are uncharged control.
+            let attempts = (id % 3 + 1) as usize;
+            assert_eq!(outcome.stats.rounds, attempts);
+            assert_eq!(outcome.stats.bytes_alice_to_bob, 8 * attempts);
+            assert_eq!(outcome.stats.bytes_bob_to_alice, 0);
+            // The Alice side retired via the peer's Fin with identical stats.
+            assert_eq!(alice_end.close(id), Some(outcome.stats));
+        }
+        assert_eq!(bob_end.registered_sessions(), 0);
+    }
+
+    #[test]
+    fn multiplexed_stats_match_the_blocking_driver() {
+        let (ta, tb) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(ta);
+        let mut bob_end = Endpoint::new(tb);
+        for id in 0..3u64 {
+            let (alice, bob) = counting_pair(7 * id, 2);
+            alice_end.register(id, Role::Alice, alice).unwrap();
+            bob_end.register(id, Role::Bob, bob).unwrap();
+        }
+        drive_pair(&mut alice_end, &mut bob_end).unwrap();
+
+        for id in 0..3u64 {
+            let multiplexed = bob_end.take_outcome::<u64>(id).unwrap().unwrap();
+            let (alice, bob) = counting_pair(7 * id, 2);
+            let solo = SessionBuilder::new(0).run(alice, bob).unwrap();
+            assert_eq!(multiplexed.recovered, solo.recovered);
+            assert_eq!(multiplexed.stats, solo.stats, "session {id}");
+        }
+    }
+
+    #[test]
+    fn failed_sessions_report_their_error_without_poisoning_others() {
+        let (ta, tb) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(ta);
+        let mut bob_end = Endpoint::new(tb);
+
+        // Session 0 exhausts its single attempt; session 1 succeeds.
+        let alice0 = AmplifiedSender::new(1, |_| Ok(Envelope::round(1, "digest", &1u64))).unwrap();
+        let bob0: AmplifiedReceiver<u64> = AmplifiedReceiver::new(
+            1,
+            |_, _| Err(ReconError::ChecksumFailure),
+            |_| true,
+            |_| Envelope::control(2, "retry", &()),
+            Exhaust::LastError,
+        );
+        alice_end.register(0, Role::Alice, alice0).unwrap();
+        bob_end.register(0, Role::Bob, bob0).unwrap();
+        let (alice1, bob1) = counting_pair(55, 0);
+        alice_end.register(1, Role::Alice, alice1).unwrap();
+        bob_end.register(1, Role::Bob, bob1).unwrap();
+
+        drive_pair(&mut alice_end, &mut bob_end).unwrap();
+        assert!(matches!(bob_end.take_outcome::<u64>(0), Some(Err(ReconError::ChecksumFailure))));
+        let ok = bob_end.take_outcome::<u64>(1).unwrap().unwrap();
+        assert_eq!(ok.recovered, 55);
+    }
+
+    #[test]
+    fn duplicate_ids_and_unknown_envelopes_are_rejected() {
+        let (ta, _tb) = MemoryTransport::pair();
+        let mut end = Endpoint::new(ta);
+        let (alice, _) = counting_pair(0, 0);
+        end.register(9, Role::Alice, alice).unwrap();
+        let (alice, _) = counting_pair(0, 0);
+        assert!(end.register(9, Role::Alice, alice).is_err());
+
+        assert!(end.dispatch(Frame::envelope(1234, Envelope::round(1, "m", &0u8))).is_err());
+        // A stray Fin for a retired session is tolerated.
+        assert!(end.dispatch(Frame::fin(1234)).is_ok());
+    }
+
+    #[test]
+    fn sharded_runner_splits_keys_deterministically() {
+        let runner = ShardedRunner::new(4, 99);
+        for key in 0..1000u64 {
+            assert!(runner.shard_of_key(key) < 4);
+            assert_eq!(runner.shard_of_key(key), ShardedRunner::new(4, 99).shard_of_key(key));
+        }
+        // Different seeds shuffle the assignment.
+        let other = ShardedRunner::new(4, 100);
+        assert!((0..1000u64).any(|k| runner.shard_of_key(k) != other.shard_of_key(k)));
+        // Degenerate runner still works.
+        assert_eq!(ShardedRunner::new(0, 1).num_shards(), 1);
+        assert_eq!(ShardedRunner::new(1, 1).shard_of_key(42), 0);
+    }
+
+    #[test]
+    fn sharded_runner_runs_pairs_and_merges_stats() {
+        let runner = ShardedRunner::new(3, 7);
+        let pairs: Vec<_> = (0..3u64).map(|i| counting_pair(i, i % 2)).collect();
+        let outcomes = runner.run_pairs(pairs).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.recovered, i as u64 + (i as u64 % 2));
+        }
+        let per_shard: Vec<CommStats> = outcomes.iter().map(|o| o.stats).collect();
+        let merged = ShardedRunner::merge_stats(&per_shard);
+        assert_eq!(
+            merged.bytes_alice_to_bob,
+            per_shard.iter().map(|s| s.bytes_alice_to_bob).sum::<usize>()
+        );
+        assert_eq!(merged.messages, per_shard.iter().map(|s| s.messages).sum::<usize>());
+        assert_eq!(merged.rounds, per_shard.iter().map(|s| s.rounds).max().unwrap());
+        assert_eq!(ShardedRunner::merge_stats(&[]), CommStats::default());
+    }
+}

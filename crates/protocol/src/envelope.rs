@@ -8,6 +8,7 @@
 //! driver while staying transport-agnostic: a link can serialize an envelope,
 //! ship it over any byte stream, and reconstruct it losslessly on the far side.
 
+use recon_base::comm::{Direction, Transcript};
 use recon_base::wire::{read_uvarint, write_uvarint, Bytes, Decode, Encode, WireError};
 use recon_base::ReconError;
 
@@ -96,6 +97,31 @@ impl Envelope {
     /// Decode the full payload as `T` (the payload must be consumed exactly).
     pub fn decode_payload<T: Decode>(&self) -> Result<T, ReconError> {
         T::from_bytes(&self.payload).map_err(ReconError::Wire)
+    }
+
+    /// Record this envelope into `transcript` according to its [`Meter`] — the
+    /// single metering rule shared by every driver ([`MemoryLink`], [`Endpoint`])
+    /// so the accounting is a property of the envelope, not of the transport.
+    ///
+    /// [`MemoryLink`]: crate::MemoryLink
+    /// [`Endpoint`]: crate::Endpoint
+    pub fn record_into(&self, transcript: &mut Transcript, direction: Direction) {
+        match self.meter {
+            Meter::Round => {
+                transcript.record_bytes(direction, &self.label, self.payload.len());
+            }
+            Meter::Parallel => {
+                transcript.record_parallel_bytes(direction, &self.label, self.payload.len());
+            }
+            Meter::Explicit { bytes, parallel } => {
+                if parallel {
+                    transcript.record_parallel_bytes(direction, &self.label, bytes as usize);
+                } else {
+                    transcript.record_bytes(direction, &self.label, bytes as usize);
+                }
+            }
+            Meter::Control => {}
+        }
     }
 }
 

@@ -1,0 +1,261 @@
+//! Length-delimited, session-tagged framing for multiplexed transports.
+//!
+//! A [`Frame`] is what actually travels on a shared byte stream: the id of the
+//! session it belongs to plus either one protocol [`Envelope`] or a session
+//! control marker ([`FrameBody::Fin`], "this session is finished on my side").
+//! Frames let one [`Transport`](crate::Transport) carry many concurrent
+//! [`Endpoint`](crate::Endpoint) sessions: the session id routes each envelope
+//! to its own party state machine, and the outer length prefix makes the stream
+//! self-synchronizing under partial reads.
+//!
+//! On the wire a frame is `uvarint(body_len) ++ body` where the body is
+//! `uvarint(session_id) ++ u8 kind ++ [envelope bytes]`, all encoded through
+//! [`recon_base::wire`]. The [`FrameDecoder`] reassembles frames incrementally
+//! from arbitrarily chopped byte chunks, distinguishing "need more bytes"
+//! (truncation mid-frame) from genuinely malformed input.
+
+use crate::envelope::Envelope;
+use recon_base::wire::{read_uvarint, uvarint_len, write_uvarint, Decode, Encode, WireError};
+use recon_base::ReconError;
+
+/// Identifier of one multiplexed session on a shared transport. Both endpoints
+/// of a link must agree on the id when registering the two halves of a session.
+pub type SessionId = u64;
+
+/// The content of a frame: a protocol envelope or a session-control marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameBody {
+    /// One protocol message belonging to the frame's session.
+    Envelope(Envelope),
+    /// The sending endpoint has finished this session (its party produced its
+    /// output or failed terminally). Uncharged, like [`Meter::Control`]
+    /// envelopes: coordination the paper's accounting excludes.
+    ///
+    /// [`Meter::Control`]: crate::Meter::Control
+    Fin,
+}
+
+/// One unit of a multiplexed byte stream: a session id plus a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Which session the body belongs to.
+    pub session_id: SessionId,
+    /// The envelope or control marker.
+    pub body: FrameBody,
+}
+
+impl Frame {
+    /// A data frame carrying `envelope` for `session_id`.
+    pub fn envelope(session_id: SessionId, envelope: Envelope) -> Self {
+        Self { session_id, body: FrameBody::Envelope(envelope) }
+    }
+
+    /// A session-finished marker for `session_id`.
+    pub fn fin(session_id: SessionId) -> Self {
+        Self { session_id, body: FrameBody::Fin }
+    }
+
+    /// Serialize with the outer length prefix, ready for a byte stream.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let body = self.to_bytes();
+        let mut out = Vec::with_capacity(uvarint_len(body.len() as u64) + body.len());
+        write_uvarint(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+const FRAME_KIND_ENVELOPE: u8 = 0;
+const FRAME_KIND_FIN: u8 = 1;
+
+impl Encode for Frame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_uvarint(buf, self.session_id);
+        match &self.body {
+            FrameBody::Envelope(envelope) => {
+                buf.push(FRAME_KIND_ENVELOPE);
+                envelope.encode(buf);
+            }
+            FrameBody::Fin => buf.push(FRAME_KIND_FIN),
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let session_id = read_uvarint(buf)?;
+        let body = match u8::decode(buf)? {
+            FRAME_KIND_ENVELOPE => FrameBody::Envelope(Envelope::decode(buf)?),
+            FRAME_KIND_FIN => FrameBody::Fin,
+            _ => return Err(WireError::Invalid("frame kind")),
+        };
+        Ok(Frame { session_id, body })
+    }
+}
+
+/// Upper bound on a single frame's body. Far above any envelope this workspace
+/// produces, but small enough that a corrupted length prefix (which typically
+/// decodes to an astronomical value) fails fast instead of making the decoder
+/// buffer bytes forever while waiting for a frame that will never complete.
+pub const MAX_FRAME_BYTES: usize = 1 << 28; // 256 MiB
+
+/// Incremental decoder reassembling [`Frame`]s from a chopped byte stream.
+///
+/// Feed raw bytes in with [`FrameDecoder::extend`] as they arrive from the
+/// transport; [`FrameDecoder::next_frame`] yields complete frames and returns
+/// `Ok(None)` while a frame is still truncated. Malformed input (a bad varint,
+/// an invalid frame body, trailing garbage inside a frame's length prefix, a
+/// length prefix beyond [`MAX_FRAME_BYTES`]) is a hard
+/// [`ReconError::Transport`]: a byte stream that lost sync cannot recover.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes received from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the consumed prefix dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means the buffer holds
+    /// only a truncated frame and more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ReconError> {
+        let mut cursor = &self.buf[self.pos..];
+        let body_len = match read_uvarint(&mut cursor) {
+            Ok(len) => len as usize,
+            Err(WireError::UnexpectedEnd) => return Ok(None),
+            Err(e) => {
+                return Err(ReconError::Transport(format!("bad frame length prefix: {e}")));
+            }
+        };
+        if body_len > MAX_FRAME_BYTES {
+            return Err(ReconError::Transport(format!(
+                "frame length {body_len} exceeds the {MAX_FRAME_BYTES}-byte cap \
+                 (corrupt or desynced stream)"
+            )));
+        }
+        if cursor.len() < body_len {
+            return Ok(None);
+        }
+        let frame = Frame::from_bytes(&cursor[..body_len])
+            .map_err(|e| ReconError::Transport(format!("malformed frame body: {e}")))?;
+        self.pos = self.buf.len() - (cursor.len() - body_len);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::NESTED_TAG_BIT;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::envelope(0, Envelope::round(1, "digest", &vec![1u64, 2, 3])),
+            Frame::envelope(7, Envelope::parallel(NESTED_TAG_BIT | 2, "nested", &9u8)),
+            Frame::envelope(u64::from(u32::MAX) + 5, Envelope::charge(3, "agg", 4096, true)),
+            Frame::fin(7),
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_decoder() {
+        let frames = sample_frames();
+        let mut decoder = FrameDecoder::new();
+        for frame in &frames {
+            decoder.extend(&frame.to_wire());
+        }
+        for expected in &frames {
+            assert_eq!(decoder.next_frame().unwrap().as_ref(), Some(expected));
+        }
+        assert_eq!(decoder.next_frame().unwrap(), None);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn truncated_frames_wait_for_more_bytes() {
+        let frame = Frame::envelope(3, Envelope::round(1, "m", &0xDEADu64));
+        let wire = frame.to_wire();
+        let mut decoder = FrameDecoder::new();
+        for &byte in &wire[..wire.len() - 1] {
+            decoder.extend(&[byte]);
+            assert_eq!(decoder.next_frame().unwrap(), None, "partial frame must not decode");
+        }
+        decoder.extend(&wire[wire.len() - 1..]);
+        assert_eq!(decoder.next_frame().unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn absurd_length_prefixes_are_hard_errors() {
+        // A corrupted prefix claiming a multi-gigabyte frame must error now,
+        // not buffer forever while "waiting" for bytes that never come.
+        let mut wire = Vec::new();
+        write_uvarint(&mut wire, (MAX_FRAME_BYTES as u64) + 1);
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&wire);
+        assert!(matches!(decoder.next_frame(), Err(ReconError::Transport(_))));
+    }
+
+    #[test]
+    fn malformed_bodies_are_hard_errors() {
+        // A frame body with an invalid kind byte.
+        let mut body = Vec::new();
+        write_uvarint(&mut body, 1); // session id
+        body.push(9); // invalid kind
+        let mut wire = Vec::new();
+        write_uvarint(&mut wire, body.len() as u64);
+        wire.extend_from_slice(&body);
+
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&wire);
+        assert!(matches!(decoder.next_frame(), Err(ReconError::Transport(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_inside_the_length_prefix_is_rejected() {
+        let frame = Frame::fin(1);
+        let mut body = frame.to_bytes();
+        body.push(0xFF); // garbage the length prefix claims belongs to the frame
+        let mut wire = Vec::new();
+        write_uvarint(&mut wire, body.len() as u64);
+        wire.extend_from_slice(&body);
+
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&wire);
+        assert!(matches!(decoder.next_frame(), Err(ReconError::Transport(_))));
+    }
+
+    #[test]
+    fn decoder_compacts_without_losing_data() {
+        let frame = Frame::envelope(2, Envelope::round(1, "m", &vec![7u64; 600]));
+        let wire = frame.to_wire();
+        let mut decoder = FrameDecoder::new();
+        for _ in 0..8 {
+            decoder.extend(&wire);
+        }
+        for _ in 0..8 {
+            assert_eq!(decoder.next_frame().unwrap().as_ref(), Some(&frame));
+        }
+        // Everything consumed; extending afterwards triggers the compaction path.
+        decoder.extend(&wire);
+        assert_eq!(decoder.next_frame().unwrap(), Some(frame));
+        assert_eq!(decoder.next_frame().unwrap(), None);
+    }
+}

@@ -21,6 +21,13 @@
 //!   with the recovered data and the measured [`CommStats`]. The in-memory
 //!   [`MemoryLink`] records into a [`Transcript`], reproducing exactly the
 //!   byte/round accounting of the legacy one-shot drivers.
+//! * [`Frame`] / [`Transport`] — the multiplexing layer: session-tagged,
+//!   length-delimited frames carried by a pluggable byte stream (in-memory,
+//!   non-blocking TCP, OS pipes), reassembled by an incremental [`FrameDecoder`].
+//! * [`Endpoint`] — the non-blocking driver: many concurrent [`SessionCore`]s
+//!   over one framed transport, with per-session transcripts reproducing the
+//!   single-session accounting exactly. [`ShardedRunner`] fans a partitioned
+//!   workload out across such sessions and merges the per-shard [`CommStats`].
 //! * [`amplify`] — the paper's two amplification patterns (replication under
 //!   fresh hash functions, repeated doubling of the difference bound) as reusable
 //!   party combinators, plus estimator-round helpers.
@@ -37,15 +44,21 @@
 #![warn(missing_docs)]
 
 pub mod amplify;
+pub mod endpoint;
 pub mod envelope;
+pub mod frame;
 pub mod link;
 pub mod nested;
 pub mod party;
 pub mod session;
+pub mod transport;
 
 pub use amplify::{AmplifiedReceiver, AmplifiedSender, Deferred, Exhaust, WithPreamble};
+pub use endpoint::{drive_pair, Endpoint, Role, ShardedOutcome, ShardedRunner};
 pub use envelope::{Envelope, Meter, NESTED_TAG_BIT};
+pub use frame::{Frame, FrameBody, FrameDecoder, SessionId};
 pub use link::{Link, MemoryLink};
 pub use nested::Nested;
 pub use party::{Party, Step};
-pub use session::{Amplification, Outcome, Session, SessionBuilder, SessionConfig};
+pub use session::{Amplification, Outcome, Session, SessionBuilder, SessionConfig, SessionCore};
+pub use transport::{MemoryTransport, PipeTransport, StreamTransport, Transport};

@@ -5,7 +5,7 @@
 //! byte and round accounting the paper's bounds are stated in; a real deployment
 //! would additionally serialize the envelope onto its transport here.
 
-use crate::envelope::{Envelope, Meter};
+use crate::envelope::Envelope;
 use recon_base::comm::{CommStats, Direction, Transcript};
 use recon_base::ReconError;
 
@@ -43,30 +43,7 @@ impl MemoryLink {
 
 impl Link for MemoryLink {
     fn deliver(&mut self, direction: Direction, envelope: &Envelope) -> Result<(), ReconError> {
-        match envelope.meter {
-            Meter::Round => {
-                self.transcript.record_bytes(direction, &envelope.label, envelope.payload.len());
-            }
-            Meter::Parallel => {
-                self.transcript.record_parallel_bytes(
-                    direction,
-                    &envelope.label,
-                    envelope.payload.len(),
-                );
-            }
-            Meter::Explicit { bytes, parallel } => {
-                if parallel {
-                    self.transcript.record_parallel_bytes(
-                        direction,
-                        &envelope.label,
-                        bytes as usize,
-                    );
-                } else {
-                    self.transcript.record_bytes(direction, &envelope.label, bytes as usize);
-                }
-            }
-            Meter::Control => {}
-        }
+        envelope.record_into(&mut self.transcript, direction);
         Ok(())
     }
 }

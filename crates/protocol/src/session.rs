@@ -1,13 +1,19 @@
-//! The generic [`Session`] driver and its [`SessionBuilder`] front-end.
+//! The poll-style [`SessionCore`] state machine, the blocking [`Session`]
+//! driver over it, and the [`SessionBuilder`] front-end.
 //!
-//! A session moves envelopes between an Alice and a Bob [`Party`] over a
-//! pluggable [`Link`] until Bob produces his output. Because the parties are
-//! sans-I/O state machines and the link observes every envelope, the in-memory
-//! session reproduces byte-for-byte the `CommStats` of the legacy one-shot
-//! drivers — which are now thin wrappers over this module.
+//! [`SessionCore`] wraps one [`Party`] with its completion state: poll it for
+//! outgoing envelopes, hand it incoming ones, and collect the output once the
+//! party finishes. It is the unit an [`Endpoint`](crate::Endpoint) multiplexes
+//! many of over one framed transport. The blocking [`Session::run`] is now a
+//! thin wrapper that pumps two cores against each other over a pluggable
+//! [`Link`] until Bob produces his output; because the parties are sans-I/O
+//! state machines and the link observes every envelope, the in-memory session
+//! reproduces byte-for-byte the `CommStats` of the legacy one-shot drivers —
+//! which are themselves thin wrappers over this module.
 
+use crate::envelope::Envelope;
 use crate::link::{Link, MemoryLink};
-use crate::party::{Party, Step};
+use crate::party::Party;
 use recon_base::comm::{CommStats, Direction};
 use recon_base::ReconError;
 use recon_estimator::L0Config;
@@ -127,6 +133,63 @@ impl SessionBuilder {
     }
 }
 
+/// One side of a session as a non-blocking state machine: a [`Party`] plus its
+/// completion state. Drivers — the blocking [`Session::run`] loop, an
+/// [`Endpoint`](crate::Endpoint) multiplexing many sessions over one framed
+/// transport — poll it for outgoing envelopes and feed it incoming ones; once
+/// the party reports [`Step::Done`] the core stops sending and holds the output
+/// until it is taken.
+#[derive(Debug)]
+pub struct SessionCore<P: Party> {
+    party: P,
+    output: Option<P::Output>,
+    done: bool,
+}
+
+impl<P: Party> SessionCore<P> {
+    /// Wrap a party in its session state machine.
+    pub fn new(party: P) -> Self {
+        Self { party, output: None, done: false }
+    }
+
+    /// The next envelope to transmit, if any. A finished core never sends —
+    /// mirroring the blocking driver, which stops pumping the moment the
+    /// receiving party completes.
+    pub fn poll_send(&mut self) -> Option<Envelope> {
+        if self.done {
+            return None;
+        }
+        self.party.poll_send()
+    }
+
+    /// Feed one incoming envelope to the party. Returns `true` if this envelope
+    /// completed the session. Envelopes arriving after completion are dropped
+    /// (a multiplexed peer may have frames in flight when the party finishes).
+    pub fn handle(&mut self, envelope: Envelope) -> Result<bool, ReconError> {
+        if self.done {
+            return Ok(false);
+        }
+        match self.party.handle(envelope)? {
+            crate::party::Step::Continue => Ok(false),
+            crate::party::Step::Done(output) => {
+                self.output = Some(output);
+                self.done = true;
+                Ok(true)
+            }
+        }
+    }
+
+    /// `true` once the party has produced its output.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The output, once produced (consumes it; subsequent calls return `None`).
+    pub fn take_output(&mut self) -> Option<P::Output> {
+        self.output.take()
+    }
+}
+
 /// A two-party protocol session over a pluggable link.
 #[derive(Debug)]
 pub struct Session<L: Link> {
@@ -150,19 +213,17 @@ impl<L: Link> Session<L> {
     /// returns [`Step::Done`]. Alice's completion (if any) is implicit — per the
     /// paper's one-way convention she never learns whether Bob succeeded unless
     /// the protocol itself sends an acknowledgement.
-    pub fn run<A: Party, B: Party>(
-        &mut self,
-        mut alice: A,
-        mut bob: B,
-    ) -> Result<B::Output, ReconError> {
+    pub fn run<A: Party, B: Party>(&mut self, alice: A, bob: B) -> Result<B::Output, ReconError> {
+        let mut alice = SessionCore::new(alice);
+        let mut bob = SessionCore::new(bob);
         loop {
             let mut progressed = false;
             while let Some(envelope) = alice.poll_send() {
                 progressed = true;
                 self.link.deliver(Direction::AliceToBob, &envelope)?;
                 self.delivered += 1;
-                if let Step::Done(output) = bob.handle(envelope)? {
-                    return Ok(output);
+                if bob.handle(envelope)? {
+                    return Ok(bob.take_output().expect("completed session has an output"));
                 }
             }
             while let Some(envelope) = bob.poll_send() {
@@ -182,7 +243,7 @@ impl<L: Link> Session<L> {
 mod tests {
     use super::*;
     use crate::amplify::{AmplifiedReceiver, AmplifiedSender, Exhaust};
-    use crate::envelope::Envelope;
+    use crate::party::Step;
 
     #[test]
     fn amplification_budgets() {

@@ -43,6 +43,7 @@ pub mod iblt_protocol;
 pub mod multiset;
 pub mod protocol;
 pub mod session;
+pub mod sharded;
 
 pub use charpoly_protocol::{CharPolyDigest, CharPolyProtocol};
 pub use diff::SetDiff;
@@ -51,3 +52,4 @@ pub use multiset::{Multiset, MultisetProtocol};
 pub use protocol::{
     reconcile_known, reconcile_known_charpoly, reconcile_unknown, ReconcileOutcome,
 };
+pub use sharded::{reconcile_known_sharded, reconcile_unknown_sharded, shard_set};

@@ -1,0 +1,209 @@
+//! A reconciliation *server*: sharded database sync over non-blocking TCP.
+//!
+//! Run self-driving (server thread + client over a loopback socket):
+//!
+//! ```text
+//! cargo run -p recon-examples --release --example endpoint_serve_sync
+//! ```
+//!
+//! Or as two real processes:
+//!
+//! ```text
+//! cargo run -p recon-examples --release --example endpoint_serve_sync -- --serve 127.0.0.1:7171
+//! cargo run -p recon-examples --release --example endpoint_serve_sync -- --sync  127.0.0.1:7171
+//! ```
+//!
+//! The server holds the authoritative [`BinaryTable`] (the paper's Section 3.5
+//! binary-row database); the client holds a replica with `D` flipped bits. A
+//! shared [`ShardedRunner`] splits the rows into `SHARDS` deterministic shards,
+//! each shard becomes one naive set-of-sets session, and a single
+//! [`Endpoint`] per side multiplexes all of them over one TCP connection in
+//! non-blocking mode ([`StreamTransport`]) — connection setup and framing are
+//! paid once, not per shard. The client reassembles the server's table from
+//! the per-shard recoveries and reports both the per-shard and the merged
+//! communication next to the full-transfer baseline.
+//!
+//! [`Endpoint`]: recon_protocol::Endpoint
+//! [`StreamTransport`]: recon_protocol::StreamTransport
+
+use recon_apps::BinaryTable;
+use recon_base::rng::Xoshiro256;
+use recon_protocol::{
+    Amplification, Endpoint, Role, SessionId, ShardedRunner, StreamTransport, Transport,
+};
+use recon_sos::{session as sos_session, sharded, SetOfSets, SosParams};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+const SHARED_SEED: u64 = 0x005E_EDDB;
+const SHARDS: usize = 6;
+const ROWS: usize = 96;
+const COLUMNS: u32 = 32;
+const D: usize = 6;
+
+/// Both sides derive the demo tables from the shared seed; in a real
+/// deployment each side would load its own replica instead.
+fn tables() -> (BinaryTable, BinaryTable) {
+    let mut rng = Xoshiro256::new(SHARED_SEED);
+    let server = BinaryTable::random(ROWS, COLUMNS, 0.5, &mut rng);
+    let client = server.flip_bits(D, &mut rng);
+    (server, client)
+}
+
+fn runner() -> ShardedRunner {
+    ShardedRunner::new(SHARDS, SHARED_SEED ^ 0x5A)
+}
+
+/// Per-shard session ingredients shared by both roles.
+fn shard_setup(table: &BinaryTable) -> (Vec<SetOfSets>, Vec<SosParams>) {
+    let runner = runner();
+    let shards = sharded::shard_set_of_sets(table.as_set_of_sets(), &runner);
+    let params = (0..runner.num_shards())
+        .map(|s| SosParams::new(runner.shard_seed(s), COLUMNS as usize))
+        .collect();
+    (shards, params)
+}
+
+/// Every shard reconciles under the always-safe bound of `2D` differing rows.
+const PER_SHARD_ROWS: usize = 2 * D;
+
+fn nonblocking_transport(stream: TcpStream) -> StreamTransport<TcpStream, TcpStream> {
+    stream.set_nonblocking(true).expect("set_nonblocking");
+    let reader = stream.try_clone().expect("clone stream");
+    StreamTransport::new(reader, stream)
+}
+
+/// The server: accept one client and serve every shard session until the
+/// client has retired them all.
+fn serve(listener: TcpListener) {
+    let (server_table, _) = tables();
+    let (stream, peer) = listener.accept().expect("accept client");
+    eprintln!("[serve] client connected from {peer}");
+    let mut endpoint = Endpoint::new(nonblocking_transport(stream));
+
+    let (shards, params) = shard_setup(&server_table);
+    for (shard, (sos, shard_params)) in shards.iter().zip(&params).enumerate() {
+        let alice = sos_session::naive_known_alice(
+            sos,
+            PER_SHARD_ROWS,
+            shard_params,
+            Amplification::replicate(4),
+        )
+        .expect("alice party");
+        endpoint.register(shard as SessionId, Role::Alice, alice).expect("register");
+    }
+
+    while endpoint.registered_sessions() > 0 {
+        let progressed = match endpoint.poll() {
+            Ok(progressed) => progressed,
+            // The client disconnects as soon as its recoveries are complete;
+            // anything after that is expected shutdown skew.
+            Err(e) => {
+                let all_finished =
+                    (0..SHARDS as SessionId).all(|id| endpoint.is_finished(id) != Some(false));
+                assert!(all_finished, "client failed mid-sync: {e}");
+                true
+            }
+        };
+        for id in 0..SHARDS as SessionId {
+            if endpoint.is_finished(id) == Some(true) {
+                let stats = endpoint.close(id).expect("registered");
+                eprintln!("[serve] shard {id} served: {stats}");
+            }
+        }
+        if endpoint.registered_sessions() > 0 && !progressed {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+    eprintln!("[serve] all {SHARDS} shard sessions served over one connection");
+}
+
+/// The client: reconcile every shard concurrently and reassemble the server's
+/// table from the recoveries.
+fn sync(address: &str) {
+    let stream = connect_with_retry(address);
+    let (server_table, client_table) = tables();
+    let mut endpoint = Endpoint::new(nonblocking_transport(stream));
+
+    let (shards, params) = shard_setup(&client_table);
+    for (shard, (sos, shard_params)) in shards.iter().zip(&params).enumerate() {
+        let bob = sos_session::naive_known_bob(sos, shard_params, Amplification::replicate(4));
+        endpoint.register(shard as SessionId, Role::Bob, bob).expect("register");
+    }
+
+    let mut recovered_shards: Vec<Option<recon_protocol::Outcome<SetOfSets>>> =
+        (0..SHARDS).map(|_| None).collect();
+    while recovered_shards.iter().any(Option::is_none) {
+        let progressed = endpoint.poll().expect("sync poll");
+        for (shard, slot) in recovered_shards.iter_mut().enumerate() {
+            if slot.is_none() {
+                if let Some(outcome) = endpoint.take_outcome::<SetOfSets>(shard as SessionId) {
+                    *slot = Some(outcome.expect("shard session"));
+                }
+            }
+        }
+        if recovered_shards.iter().any(Option::is_none) && !progressed {
+            assert!(!endpoint.transport().is_closed(), "server closed mid-sync");
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+    let _ = endpoint.transport_mut().flush();
+
+    let outcomes: Vec<_> = recovered_shards.into_iter().map(Option::unwrap).collect();
+    let per_shard: Vec<_> = outcomes.iter().map(|o| o.stats).collect();
+    let merged = ShardedRunner::merge_stats(&per_shard);
+    let children =
+        outcomes.into_iter().flat_map(|o| o.recovered.children().to_vec()).collect::<Vec<_>>();
+    let recovered =
+        BinaryTable::from_set_of_sets(COLUMNS, SetOfSets::from_children(children)).expect("table");
+    assert_eq!(recovered, server_table, "client must recover the server's table exactly");
+
+    let framed = endpoint.transport().bytes_framed_out() + endpoint.transport().bytes_framed_in();
+    println!(
+        "synced {ROWS}x{COLUMNS} table ({D} flipped bits) in {SHARDS} concurrent shard \
+         sessions over one TCP connection"
+    );
+    for (shard, stats) in per_shard.iter().enumerate() {
+        println!("  shard {shard}: {stats}");
+    }
+    let overhead = framed.saturating_sub(merged.total_bytes() as u64);
+    println!(
+        "  merged: {merged}; {framed} framed bytes on the wire \
+         ({overhead} bytes of framing for all {SHARDS} sessions on one connection)"
+    );
+}
+
+fn connect_with_retry(address: &str) -> TcpStream {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(address) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                assert!(std::time::Instant::now() < deadline, "cannot reach {address}: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--serve") => {
+            let address = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7171");
+            serve(TcpListener::bind(address).expect("bind"));
+        }
+        Some("--sync") => {
+            let address = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7171");
+            sync(address);
+        }
+        _ => {
+            // Self-driving: server thread + client over a loopback socket.
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+            let address = listener.local_addr().expect("local addr").to_string();
+            let server = std::thread::spawn(move || serve(listener));
+            sync(&address);
+            server.join().expect("server thread");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Two processes reconciling over a byte pipe — the original *blocking*,
+//! hand-rolled envelope loop, kept as the minimal illustration of the
+//! transport-agnostic split (see `session_two_processes` for the multiplexed
+//! `Endpoint`/`Transport` version that supersedes it for real deployments).
+//!
+//! Run with: `cargo run -p recon-examples --release --example session_blocking`
+//!
+//! This example forks a child process. The parent plays Alice, the child plays
+//! Bob; each constructs only *its own* `recon_protocol::Party` state machine from
+//! its own data plus the shared public-coin seed, and the two exchange
+//! length-prefixed serialized `Envelope`s over anonymous pipes (the child's
+//! stdin/stdout). Neither process ever sees the other's set — exactly the
+//! message-passing model the paper states its protocols in, and the split that
+//! lets the same state machines run over real network transports.
+
+use recon_base::wire::{Decode, Encode};
+use recon_protocol::{Amplification, Envelope, Party, SessionBuilder, Step};
+use recon_set::session;
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::process::{Command, Stdio};
+
+const SHARED_SEED: u64 = 0xC0FFEE;
+
+fn alice_set() -> HashSet<u64> {
+    (0..1_000u64).map(|x| x * 7 + 1).collect()
+}
+
+fn bob_set() -> HashSet<u64> {
+    // Bob is missing 8 of Alice's elements and has 8 extras of his own.
+    let mut set: HashSet<u64> = alice_set().into_iter().filter(|x| x % 125 != 3).collect();
+    set.extend((0..8u64).map(|x| 1_000_000 + x));
+    set
+}
+
+fn write_envelope(writer: &mut impl Write, envelope: &Envelope) {
+    let bytes = envelope.to_bytes();
+    writer.write_all(&(bytes.len() as u32).to_le_bytes()).expect("write length");
+    writer.write_all(&bytes).expect("write envelope");
+    writer.flush().expect("flush");
+}
+
+fn read_envelope(reader: &mut impl Read) -> Option<Envelope> {
+    let mut len_bytes = [0u8; 4];
+    if reader.read_exact(&mut len_bytes).is_err() {
+        return None; // peer closed the pipe: protocol over
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let mut bytes = vec![0u8; len];
+    reader.read_exact(&mut bytes).expect("read envelope body");
+    Some(Envelope::from_bytes(&bytes).expect("decode envelope"))
+}
+
+/// The child process: Bob. Reads Alice's envelopes from stdin, writes his own to
+/// stdout, prints progress to stderr, and exits once his set is reconciled.
+fn run_bob() {
+    let builder = SessionBuilder::new(SHARED_SEED).amplification(Amplification::replicate(6));
+    let mut bob = session::unknown_bob(&bob_set(), builder.config());
+
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+
+    // Bob speaks first in the unknown-d protocol (his difference estimator).
+    while let Some(envelope) = bob.poll_send() {
+        eprintln!("[bob]   -> {} ({} bytes)", envelope.label, envelope.payload.len());
+        write_envelope(&mut stdout, &envelope);
+    }
+    while let Some(envelope) = read_envelope(&mut stdin) {
+        eprintln!("[bob]   <- {} ({} bytes)", envelope.label, envelope.payload.len());
+        match bob.handle(envelope).expect("bob handle") {
+            Step::Done(recovered) => {
+                assert_eq!(recovered, alice_set(), "Bob must recover Alice's set exactly");
+                eprintln!("[bob]   recovered Alice's {} elements, done", recovered.len());
+                return;
+            }
+            Step::Continue => {}
+        }
+        while let Some(envelope) = bob.poll_send() {
+            eprintln!("[bob]   -> {} ({} bytes)", envelope.label, envelope.payload.len());
+            write_envelope(&mut stdout, &envelope);
+        }
+    }
+    panic!("pipe closed before Bob finished");
+}
+
+/// The parent process: Alice. Spawns Bob, then pumps envelopes between her own
+/// party and the child's pipes.
+fn run_alice() {
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .arg("--bob")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn Bob process");
+    let mut to_bob = child.stdin.take().expect("child stdin");
+    let mut from_bob = child.stdout.take().expect("child stdout");
+
+    let builder = SessionBuilder::new(SHARED_SEED).amplification(Amplification::replicate(6));
+    let mut alice = session::unknown_alice(&alice_set(), builder.config());
+
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    'protocol: loop {
+        // Alice has nothing to say until Bob's estimator arrives, and everything
+        // she does say is a response to an incoming envelope.
+        match read_envelope(&mut from_bob) {
+            Some(envelope) => {
+                received += 1;
+                eprintln!("[alice] <- {} ({} bytes)", envelope.label, envelope.payload.len());
+                alice.handle(envelope).expect("alice handle");
+            }
+            None => break 'protocol, // Bob exited: reconciliation finished
+        }
+        while let Some(envelope) = alice.poll_send() {
+            sent += 1;
+            eprintln!("[alice] -> {} ({} bytes)", envelope.label, envelope.payload.len());
+            if write_envelope_checked(&mut to_bob, &envelope).is_err() {
+                break 'protocol; // Bob already finished and closed his stdin
+            }
+        }
+    }
+    let status = child.wait().expect("wait for Bob");
+    assert!(status.success(), "Bob must exit cleanly");
+    println!(
+        "two-process reconciliation complete: Alice sent {sent} envelope(s), \
+         received {received}, and never saw Bob's set"
+    );
+}
+
+fn write_envelope_checked(writer: &mut impl Write, envelope: &Envelope) -> std::io::Result<()> {
+    let bytes = envelope.to_bytes();
+    writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    writer.write_all(&bytes)?;
+    writer.flush()
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--bob") {
+        run_bob();
+    } else {
+        run_alice();
+    }
+}

@@ -1,87 +1,140 @@
-//! Two processes reconciling over a byte pipe — the transport-agnostic split.
+//! Two processes, one pipe, many concurrent reconciliations — the multiplexed
+//! `Endpoint`/`Transport` API.
 //!
 //! Run with: `cargo run -p recon-examples --release --example session_two_processes`
 //!
-//! This example forks a child process. The parent plays Alice, the child plays
-//! Bob; each constructs only *its own* `recon_protocol::Party` state machine from
-//! its own data plus the shared public-coin seed, and the two exchange
-//! length-prefixed serialized `Envelope`s over anonymous pipes (the child's
-//! stdin/stdout). Neither process ever sees the other's set — exactly the
-//! message-passing model the paper states its protocols in, and the split that
-//! lets the same state machines later run over real network transports.
+//! The parent plays Alice, a forked child plays Bob. Where the blocking
+//! `session_blocking` example hand-pumps a single protocol over the pipe, here
+//! each process owns an [`Endpoint`] over a [`PipeTransport`] on the child's
+//! stdin/stdout and registers *three* sessions of mixed families — unknown-`d`
+//! set reconciliation, known-`d` IBLT set reconciliation, and cascading
+//! set-of-sets reconciliation — that all interleave their session-tagged frames
+//! over the same byte stream. Each process constructs only its own party state
+//! machines from its own data plus the shared public-coin seed; the per-session
+//! `CommStats` each side reports are identical to running the protocols alone.
+//!
+//! [`Endpoint`]: recon_protocol::Endpoint
+//! [`PipeTransport`]: recon_protocol::PipeTransport
 
-use recon_base::wire::{Decode, Encode};
-use recon_protocol::{Amplification, Envelope, Party, SessionBuilder, Step};
-use recon_set::session;
+use recon_protocol::{Amplification, Endpoint, Role, SessionBuilder, SessionId, Transport};
+use recon_set::session as set_session;
+use recon_sos::workload::{generate_pair, WorkloadParams};
+use recon_sos::{session as sos_session, SetOfSets, SosParams};
 use std::collections::HashSet;
-use std::io::{Read, Write};
 use std::process::{Command, Stdio};
+use std::time::Duration;
 
 const SHARED_SEED: u64 = 0xC0FFEE;
+const UNKNOWN_SET: SessionId = 0;
+const KNOWN_SET: SessionId = 1;
+const CASCADING_SOS: SessionId = 2;
 
-fn alice_set() -> HashSet<u64> {
-    (0..1_000u64).map(|x| x * 7 + 1).collect()
+// Both processes derive the example datasets from the shared seed, but each
+// constructs only its *own* party from its own half — the other half is used
+// solely to verify the recovery at the end.
+
+fn unknown_pair() -> (HashSet<u64>, HashSet<u64>) {
+    let alice: HashSet<u64> = (0..1_000u64).map(|x| x * 7 + 1).collect();
+    let mut bob: HashSet<u64> = alice.iter().copied().filter(|x| x % 125 != 3).collect();
+    bob.extend((0..8u64).map(|x| 1_000_000 + x));
+    (alice, bob)
 }
 
-fn bob_set() -> HashSet<u64> {
-    // Bob is missing 8 of Alice's elements and has 8 extras of his own.
-    let mut set: HashSet<u64> = alice_set().into_iter().filter(|x| x % 125 != 3).collect();
-    set.extend((0..8u64).map(|x| 1_000_000 + x));
-    set
-}
-
-fn write_envelope(writer: &mut impl Write, envelope: &Envelope) {
-    let bytes = envelope.to_bytes();
-    writer.write_all(&(bytes.len() as u32).to_le_bytes()).expect("write length");
-    writer.write_all(&bytes).expect("write envelope");
-    writer.flush().expect("flush");
-}
-
-fn read_envelope(reader: &mut impl Read) -> Option<Envelope> {
-    let mut len_bytes = [0u8; 4];
-    if reader.read_exact(&mut len_bytes).is_err() {
-        return None; // peer closed the pipe: protocol over
+fn known_pair() -> (HashSet<u64>, HashSet<u64>) {
+    let alice: HashSet<u64> = (0..600u64).map(|x| x * 13 + 5).collect();
+    let mut bob = alice.clone();
+    for x in 0..6u64 {
+        bob.insert(2_000_000 + x);
+        bob.remove(&(x * 13 * 17 + 5));
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    let mut bytes = vec![0u8; len];
-    reader.read_exact(&mut bytes).expect("read envelope body");
-    Some(Envelope::from_bytes(&bytes).expect("decode envelope"))
+    (alice, bob)
 }
 
-/// The child process: Bob. Reads Alice's envelopes from stdin, writes his own to
-/// stdout, prints progress to stderr, and exits once his set is reconciled.
+fn sos_pair() -> (SetOfSets, SetOfSets) {
+    generate_pair(&WorkloadParams::new(48, 12, 1 << 28), 4, SHARED_SEED)
+}
+
+fn sos_params() -> SosParams {
+    SosParams::new(SHARED_SEED ^ 0x505, 12)
+}
+
+/// The child process: Bob's endpoint over stdin/stdout, collecting all three
+/// recoveries.
 fn run_bob() {
+    let transport = recon_protocol::PipeTransport::spawn(std::io::stdin(), std::io::stdout());
+    let mut endpoint = Endpoint::new(transport);
+
     let builder = SessionBuilder::new(SHARED_SEED).amplification(Amplification::replicate(6));
-    let mut bob = session::unknown_bob(&bob_set(), builder.config());
+    endpoint
+        .register(
+            UNKNOWN_SET,
+            Role::Bob,
+            set_session::unknown_bob(&unknown_pair().1, builder.config()),
+        )
+        .unwrap();
+    endpoint
+        .register(
+            KNOWN_SET,
+            Role::Bob,
+            set_session::iblt_known_bob(&known_pair().1, builder.config()),
+        )
+        .unwrap();
+    endpoint
+        .register(
+            CASCADING_SOS,
+            Role::Bob,
+            sos_session::cascading_known_bob(
+                &sos_pair().1,
+                &sos_params(),
+                Amplification::replicate(4),
+            ),
+        )
+        .unwrap();
 
-    let mut stdin = std::io::stdin().lock();
-    let mut stdout = std::io::stdout().lock();
-
-    // Bob speaks first in the unknown-d protocol (his difference estimator).
-    while let Some(envelope) = bob.poll_send() {
-        eprintln!("[bob]   -> {} ({} bytes)", envelope.label, envelope.payload.len());
-        write_envelope(&mut stdout, &envelope);
-    }
-    while let Some(envelope) = read_envelope(&mut stdin) {
-        eprintln!("[bob]   <- {} ({} bytes)", envelope.label, envelope.payload.len());
-        match bob.handle(envelope).expect("bob handle") {
-            Step::Done(recovered) => {
-                assert_eq!(recovered, alice_set(), "Bob must recover Alice's set exactly");
-                eprintln!("[bob]   recovered Alice's {} elements, done", recovered.len());
-                return;
-            }
-            Step::Continue => {}
+    let mut remaining = vec![UNKNOWN_SET, KNOWN_SET, CASCADING_SOS];
+    while !remaining.is_empty() {
+        let progressed = endpoint.poll().expect("bob poll");
+        remaining.retain(|&id| match id {
+            UNKNOWN_SET | KNOWN_SET => match endpoint.take_outcome::<HashSet<u64>>(id) {
+                None => true,
+                Some(outcome) => {
+                    let outcome = outcome.expect("set session");
+                    let expected =
+                        if id == UNKNOWN_SET { unknown_pair().0 } else { known_pair().0 };
+                    assert_eq!(outcome.recovered, expected, "session {id}");
+                    eprintln!(
+                        "[bob]   session {id} recovered {} elements: {}",
+                        expected.len(),
+                        outcome.stats
+                    );
+                    false
+                }
+            },
+            _ => match endpoint.take_outcome::<SetOfSets>(id) {
+                None => true,
+                Some(outcome) => {
+                    let outcome = outcome.expect("sos session");
+                    assert_eq!(outcome.recovered, sos_pair().0, "session {id}");
+                    eprintln!(
+                        "[bob]   session {id} recovered {} child sets: {}",
+                        outcome.recovered.num_children(),
+                        outcome.stats
+                    );
+                    false
+                }
+            },
+        });
+        if !remaining.is_empty() && !progressed {
+            assert!(!endpoint.transport().is_closed(), "pipe closed before Bob finished");
+            std::thread::sleep(Duration::from_micros(200));
         }
-        while let Some(envelope) = bob.poll_send() {
-            eprintln!("[bob]   -> {} ({} bytes)", envelope.label, envelope.payload.len());
-            write_envelope(&mut stdout, &envelope);
-        }
     }
-    panic!("pipe closed before Bob finished");
+    // The Fins for the collected sessions are already written; push them out.
+    endpoint.transport_mut().flush().expect("final flush");
+    eprintln!("[bob]   all {} sessions done over one pipe", 3);
 }
 
-/// The parent process: Alice. Spawns Bob, then pumps envelopes between her own
-/// party and the child's pipes.
+/// The parent process: Alice's endpoint over the child's pipes.
 fn run_alice() {
     let exe = std::env::current_exe().expect("own path");
     let mut child = Command::new(exe)
@@ -91,46 +144,75 @@ fn run_alice() {
         .stderr(Stdio::inherit())
         .spawn()
         .expect("spawn Bob process");
-    let mut to_bob = child.stdin.take().expect("child stdin");
-    let mut from_bob = child.stdout.take().expect("child stdout");
+    let to_bob = child.stdin.take().expect("child stdin");
+    let from_bob = child.stdout.take().expect("child stdout");
+    let transport = recon_protocol::PipeTransport::spawn(from_bob, to_bob);
+    let mut endpoint = Endpoint::new(transport);
 
     let builder = SessionBuilder::new(SHARED_SEED).amplification(Amplification::replicate(6));
-    let mut alice = session::unknown_alice(&alice_set(), builder.config());
+    endpoint
+        .register(
+            UNKNOWN_SET,
+            Role::Alice,
+            set_session::unknown_alice(&unknown_pair().0, builder.config()),
+        )
+        .unwrap();
+    endpoint
+        .register(
+            KNOWN_SET,
+            Role::Alice,
+            set_session::iblt_known_alice(&known_pair().0, 16, builder.config())
+                .expect("alice party"),
+        )
+        .unwrap();
+    endpoint
+        .register(
+            CASCADING_SOS,
+            Role::Alice,
+            sos_session::cascading_known_alice(
+                &sos_pair().0,
+                4,
+                &sos_params(),
+                Amplification::replicate(4),
+            )
+            .expect("alice party"),
+        )
+        .unwrap();
 
-    let mut sent = 0usize;
-    let mut received = 0usize;
-    'protocol: loop {
-        // Alice has nothing to say until Bob's estimator arrives, and everything
-        // she does say is a response to an incoming envelope.
-        match read_envelope(&mut from_bob) {
-            Some(envelope) => {
-                received += 1;
-                eprintln!("[alice] <- {} ({} bytes)", envelope.label, envelope.payload.len());
-                alice.handle(envelope).expect("alice handle");
+    let mut stats = Vec::new();
+    while endpoint.registered_sessions() > 0 {
+        let progressed = match endpoint.poll() {
+            Ok(progressed) => progressed,
+            // Bob exits the moment his outcomes are collected; writing our Fin
+            // replies into his closed stdin is then expected shutdown skew.
+            Err(e) => {
+                let all_finished = [UNKNOWN_SET, KNOWN_SET, CASCADING_SOS]
+                    .iter()
+                    .all(|&id| endpoint.is_finished(id) != Some(false));
+                assert!(all_finished, "transport failed mid-protocol: {e}");
+                true
             }
-            None => break 'protocol, // Bob exited: reconciliation finished
+        };
+        for id in [UNKNOWN_SET, KNOWN_SET, CASCADING_SOS] {
+            if endpoint.is_finished(id) == Some(true) {
+                let session_stats = endpoint.close(id).expect("registered");
+                eprintln!("[alice] session {id} finished: {session_stats}");
+                stats.push(session_stats);
+            }
         }
-        while let Some(envelope) = alice.poll_send() {
-            sent += 1;
-            eprintln!("[alice] -> {} ({} bytes)", envelope.label, envelope.payload.len());
-            if write_envelope_checked(&mut to_bob, &envelope).is_err() {
-                break 'protocol; // Bob already finished and closed his stdin
-            }
+        if endpoint.registered_sessions() > 0 && !progressed {
+            std::thread::sleep(Duration::from_micros(200));
         }
     }
+
     let status = child.wait().expect("wait for Bob");
     assert!(status.success(), "Bob must exit cleanly");
+    let framed = endpoint.transport().bytes_framed_out() + endpoint.transport().bytes_framed_in();
     println!(
-        "two-process reconciliation complete: Alice sent {sent} envelope(s), \
-         received {received}, and never saw Bob's set"
+        "multiplexed two-process reconciliation complete: 3 mixed-family sessions, \
+         {} metered protocol bytes inside {framed} framed bytes on one pipe",
+        stats.iter().map(|s| s.total_bytes()).sum::<usize>()
     );
-}
-
-fn write_envelope_checked(writer: &mut impl Write, envelope: &Envelope) -> std::io::Result<()> {
-    let bytes = envelope.to_bytes();
-    writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
-    writer.write_all(&bytes)?;
-    writer.flush()
 }
 
 fn main() {

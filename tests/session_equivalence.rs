@@ -13,12 +13,18 @@ use recon_base::rng::Xoshiro256;
 use recon_base::wire::{Decode, Encode};
 use recon_base::ReconError;
 use recon_estimator::L0Config;
-use recon_protocol::{Amplification, Envelope, Meter, Party, SessionBuilder, Step};
+use recon_protocol::{
+    drive_pair, Amplification, Endpoint, Envelope, MemoryTransport, Meter, Party, Role,
+    SessionBuilder, SessionConfig, ShardedRunner, Step,
+};
 use recon_set::{
     reconcile_known, reconcile_known_charpoly, reconcile_unknown, session as set_session,
 };
 use recon_sos::workload::{generate_pair, WorkloadParams};
-use recon_sos::{cascading, iblt_of_iblts, multiround, naive, session as sos_session, SosParams};
+use recon_sos::{
+    cascading, iblt_of_iblts, multiround, naive, session as sos_session, SetOfSets,
+    ShardedSosFamily, SosParams,
+};
 use std::collections::HashSet;
 
 /// Drive a party pair by hand, pushing every envelope through a serialize →
@@ -76,6 +82,30 @@ fn drive_over_bytes<A: Party, B: Party>(
         }
         assert!(progressed, "party pair stalled");
     }
+}
+
+/// Drive a single party pair through a *framed* in-memory transport: one
+/// `Endpoint` per side, session-tagged frames on a shared byte stream — the
+/// multiplexed path, degenerate case of one session. Returns Bob's output plus
+/// the per-session stats both endpoints recorded.
+fn drive_over_endpoint_pair<A, B>(
+    alice: A,
+    bob: B,
+) -> Result<(B::Output, CommStats, CommStats), ReconError>
+where
+    A: Party + 'static,
+    B: Party + 'static,
+    B::Output: 'static,
+{
+    let (transport_a, transport_b) = MemoryTransport::pair();
+    let mut alice_end = Endpoint::new(transport_a);
+    let mut bob_end = Endpoint::new(transport_b);
+    alice_end.register(0, Role::Alice, alice)?;
+    bob_end.register(0, Role::Bob, bob)?;
+    drive_pair(&mut alice_end, &mut bob_end)?;
+    let outcome = bob_end.take_outcome::<B::Output>(0).expect("session finished")?;
+    let alice_stats = alice_end.close(0).expect("session registered");
+    Ok((outcome.recovered, outcome.stats, alice_stats))
 }
 
 fn random_set_pair(n: usize, d: usize, seed: u64) -> (HashSet<u64>, HashSet<u64>) {
@@ -332,4 +362,520 @@ fn forest_session_matches_driver() {
     assert!(recovered.is_isomorphic(&driver.recovered, seed));
     assert_eq!(stats, driver.stats);
     assert_eq!(stats.rounds, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Framed transport (Endpoint over MemoryTransport) vs MemoryLink
+// ---------------------------------------------------------------------------
+
+/// Per family: the framed multiplexed path reports byte-identical `CommStats`
+/// to the blocking `MemoryLink` path, on both endpoints.
+#[test]
+fn framed_transport_matches_memory_link_per_family() {
+    let seed = 0xF4A3;
+
+    // Set, known d (Cor 2.2).
+    let (alice, bob) = random_set_pair(300, 14, seed);
+    let builder = SessionBuilder::new(seed ^ 1).amplification(Amplification::replicate(3));
+    let link = builder
+        .run(
+            set_session::iblt_known_alice(&alice, 16, builder.config()).expect("alice"),
+            set_session::iblt_known_bob(&bob, builder.config()),
+        )
+        .expect("link run");
+    let (recovered, bob_stats, alice_stats) = drive_over_endpoint_pair(
+        set_session::iblt_known_alice(&alice, 16, builder.config()).expect("alice"),
+        set_session::iblt_known_bob(&bob, builder.config()),
+    )
+    .expect("framed run");
+    assert_eq!(recovered, link.recovered);
+    assert_eq!(bob_stats, link.stats, "set/iblt-known");
+    assert_eq!(alice_stats, link.stats, "set/iblt-known alice side");
+
+    // Set, characteristic polynomial (Thm 2.3).
+    let builder = SessionBuilder::new(seed ^ 2).amplification(Amplification::single());
+    let link = builder
+        .run(
+            set_session::charpoly_known_alice(&alice, 16, builder.config()).expect("alice"),
+            set_session::charpoly_known_bob(&bob, builder.config()),
+        )
+        .expect("link run");
+    let (recovered, bob_stats, alice_stats) = drive_over_endpoint_pair(
+        set_session::charpoly_known_alice(&alice, 16, builder.config()).expect("alice"),
+        set_session::charpoly_known_bob(&bob, builder.config()),
+    )
+    .expect("framed run");
+    assert_eq!(recovered, link.recovered);
+    assert_eq!(bob_stats, link.stats, "set/charpoly");
+    assert_eq!(alice_stats, link.stats);
+
+    // Set, unknown d (Cor 3.2) — estimator round included.
+    let builder = SessionBuilder::new(seed ^ 3).amplification(Amplification::replicate(6));
+    let link = builder
+        .run(
+            set_session::unknown_alice(&alice, builder.config()),
+            set_session::unknown_bob(&bob, builder.config()),
+        )
+        .expect("link run");
+    let (recovered, bob_stats, alice_stats) = drive_over_endpoint_pair(
+        set_session::unknown_alice(&alice, builder.config()),
+        set_session::unknown_bob(&bob, builder.config()),
+    )
+    .expect("framed run");
+    assert_eq!(recovered, link.recovered);
+    assert_eq!(bob_stats, link.stats, "set/unknown");
+    assert_eq!(alice_stats, link.stats);
+
+    // Sets of sets: all four families, known d.
+    let workload = WorkloadParams::new(48, 12, 1 << 28);
+    let d = 5;
+    let (sos_alice, sos_bob) = generate_pair(&workload, d, seed ^ 4);
+    let params = SosParams::new(seed ^ 5, workload.max_child_size);
+    let amplification = Amplification::replicate(4);
+
+    let link = SessionBuilder::new(params.seed)
+        .run(
+            sos_session::naive_known_alice(&sos_alice, d, &params, amplification).expect("alice"),
+            sos_session::naive_known_bob(&sos_bob, &params, amplification),
+        )
+        .expect("link run");
+    let (recovered, bob_stats, alice_stats) = drive_over_endpoint_pair(
+        sos_session::naive_known_alice(&sos_alice, d, &params, amplification).expect("alice"),
+        sos_session::naive_known_bob(&sos_bob, &params, amplification),
+    )
+    .expect("framed run");
+    assert_eq!(recovered, link.recovered);
+    assert_eq!(bob_stats, link.stats, "sos/naive");
+    assert_eq!(alice_stats, link.stats);
+
+    let link = SessionBuilder::new(params.seed)
+        .run(
+            sos_session::ioi_known_alice(&sos_alice, d, d, &params, amplification).expect("alice"),
+            sos_session::ioi_known_bob(&sos_bob, &params, amplification),
+        )
+        .expect("link run");
+    let (recovered, bob_stats, alice_stats) = drive_over_endpoint_pair(
+        sos_session::ioi_known_alice(&sos_alice, d, d, &params, amplification).expect("alice"),
+        sos_session::ioi_known_bob(&sos_bob, &params, amplification),
+    )
+    .expect("framed run");
+    assert_eq!(recovered, link.recovered);
+    assert_eq!(bob_stats, link.stats, "sos/ioi");
+    assert_eq!(alice_stats, link.stats);
+
+    let link = SessionBuilder::new(params.seed)
+        .run(
+            sos_session::cascading_known_alice(&sos_alice, d, &params, amplification)
+                .expect("alice"),
+            sos_session::cascading_known_bob(&sos_bob, &params, amplification),
+        )
+        .expect("link run");
+    let (recovered, bob_stats, alice_stats) = drive_over_endpoint_pair(
+        sos_session::cascading_known_alice(&sos_alice, d, &params, amplification).expect("alice"),
+        sos_session::cascading_known_bob(&sos_bob, &params, amplification),
+    )
+    .expect("framed run");
+    assert_eq!(recovered, link.recovered);
+    assert_eq!(bob_stats, link.stats, "sos/cascading");
+    assert_eq!(alice_stats, link.stats);
+
+    let link = SessionBuilder::new(params.seed)
+        .run(
+            sos_session::multiround_known_alice(&sos_alice, d, d, &params),
+            sos_session::multiround_known_bob(&sos_bob, &params),
+        )
+        .expect("link run (seed chosen to succeed)");
+    let (recovered, bob_stats, alice_stats) = drive_over_endpoint_pair(
+        sos_session::multiround_known_alice(&sos_alice, d, d, &params),
+        sos_session::multiround_known_bob(&sos_bob, &params),
+    )
+    .expect("framed run");
+    assert_eq!(recovered, link.recovered);
+    assert_eq!(bob_stats, link.stats, "sos/multiround");
+    assert_eq!(alice_stats, link.stats);
+
+    // Graph, degree-ordering scheme (Thm 5.2) — nested + parallel charges.
+    use recon_graph::degree_order::DegreeOrderParams;
+    use recon_graph::{session as graph_session, Graph};
+    let mut rng = Xoshiro256::new(seed ^ 6);
+    let graph = Graph::gnp(150, 0.3, &mut rng);
+    let graph_params = DegreeOrderParams { h: 48, seed: seed ^ 7 };
+    let link = SessionBuilder::new(graph_params.seed)
+        .run(
+            graph_session::degree_order_alice(&graph, 4, &graph_params).expect("alice"),
+            graph_session::degree_order_bob(&graph, 4, &graph_params).expect("bob"),
+        )
+        .expect("link run");
+    let (recovered, bob_stats, alice_stats) = drive_over_endpoint_pair(
+        graph_session::degree_order_alice(&graph, 4, &graph_params).expect("alice"),
+        graph_session::degree_order_bob(&graph, 4, &graph_params).expect("bob"),
+    )
+    .expect("framed run");
+    assert_eq!(recovered.num_edges(), link.recovered.num_edges());
+    assert_eq!(bob_stats, link.stats, "graph/degree-order");
+    assert_eq!(alice_stats, link.stats);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: >= 8 concurrent mixed-family sessions over ONE framed transport
+// ---------------------------------------------------------------------------
+
+/// One endpoint pair multiplexes nine concurrent sessions spanning all three
+/// protocol layers (plain sets, sets of sets, graphs) over a single framed
+/// byte stream, and every session's `CommStats` is byte-identical to the same
+/// protocol run alone through the legacy `MemoryLink` path.
+#[test]
+fn one_endpoint_drives_nine_concurrent_mixed_family_sessions() {
+    use recon_graph::degree_order::DegreeOrderParams;
+    use recon_graph::{forest, session as graph_session, Forest, Graph};
+    use recon_sos::multiset_of_multisets::{self, PairPacking};
+
+    let seed = 0x008E_5510;
+    let (transport_a, transport_b) = MemoryTransport::pair();
+    let mut alice_end = Endpoint::new(transport_a);
+    let mut bob_end = Endpoint::new(transport_b);
+
+    // Expected outcomes from the legacy blocking path, one `MemoryLink` each.
+    let mut expected: Vec<CommStats> = Vec::new();
+
+    // Sessions 0-2: three plain-set protocols on distinct data.
+    let (set_a, set_b) = random_set_pair(400, 18, seed);
+    let builder = SessionBuilder::new(seed ^ 1).amplification(Amplification::replicate(3));
+    expected.push(
+        builder
+            .run(
+                set_session::iblt_known_alice(&set_a, 20, builder.config()).unwrap(),
+                set_session::iblt_known_bob(&set_b, builder.config()),
+            )
+            .unwrap()
+            .stats,
+    );
+    alice_end
+        .register(
+            0,
+            Role::Alice,
+            set_session::iblt_known_alice(&set_a, 20, builder.config()).unwrap(),
+        )
+        .unwrap();
+    bob_end.register(0, Role::Bob, set_session::iblt_known_bob(&set_b, builder.config())).unwrap();
+
+    let charpoly_builder = SessionBuilder::new(seed ^ 2).amplification(Amplification::single());
+    expected.push(
+        charpoly_builder
+            .run(
+                set_session::charpoly_known_alice(&set_a, 20, charpoly_builder.config()).unwrap(),
+                set_session::charpoly_known_bob(&set_b, charpoly_builder.config()),
+            )
+            .unwrap()
+            .stats,
+    );
+    alice_end
+        .register(
+            1,
+            Role::Alice,
+            set_session::charpoly_known_alice(&set_a, 20, charpoly_builder.config()).unwrap(),
+        )
+        .unwrap();
+    bob_end
+        .register(1, Role::Bob, set_session::charpoly_known_bob(&set_b, charpoly_builder.config()))
+        .unwrap();
+
+    let unknown_builder = SessionBuilder::new(seed ^ 3).amplification(Amplification::replicate(6));
+    expected.push(
+        unknown_builder
+            .run(
+                set_session::unknown_alice(&set_a, unknown_builder.config()),
+                set_session::unknown_bob(&set_b, unknown_builder.config()),
+            )
+            .unwrap()
+            .stats,
+    );
+    alice_end
+        .register(2, Role::Alice, set_session::unknown_alice(&set_a, unknown_builder.config()))
+        .unwrap();
+    bob_end
+        .register(2, Role::Bob, set_session::unknown_bob(&set_b, unknown_builder.config()))
+        .unwrap();
+
+    // Sessions 3-5: three set-of-sets families.
+    let workload = WorkloadParams::new(40, 10, 1 << 28);
+    let d = 4;
+    let (sos_a, sos_b) = generate_pair(&workload, d, seed ^ 4);
+    let params = SosParams::new(seed ^ 5, workload.max_child_size);
+    let amplification = Amplification::replicate(4);
+    expected.push(
+        SessionBuilder::new(params.seed)
+            .run(
+                sos_session::naive_known_alice(&sos_a, d, &params, amplification).unwrap(),
+                sos_session::naive_known_bob(&sos_b, &params, amplification),
+            )
+            .unwrap()
+            .stats,
+    );
+    alice_end
+        .register(
+            3,
+            Role::Alice,
+            sos_session::naive_known_alice(&sos_a, d, &params, amplification).unwrap(),
+        )
+        .unwrap();
+    bob_end
+        .register(3, Role::Bob, sos_session::naive_known_bob(&sos_b, &params, amplification))
+        .unwrap();
+
+    expected.push(
+        SessionBuilder::new(params.seed)
+            .run(
+                sos_session::ioi_known_alice(&sos_a, d, d, &params, amplification).unwrap(),
+                sos_session::ioi_known_bob(&sos_b, &params, amplification),
+            )
+            .unwrap()
+            .stats,
+    );
+    alice_end
+        .register(
+            4,
+            Role::Alice,
+            sos_session::ioi_known_alice(&sos_a, d, d, &params, amplification).unwrap(),
+        )
+        .unwrap();
+    bob_end
+        .register(4, Role::Bob, sos_session::ioi_known_bob(&sos_b, &params, amplification))
+        .unwrap();
+
+    expected.push(
+        SessionBuilder::new(params.seed)
+            .run(
+                sos_session::cascading_known_alice(&sos_a, d, &params, amplification).unwrap(),
+                sos_session::cascading_known_bob(&sos_b, &params, amplification),
+            )
+            .unwrap()
+            .stats,
+    );
+    alice_end
+        .register(
+            5,
+            Role::Alice,
+            sos_session::cascading_known_alice(&sos_a, d, &params, amplification).unwrap(),
+        )
+        .unwrap();
+    bob_end
+        .register(5, Role::Bob, sos_session::cascading_known_bob(&sos_b, &params, amplification))
+        .unwrap();
+
+    // Session 6: multi-round set of sets (Thm 3.9; three genuine rounds).
+    expected.push(
+        SessionBuilder::new(params.seed)
+            .run(
+                sos_session::multiround_known_alice(&sos_a, d, d, &params),
+                sos_session::multiround_known_bob(&sos_b, &params),
+            )
+            .unwrap()
+            .stats,
+    );
+    alice_end
+        .register(6, Role::Alice, sos_session::multiround_known_alice(&sos_a, d, d, &params))
+        .unwrap();
+    bob_end.register(6, Role::Bob, sos_session::multiround_known_bob(&sos_b, &params)).unwrap();
+
+    // Session 7: graph degree-ordering scheme (nested SoS + parallel edges).
+    let mut rng = Xoshiro256::new(seed ^ 6);
+    let graph = Graph::gnp(150, 0.3, &mut rng);
+    let graph_params = DegreeOrderParams { h: 48, seed: seed ^ 7 };
+    expected.push(
+        SessionBuilder::new(graph_params.seed)
+            .run(
+                graph_session::degree_order_alice(&graph, 4, &graph_params).unwrap(),
+                graph_session::degree_order_bob(&graph, 4, &graph_params).unwrap(),
+            )
+            .unwrap()
+            .stats,
+    );
+    alice_end
+        .register(
+            7,
+            Role::Alice,
+            graph_session::degree_order_alice(&graph, 4, &graph_params).unwrap(),
+        )
+        .unwrap();
+    bob_end
+        .register(7, Role::Bob, graph_session::degree_order_bob(&graph, 4, &graph_params).unwrap())
+        .unwrap();
+
+    // Session 8: forest reconciliation (nested multiset-of-multisets).
+    let mut rng = Xoshiro256::new(seed ^ 8);
+    let base = Forest::random(200, 0.1, 5, &mut rng);
+    let forest_alice = base.perturb(2, &mut rng);
+    let forest_seed = 761u64;
+    let packing = PairPacking::default();
+    let alice_collection = forest_alice.vertex_multisets(forest_seed);
+    let bob_collection = base.vertex_multisets(forest_seed);
+    let max_child =
+        alice_collection.max_child_distinct().max(bob_collection.max_child_distinct()).max(2) + 1;
+    let base_params = SosParams::new(forest_seed ^ 0xF07E57, max_child);
+    let resolved = multiset_of_multisets::resolved_params(
+        &alice_collection,
+        &bob_collection,
+        &base_params,
+        &packing,
+    )
+    .unwrap();
+    expected.push(forest::reconcile(&forest_alice, &base, 4, 6, forest_seed).unwrap().stats);
+    alice_end
+        .register(
+            8,
+            Role::Alice,
+            graph_session::forest_alice(&forest_alice, 4, 6, forest_seed, &resolved).unwrap(),
+        )
+        .unwrap();
+    bob_end
+        .register(8, Role::Bob, graph_session::forest_bob(&base, forest_seed, &resolved).unwrap())
+        .unwrap();
+
+    // All nine sessions share one framed byte stream.
+    assert_eq!(bob_end.registered_sessions(), 9);
+    drive_pair(&mut alice_end, &mut bob_end).unwrap();
+
+    let take = |end: &mut Endpoint<MemoryTransport>, id: u64| -> CommStats {
+        match id {
+            0..=2 => {
+                let outcome = end.take_outcome::<HashSet<u64>>(id).unwrap().unwrap();
+                assert_eq!(outcome.recovered, set_a, "session {id} recovery");
+                outcome.stats
+            }
+            3..=6 => {
+                let outcome = end.take_outcome::<SetOfSets>(id).unwrap().unwrap();
+                assert_eq!(outcome.recovered, sos_a, "session {id} recovery");
+                outcome.stats
+            }
+            7 => end.take_outcome::<Graph>(id).unwrap().unwrap().stats,
+            _ => end.take_outcome::<Forest>(id).unwrap().unwrap().stats,
+        }
+    };
+    for id in 0..9u64 {
+        let alice_stats = alice_end.close(id).expect("alice side registered");
+        let stats = take(&mut bob_end, id);
+        assert_eq!(stats, expected[id as usize], "session {id} vs MemoryLink");
+        assert_eq!(alice_stats, expected[id as usize], "session {id} alice side");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded runner: merged stats are a deterministic sum of solo sessions
+// ---------------------------------------------------------------------------
+
+/// Sharded set reconciliation: every shard's stats equal the same shard run
+/// alone over a `MemoryLink`, the merged stats are their exact sum, and the
+/// whole thing is deterministic across runs.
+#[test]
+fn sharded_set_stats_match_solo_memory_link_shards() {
+    let (alice, bob) = random_set_pair(700, 28, 0x5A4D);
+    let runner = ShardedRunner::new(5, 0xD15C);
+    let amplification = Amplification::replicate(3);
+    let per_shard_d = 30;
+
+    let outcome =
+        recon_set::reconcile_known_sharded(&alice, &bob, per_shard_d, amplification, &runner)
+            .expect("sharded run");
+    assert_eq!(outcome.recovered, alice);
+    assert_eq!(outcome.per_shard.len(), 5);
+
+    // Each shard individually, through the legacy blocking path.
+    let alice_shards = recon_set::shard_set(&alice, &runner);
+    let bob_shards = recon_set::shard_set(&bob, &runner);
+    for (shard, stats) in outcome.per_shard.iter().enumerate() {
+        let config = SessionConfig {
+            seed: runner.shard_seed(shard),
+            amplification,
+            estimator: L0Config::default(),
+        };
+        let solo = SessionBuilder::new(config.seed)
+            .amplification(amplification)
+            .run(
+                set_session::iblt_known_alice(&alice_shards[shard], per_shard_d, &config)
+                    .expect("alice"),
+                set_session::iblt_known_bob(&bob_shards[shard], &config),
+            )
+            .expect("solo shard run");
+        assert_eq!(*stats, solo.stats, "shard {shard} vs MemoryLink");
+        assert_eq!(solo.recovered, alice_shards[shard]);
+    }
+
+    // Merged = componentwise sum (rounds overlap, so they take the max).
+    assert_eq!(
+        outcome.stats.bytes_alice_to_bob,
+        outcome.per_shard.iter().map(|s| s.bytes_alice_to_bob).sum::<usize>()
+    );
+    assert_eq!(
+        outcome.stats.bytes_bob_to_alice,
+        outcome.per_shard.iter().map(|s| s.bytes_bob_to_alice).sum::<usize>()
+    );
+    assert_eq!(outcome.stats.messages, outcome.per_shard.iter().map(|s| s.messages).sum::<usize>());
+    assert_eq!(outcome.stats.rounds, outcome.per_shard.iter().map(|s| s.rounds).max().unwrap());
+
+    // Determinism: an identical second run produces identical stats.
+    let again =
+        recon_set::reconcile_known_sharded(&alice, &bob, per_shard_d, amplification, &runner)
+            .expect("second sharded run");
+    assert_eq!(outcome, again);
+}
+
+/// Sharded set-of-sets reconciliation: per-shard stats equal solo MemoryLink
+/// runs of the same shard parties and the merged stats sum deterministically.
+#[test]
+fn sharded_sos_stats_match_solo_memory_link_shards() {
+    let workload = WorkloadParams::new(60, 10, 1 << 28);
+    let d = 4;
+    let (alice, bob) = generate_pair(&workload, d, 0xBEE);
+    let params = SosParams::new(0xABBA, workload.max_child_size);
+    let runner = ShardedRunner::new(4, 0xCAFE);
+    let amplification = Amplification::replicate(4);
+    let per_shard_d = 2 * d + 2; // differing children (naive family units)
+
+    let outcome = recon_sos::sharded::reconcile_known_sharded(
+        &alice,
+        &bob,
+        per_shard_d,
+        ShardedSosFamily::Naive,
+        &params,
+        amplification,
+        &runner,
+    )
+    .expect("sharded run");
+    assert_eq!(outcome.recovered, alice);
+
+    let alice_shards = recon_sos::shard_set_of_sets(&alice, &runner);
+    let bob_shards = recon_sos::shard_set_of_sets(&bob, &runner);
+    for (shard, stats) in outcome.per_shard.iter().enumerate() {
+        let shard_params = SosParams::new(runner.shard_seed(shard), params.max_child_size);
+        let solo = SessionBuilder::new(shard_params.seed)
+            .run(
+                sos_session::naive_known_alice(
+                    &alice_shards[shard],
+                    per_shard_d,
+                    &shard_params,
+                    amplification,
+                )
+                .expect("alice"),
+                sos_session::naive_known_bob(&bob_shards[shard], &shard_params, amplification),
+            )
+            .expect("solo shard run");
+        assert_eq!(*stats, solo.stats, "shard {shard} vs MemoryLink");
+    }
+    assert_eq!(
+        outcome.stats.total_bytes(),
+        outcome.per_shard.iter().map(|s| s.total_bytes()).sum::<usize>()
+    );
+
+    let again = recon_sos::sharded::reconcile_known_sharded(
+        &alice,
+        &bob,
+        per_shard_d,
+        ShardedSosFamily::Naive,
+        &params,
+        amplification,
+        &runner,
+    )
+    .expect("second sharded run");
+    assert_eq!(outcome, again);
 }
