@@ -172,7 +172,8 @@ pub fn reconcile_collections_sharded(
     let local_sos = local.as_set_of_sets();
     let max_child = remote_sos.max_child_size().max(local_sos.max_child_size()).max(1);
     let params = SosParams::new(seed, max_child);
-    let runner = ShardedRunner::new(num_shards, seed);
+    // Deterministic across thread counts, so always use the machine's parallelism.
+    let runner = ShardedRunner::new(num_shards, seed).with_available_threads();
     let outcome = sharded::reconcile_known_sharded(
         &remote_sos,
         &local_sos,

@@ -281,6 +281,20 @@ impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
     }
 }
 
+/// Write `bytes` with an explicit length prefix — the borrowed-slice counterpart
+/// of encoding a [`Bytes`] value, for encoders that already hold the bytes and
+/// should not clone them into a temporary.
+pub fn write_length_prefixed(buf: &mut Vec<u8>, bytes: &[u8]) {
+    write_uvarint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Read a length-prefixed byte slice, borrowing from the input buffer.
+pub fn read_length_prefixed<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], WireError> {
+    let len = read_uvarint(buf)? as usize;
+    take(buf, len)
+}
+
 /// Raw bytes with an explicit length prefix.
 ///
 /// Used for nested encodings (e.g. a serialized child IBLT carried as the key of an
@@ -290,8 +304,7 @@ pub struct Bytes(pub Vec<u8>);
 
 impl Encode for Bytes {
     fn encode(&self, buf: &mut Vec<u8>) {
-        write_uvarint(buf, self.0.len() as u64);
-        buf.extend_from_slice(&self.0);
+        write_length_prefixed(buf, &self.0);
     }
     fn encoded_len(&self) -> usize {
         uvarint_len(self.0.len() as u64) + self.0.len()
@@ -300,8 +313,7 @@ impl Encode for Bytes {
 
 impl Decode for Bytes {
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        let len = read_uvarint(buf)? as usize;
-        Ok(Bytes(take(buf, len)?.to_vec()))
+        Ok(Bytes(read_length_prefixed(buf)?.to_vec()))
     }
 }
 

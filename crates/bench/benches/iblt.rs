@@ -47,6 +47,28 @@ fn bench_subtract_decode(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_subtract_into_decode(c: &mut Criterion) {
+    // The production path since the flat cell bank: subtract yields an owned
+    // table which is peeled in place, so no copy of the bank survives.
+    let mut group = c.benchmark_group("iblt_subtract_and_decode_in_place");
+    for d in [8usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let cfg = IbltConfig::for_u64_keys(3);
+            let mut alice = Iblt::with_expected_diff(d, &cfg);
+            let mut bob = Iblt::with_expected_diff(d, &cfg);
+            for x in 0..50_000u64 {
+                alice.insert_u64(x);
+                bob.insert_u64(x + d as u64);
+            }
+            b.iter(|| {
+                let diff = alice.subtract(&bob).unwrap();
+                black_box(diff.into_decode())
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_sizing_ablation(c: &mut Criterion) {
     // Ablation for the cells-per-difference constant: how often does decode fail?
     let mut group = c.benchmark_group("iblt_decode_success_vs_sizing");
@@ -77,5 +99,11 @@ fn bench_sizing_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert, bench_subtract_decode, bench_sizing_ablation);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_subtract_decode,
+    bench_subtract_into_decode,
+    bench_sizing_ablation
+);
 criterion_main!(benches);

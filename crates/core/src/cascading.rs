@@ -110,16 +110,22 @@ impl CascadingProtocol {
             .with_min_cells(12)
     }
 
-    /// Encode one child set at a given cascade level.
-    fn encode_child_at_level(&self, child: &ChildSet, level: usize) -> Vec<u8> {
-        let cfg = self.child_config(level);
-        let mut table = Iblt::with_cells(self.level_child_cells(level), &cfg);
+    /// An empty child table of level `level`'s geometry, reusable across children
+    /// via [`Iblt::clear`].
+    fn level_scratch(&self, level: usize) -> Iblt {
+        Iblt::with_cells(self.level_child_cells(level), &self.child_config(level))
+    }
+
+    /// Encode one child set at a cascade level into `out`, reusing `scratch` as
+    /// the child table (both are cleared first; no per-child allocation).
+    fn encode_child_at_level_into(&self, child: &ChildSet, scratch: &mut Iblt, out: &mut Vec<u8>) {
+        scratch.clear();
         for &x in child {
-            table.insert_u64(x);
+            scratch.insert_u64(x);
         }
-        let mut bytes = table.to_bytes();
-        bytes.extend_from_slice(&SetOfSets::child_hash(child, self.params.seed).to_le_bytes());
-        bytes
+        out.clear();
+        scratch.encode(out);
+        out.extend_from_slice(&SetOfSets::child_hash(child, self.params.seed).to_le_bytes());
     }
 
     fn split_encoding(encoding: &[u8]) -> Result<(Iblt, u64), ReconError> {
@@ -147,16 +153,21 @@ impl CascadingProtocol {
         for level in 1..=t {
             let mut outer =
                 Iblt::with_cells(self.level_outer_cells(d, level), &self.level_outer_config(level));
+            let mut scratch = self.level_scratch(level);
+            let mut encoding = Vec::with_capacity(self.level_encoding_bytes(level));
             for child in sos.children() {
-                outer.insert(&self.encode_child_at_level(child, level));
+                self.encode_child_at_level_into(child, &mut scratch, &mut encoding);
+                outer.insert(&encoding);
             }
             levels.push(outer);
         }
         let fallback = if self.needs_fallback(d) {
             let expected = (2 * d / self.params.max_child_size).max(4);
             let mut table = Iblt::with_expected_diff(expected, &self.fallback_config());
+            let mut key = Vec::with_capacity(2 + 8 * self.params.max_child_size);
             for child in sos.children() {
-                table.insert(&SetOfSets::encode_child_fixed(child, self.params.max_child_size));
+                SetOfSets::encode_child_fixed_into(child, self.params.max_child_size, &mut key);
+                table.insert(&key);
             }
             Some(table)
         } else {
@@ -192,19 +203,23 @@ impl CascadingProtocol {
         for (idx, outer) in digest.levels.iter().enumerate() {
             let level = idx + 1;
             let mut table = outer.clone();
+            let mut scratch = self.level_scratch(level);
+            let mut encoding = Vec::with_capacity(self.level_encoding_bytes(level));
             for child in local.children() {
                 let hash = SetOfSets::child_hash(child, self.params.seed);
                 if level > 1 && differing_local.contains_key(&hash) {
                     continue; // keep D_B out of the later tables (Algorithm 2, step i>1)
                 }
-                table.delete(&self.encode_child_at_level(child, level));
+                self.encode_child_at_level_into(child, &mut scratch, &mut encoding);
+                table.delete(&encoding);
             }
             if level > 1 {
                 for child in recovered.values() {
-                    table.delete(&self.encode_child_at_level(child, level));
+                    self.encode_child_at_level_into(child, &mut scratch, &mut encoding);
+                    table.delete(&encoding);
                 }
             }
-            let decoded = table.decode();
+            let decoded = table.decode_in_place();
             // Partial decodes are fine mid-cascade: later levels and the fallback
             // table will catch what this level missed.
 
@@ -230,12 +245,14 @@ impl CascadingProtocol {
                 }
                 pending.insert(hash_a, ());
                 for child_b in candidate_children.iter().copied() {
-                    let table_b = {
-                        let enc = self.encode_child_at_level(child_b, level);
-                        Self::split_encoding(&enc)?.0
-                    };
-                    let Ok(diff_table) = table_a.subtract(&table_b) else { continue };
-                    let peeled = diff_table.decode();
+                    // Rebuild Bob's candidate child table directly in the scratch
+                    // table — no byte round trip needed for a locally-built table.
+                    scratch.clear();
+                    for &x in child_b {
+                        scratch.insert_u64(x);
+                    }
+                    let Ok(diff_table) = table_a.subtract(&scratch) else { continue };
+                    let peeled = diff_table.into_decode();
                     if !peeled.complete {
                         continue;
                     }
@@ -258,13 +275,16 @@ impl CascadingProtocol {
         // Fallback table of full encodings, when present.
         if let Some(fallback) = &digest.fallback {
             let mut table = fallback.clone();
+            let mut key = Vec::with_capacity(2 + 8 * self.params.max_child_size);
             for child in local.children() {
-                table.delete(&SetOfSets::encode_child_fixed(child, self.params.max_child_size));
+                SetOfSets::encode_child_fixed_into(child, self.params.max_child_size, &mut key);
+                table.delete(&key);
             }
             for child in recovered.values() {
-                table.delete(&SetOfSets::encode_child_fixed(child, self.params.max_child_size));
+                SetOfSets::encode_child_fixed_into(child, self.params.max_child_size, &mut key);
+                table.delete(&key);
             }
-            let decoded = table.decode();
+            let decoded = table.decode_in_place();
             for key in &decoded.positive {
                 if let Some(child) = SetOfSets::decode_child_fixed(key) {
                     let hash = SetOfSets::child_hash(&child, self.params.seed);

@@ -86,16 +86,22 @@ impl IbltOfIbltsProtocol {
         IbltConfig::for_key_bytes(self.encoding_bytes(d), self.params.role_seed(0xB2))
     }
 
-    /// Build the encoding of one child set at difference bound `d`.
-    fn encode_child(&self, child: &ChildSet, d: usize) -> Vec<u8> {
-        let cfg = self.child_config();
-        let mut table = Iblt::with_cells(self.child_cells(d), &cfg);
+    /// An empty child table of the right geometry for bound `d`, reusable across
+    /// children via [`Iblt::clear`].
+    fn child_scratch(&self, d: usize) -> Iblt {
+        Iblt::with_cells(self.child_cells(d), &self.child_config())
+    }
+
+    /// Encode one child set into `out` using `scratch` as the child table — both
+    /// are cleared and reused, so bulk encoders allocate nothing per child.
+    fn encode_child_into(&self, child: &ChildSet, scratch: &mut Iblt, out: &mut Vec<u8>) {
+        scratch.clear();
         for &x in child {
-            table.insert_u64(x);
+            scratch.insert_u64(x);
         }
-        let mut bytes = table.to_bytes();
-        bytes.extend_from_slice(&SetOfSets::child_hash(child, self.params.seed).to_le_bytes());
-        bytes
+        out.clear();
+        scratch.encode(out);
+        out.extend_from_slice(&SetOfSets::child_hash(child, self.params.seed).to_le_bytes());
     }
 
     fn split_encoding(encoding: &[u8]) -> Result<(Iblt, u64), ReconError> {
@@ -113,8 +119,11 @@ impl IbltOfIbltsProtocol {
     pub fn digest(&self, sos: &SetOfSets, d: usize, d_hat: usize) -> IbltOfIbltsDigest {
         let d = d.max(1);
         let mut outer = Iblt::with_expected_diff((2 * d_hat).max(2), &self.outer_config(d));
+        let mut scratch = self.child_scratch(d);
+        let mut encoding = Vec::with_capacity(self.encoding_bytes(d));
         for child in sos.children() {
-            outer.insert(&self.encode_child(child, d));
+            self.encode_child_into(child, &mut scratch, &mut encoding);
+            outer.insert(&encoding);
         }
         IbltOfIbltsDigest {
             outer,
@@ -132,10 +141,13 @@ impl IbltOfIbltsProtocol {
     ) -> Result<SetOfSets, ReconError> {
         let d = digest.child_diff_bound.max(1);
         let mut table = digest.outer.clone();
+        let mut scratch = self.child_scratch(d);
+        let mut encoding = Vec::with_capacity(self.encoding_bytes(d));
         for child in local.children() {
-            table.delete(&self.encode_child(child, d));
+            self.encode_child_into(child, &mut scratch, &mut encoding);
+            table.delete(&encoding);
         }
-        let decoded = table.decode();
+        let decoded = table.decode_in_place();
         if !decoded.complete {
             return Err(ReconError::PeelingFailure { remaining_cells: table.nonempty_cells() });
         }
@@ -156,18 +168,17 @@ impl IbltOfIbltsProtocol {
         // child fits within the per-child difference bound — consistent with the
         // relaxed difference metric, where an unmatched child costs its full size.
         let empty_child = ChildSet::new();
-        let empty_encoding = self.encode_child(&empty_child, d);
-        let (empty_table, _) = Self::split_encoding(&empty_encoding)?;
-        let mut candidates: Vec<(u64, &ChildSet, Iblt)> =
-            differing_local.iter().map(|(h, c, t)| (*h, *c, t.clone())).collect();
-        candidates.push((0, &empty_child, empty_table));
+        let empty_table = self.child_scratch(d);
+        let mut candidates: Vec<(&ChildSet, &Iblt)> =
+            differing_local.iter().map(|(_, c, t)| (*c, t)).collect();
+        candidates.push((&empty_child, &empty_table));
         let mut recovered_children: Vec<ChildSet> = Vec::new();
         for encoding in &decoded.positive {
             let (table_a, hash_a) = Self::split_encoding(encoding)?;
             let mut matched = false;
-            for (_, child_b, table_b) in &candidates {
+            for (child_b, table_b) in &candidates {
                 let Ok(diff_table) = table_a.subtract(table_b) else { continue };
-                let peeled = diff_table.decode();
+                let peeled = diff_table.into_decode();
                 if !peeled.complete {
                     continue;
                 }

@@ -55,5 +55,6 @@ pub mod workload;
 
 pub use matching::{child_difference, differing_children, matching_difference, relaxed_difference};
 pub use multiset_of_multisets::{PairPacking, SetOfMultisets};
+pub use recon_estimator::L0Config;
 pub use sharded::{shard_set_of_sets, ShardedSosFamily};
 pub use types::{ChildSet, SetOfSets, SosOutcome, SosParams};

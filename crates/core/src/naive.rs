@@ -75,8 +75,10 @@ impl NaiveProtocol {
         // Both parties' differing children end up in the subtracted table, so size
         // for twice the bound.
         let mut outer = Iblt::with_expected_diff((2 * d_hat).max(2), &cfg);
+        let mut key = Vec::with_capacity(self.key_bytes());
         for child in sos.children() {
-            outer.insert(&SetOfSets::encode_child_fixed(child, self.params.max_child_size));
+            SetOfSets::encode_child_fixed_into(child, self.params.max_child_size, &mut key);
+            outer.insert(&key);
         }
         NaiveDigest {
             outer,
@@ -92,10 +94,12 @@ impl NaiveProtocol {
         local: &SetOfSets,
     ) -> Result<SetOfSets, ReconError> {
         let mut table = digest.outer.clone();
+        let mut key = Vec::with_capacity(self.key_bytes());
         for child in local.children() {
-            table.delete(&SetOfSets::encode_child_fixed(child, self.params.max_child_size));
+            SetOfSets::encode_child_fixed_into(child, self.params.max_child_size, &mut key);
+            table.delete(&key);
         }
-        let decoded = table.decode();
+        let decoded = table.decode_in_place();
         if !decoded.complete {
             return Err(ReconError::PeelingFailure { remaining_cells: table.nonempty_cells() });
         }

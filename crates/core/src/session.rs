@@ -421,7 +421,7 @@ impl Party for MultiroundAlice {
             TAG_MR_ESTIMATORS => {
                 let (bob_hash_table, bob_estimators): (Iblt, Vec<(u64, L0Estimator)>) =
                     envelope.decode_payload()?;
-                let hash_diff = self.alice_hash_table.subtract(&bob_hash_table)?.decode();
+                let hash_diff = self.alice_hash_table.subtract(&bob_hash_table)?.into_decode();
                 if !hash_diff.complete {
                     return Err(ReconError::PeelingFailure { remaining_cells: 0 });
                 }
@@ -563,7 +563,7 @@ impl Party for MultiroundBob {
                 for h in self.sos.child_hashes(seed) {
                     bob_hash_table.insert_u64(h);
                 }
-                let hash_diff = alice_hash_table.subtract(&bob_hash_table)?.decode();
+                let hash_diff = alice_hash_table.subtract(&bob_hash_table)?.into_decode();
                 if !hash_diff.complete {
                     return Err(ReconError::PeelingFailure { remaining_cells: 0 });
                 }

@@ -15,10 +15,15 @@ use crate::session;
 use crate::types::{SetOfSets, SosParams};
 use recon_base::rng::split_seed;
 use recon_base::ReconError;
+use recon_estimator::L0Config;
 use recon_protocol::{Amplification, Party, ShardedOutcome, ShardedRunner};
 
 /// Salt separating the child→shard map from every protocol seed.
 const CHILD_SHARD_SALT: u64 = 0x5AAD_C41D;
+
+/// One shard's party pair, `Send` so the runner may execute shards on worker
+/// threads.
+type ShardPair = (Box<dyn Party<Output = ()> + Send>, Box<dyn Party<Output = SetOfSets> + Send>);
 
 /// The shard a child set belongs to under `runner`'s seed.
 pub fn shard_of_child(child: &crate::types::ChildSet, runner: &ShardedRunner) -> usize {
@@ -70,13 +75,12 @@ pub fn reconcile_known_sharded(
 ) -> Result<ShardedOutcome<SetOfSets>, ReconError> {
     let alice_shards = shard_set_of_sets(alice, runner);
     let bob_shards = shard_set_of_sets(bob, runner);
-    type Pair = (Box<dyn Party<Output = ()>>, Box<dyn Party<Output = SetOfSets>>);
-    let mut pairs: Vec<Pair> = Vec::with_capacity(runner.num_shards());
+    let mut pairs: Vec<ShardPair> = Vec::with_capacity(runner.num_shards());
     for (shard, (alice_shard, bob_shard)) in alice_shards.iter().zip(&bob_shards).enumerate() {
         // Each shard gets independent public coins but shares the universe
         // bound, so encodings stay compatible with the unsharded protocols.
         let shard_params = SosParams::new(runner.shard_seed(shard), params.max_child_size);
-        let pair: Pair = match family {
+        let pair: ShardPair = match family {
             ShardedSosFamily::Naive => (
                 Box::new(session::naive_known_alice(
                     alice_shard,
@@ -108,14 +112,93 @@ pub fn reconcile_known_sharded(
         };
         pairs.push(pair);
     }
-    let outcomes = runner.run_pairs(pairs)?;
+    Ok(reassemble(runner.run_pairs(pairs)?))
+}
+
+/// Union the per-shard recoveries and merge their accounting, in shard order.
+fn reassemble(outcomes: Vec<recon_protocol::Outcome<SetOfSets>>) -> ShardedOutcome<SetOfSets> {
     let per_shard: Vec<_> = outcomes.iter().map(|o| o.stats).collect();
     let stats = ShardedRunner::merge_stats(&per_shard);
     let mut children = Vec::new();
     for outcome in outcomes {
         children.extend(outcome.recovered.children().iter().cloned());
     }
-    Ok(ShardedOutcome { recovered: SetOfSets::from_children(children), per_shard, stats })
+    ShardedOutcome { recovered: SetOfSets::from_children(children), per_shard, stats }
+}
+
+/// Reconcile two collections shard by shard with *no prior difference bound*:
+/// every shard sizes itself (Corollaries 3.4/3.6/3.8's unknown-`d` machinery,
+/// run per shard — the production shape, where no global bound is known and
+/// each shard's difference is estimated or doubled independently).
+///
+/// Per family, each shard runs its own round-0 estimation: the naive family
+/// opens with an ℓ0 estimator over the shard's child hashes (`estimator`
+/// configures it), while the IBLT-of-IBLTs and cascading families repeatedly
+/// double the shard's bound under metered NACKs, capped by the shard's own
+/// content size — so a shard holding few differences pays a small digest
+/// regardless of how skewed the global difference distribution is.
+pub fn reconcile_unknown_sharded(
+    alice: &SetOfSets,
+    bob: &SetOfSets,
+    family: ShardedSosFamily,
+    params: &SosParams,
+    estimator: L0Config,
+    runner: &ShardedRunner,
+) -> Result<ShardedOutcome<SetOfSets>, ReconError> {
+    let alice_shards = shard_set_of_sets(alice, runner);
+    let bob_shards = shard_set_of_sets(bob, runner);
+    let mut pairs: Vec<ShardPair> = Vec::with_capacity(runner.num_shards());
+    for (shard, (alice_shard, bob_shard)) in alice_shards.iter().zip(&bob_shards).enumerate() {
+        let shard_params = SosParams::new(runner.shard_seed(shard), params.max_child_size);
+        // Both parties compute the same shard-local caps from the shard inputs,
+        // mirroring the unsharded unknown-d drivers' out-of-band parameters.
+        let max_possible = alice_shard.total_elements() + bob_shard.total_elements() + 2;
+        let children_cap = alice_shard.num_children().max(bob_shard.num_children()).max(1);
+        let pair: ShardPair = match family {
+            ShardedSosFamily::Naive => {
+                let amplification = Amplification::replicate(5);
+                (
+                    Box::new(session::naive_unknown_alice(
+                        alice_shard,
+                        &shard_params,
+                        amplification,
+                        estimator,
+                    )),
+                    Box::new(session::naive_unknown_bob(
+                        bob_shard,
+                        &shard_params,
+                        amplification,
+                        estimator,
+                    )),
+                )
+            }
+            ShardedSosFamily::IbltOfIblts => {
+                let doubling = Amplification::doubling(1, 2 * max_possible);
+                (
+                    Box::new(session::ioi_unknown_alice(
+                        alice_shard,
+                        &shard_params,
+                        children_cap,
+                        doubling,
+                    )?),
+                    Box::new(session::ioi_unknown_bob(bob_shard, &shard_params, doubling)),
+                )
+            }
+            ShardedSosFamily::Cascading => {
+                let doubling = Amplification::doubling(2, 2 * max_possible);
+                (
+                    Box::new(session::cascading_unknown_alice(
+                        alice_shard,
+                        &shard_params,
+                        doubling,
+                    )?),
+                    Box::new(session::cascading_unknown_bob(bob_shard, &shard_params, doubling)),
+                )
+            }
+        };
+        pairs.push(pair);
+    }
+    Ok(reassemble(runner.run_pairs(pairs)?))
 }
 
 #[cfg(test)]
@@ -173,6 +256,53 @@ mod tests {
                 "{family:?}"
             );
         }
+    }
+
+    #[test]
+    fn every_family_recovers_alice_without_a_difference_bound() {
+        let workload = WorkloadParams::new(36, 10, 1 << 28);
+        let (alice, bob) = generate_pair(&workload, 4, 13);
+        let params = SosParams::new(77, workload.max_child_size);
+        let runner = ShardedRunner::new(3, 21);
+        for family in
+            [ShardedSosFamily::Naive, ShardedSosFamily::IbltOfIblts, ShardedSosFamily::Cascading]
+        {
+            let outcome = reconcile_unknown_sharded(
+                &alice,
+                &bob,
+                family,
+                &params,
+                L0Config::default(),
+                &runner,
+            )
+            .unwrap();
+            assert_eq!(outcome.recovered, alice, "{family:?}");
+            assert_eq!(outcome.per_shard.len(), 3, "{family:?}");
+            // Every shard ran its own estimation round (naive: estimator message,
+            // doubling families: at least the first digest), so no shard is silent.
+            assert!(outcome.per_shard.iter().all(|s| s.messages >= 1), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_sharded_is_identical_across_thread_counts() {
+        let workload = WorkloadParams::new(32, 8, 1 << 24);
+        let (alice, bob) = generate_pair(&workload, 3, 99);
+        let params = SosParams::new(5, workload.max_child_size);
+        let run = |threads: usize| {
+            reconcile_unknown_sharded(
+                &alice,
+                &bob,
+                ShardedSosFamily::Naive,
+                &params,
+                L0Config::default(),
+                &ShardedRunner::new(4, 17).with_threads(threads),
+            )
+            .unwrap()
+        };
+        let single = run(1);
+        assert_eq!(single, run(2));
+        assert_eq!(single, run(8));
     }
 
     #[test]

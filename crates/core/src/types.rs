@@ -125,18 +125,25 @@ impl SetOfSets {
     /// of the naive protocol (Theorem 3.3) and of the fallback table `T_*` in
     /// Algorithm 2.
     pub fn encode_child_fixed(child: &ChildSet, max_size: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + 8 * max_size);
+        Self::encode_child_fixed_into(child, max_size, &mut out);
+        out
+    }
+
+    /// [`SetOfSets::encode_child_fixed`] into a caller-provided buffer (cleared
+    /// first), so bulk encoders can reuse one allocation across all children.
+    pub fn encode_child_fixed_into(child: &ChildSet, max_size: usize, out: &mut Vec<u8>) {
         assert!(
             child.len() <= max_size,
             "child set of size {} exceeds the fixed encoding width {max_size}",
             child.len()
         );
-        let mut out = Vec::with_capacity(2 + 8 * max_size);
+        out.clear();
         out.extend_from_slice(&(child.len() as u16).to_le_bytes());
         for &x in child {
             out.extend_from_slice(&x.to_le_bytes());
         }
         out.resize(2 + 8 * max_size, 0);
-        out
     }
 
     /// Inverse of [`SetOfSets::encode_child_fixed`].

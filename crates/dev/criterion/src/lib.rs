@@ -7,13 +7,26 @@
 //! instead of criterion's statistical machinery. Each benchmark runs a short
 //! warm-up followed by a fixed measurement window and prints the mean iteration
 //! time.
+//!
+//! Passing `--smoke` after `--` (`cargo bench -p recon-bench --bench iblt --
+//! --smoke`) shrinks the measurement window to a few milliseconds and caps the
+//! iteration count, so CI can execute every benchmark body end to end as a
+//! regression smoke test without paying full measurement time.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// `true` when the benchmark binary was invoked with `--smoke`: run every
+/// routine, but with a minimal measurement window.
+pub fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|arg| arg == "--smoke"))
+}
 
 /// Identifier of one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -47,17 +60,22 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Measure `routine` over a warm-up pass and a short measurement window.
+    /// Measure `routine` over a warm-up pass and a short measurement window
+    /// (or a near-instant one under [`smoke_mode`]).
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         // Warm-up: one untimed call (also gives a scale for the window).
         let warm_start = Instant::now();
         black_box(routine());
         let first = warm_start.elapsed();
 
-        let window = Duration::from_millis(200).max(first);
+        let (window, max_iterations) = if smoke_mode() {
+            (Duration::from_millis(5), 10)
+        } else {
+            (Duration::from_millis(200).max(first), 1_000_000)
+        };
         let start = Instant::now();
         let mut iterations = 0u64;
-        while start.elapsed() < window && iterations < 1_000_000 {
+        while start.elapsed() < window && iterations < max_iterations {
             black_box(routine());
             iterations += 1;
         }

@@ -94,11 +94,9 @@ impl StrataEstimator {
         let mut out = self.clone();
         for (mine, theirs) in out.strata.iter_mut().zip(&other.strata) {
             // "Merging" the A-side of one estimator with the B-side of the other is
-            // cellwise addition; since Side::B updates are deletions, adding tables
-            // is implemented as subtracting the negation, i.e. plain cellwise
-            // combination. Iblt::subtract(self, other) computes self - other, so we
-            // subtract a negated copy: equivalently add by subtracting from zero.
-            *mine = combine(mine, theirs);
+            // cellwise addition; since Side::B updates are deletions, adding the
+            // signed tables leaves exactly the difference encoding.
+            mine.add_assign(theirs).expect("same geometry");
         }
         Ok(out)
     }
@@ -123,19 +121,6 @@ impl StrataEstimator {
     pub fn serialized_len(&self) -> usize {
         Encode::encoded_len(self)
     }
-}
-
-/// Cell-wise addition of two IBLTs (both already encode signed contents).
-fn combine(a: &Iblt, b: &Iblt) -> Iblt {
-    // a + b = a - (0 - b); build the negation by subtracting b from an empty clone.
-    let zero = {
-        let mut z = a.clone();
-        let tmp = z.subtract(a).expect("same geometry");
-        z = tmp;
-        z
-    };
-    let neg_b = zero.subtract(b).expect("same geometry");
-    a.subtract(&neg_b).expect("same geometry")
 }
 
 impl Encode for StrataEstimator {

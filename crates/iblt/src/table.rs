@@ -1,4 +1,15 @@
-//! The IBLT cell array, insert/delete/subtract operations and the peeling decoder.
+//! The IBLT cell bank, insert/delete/subtract operations and the peeling decoder.
+//!
+//! # Memory layout
+//!
+//! Cells are stored as a flat struct-of-arrays bank rather than a `Vec<Cell>`:
+//! one contiguous `counts: Vec<i64>`, one contiguous `check_sums: Vec<u64>`, and a
+//! single `key_sums: Vec<u8>` buffer holding every cell's key sum at stride
+//! `key_bytes`. Insert/delete/subtract are in-place XOR/add kernels over these
+//! arrays, cell indices are produced by an allocation-free iterator, and the wire
+//! encoder/decoder stream straight from/to the flat buffers. The serialized byte
+//! format is identical to the previous per-cell layout (count | key sum |
+//! checksum per cell, little-endian), so tables interoperate across versions.
 
 use recon_base::hash::{hash64, hash_bytes};
 use recon_base::rng::split_seed;
@@ -100,32 +111,6 @@ impl Default for IbltConfig {
     }
 }
 
-/// One IBLT cell: signed count, XOR of keys, XOR of key checksums.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Cell {
-    count: i64,
-    key_sum: Vec<u8>,
-    check_sum: u64,
-}
-
-impl Cell {
-    fn new(key_bytes: usize) -> Self {
-        Self { count: 0, key_sum: vec![0; key_bytes], check_sum: 0 }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.count == 0 && self.check_sum == 0 && self.key_sum.iter().all(|&b| b == 0)
-    }
-
-    fn apply(&mut self, key: &[u8], checksum: u64, delta: i64) {
-        self.count += delta;
-        for (dst, src) in self.key_sum.iter_mut().zip(key) {
-            *dst ^= src;
-        }
-        self.check_sum ^= checksum;
-    }
-}
-
 /// The result of decoding (peeling) an IBLT.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DecodeResult {
@@ -167,12 +152,20 @@ impl DecodeResult {
     }
 }
 
-/// Encode a `u64` into a key of `key_bytes` bytes (little-endian, zero padded).
-pub(crate) fn u64_to_key(x: u64, key_bytes: usize) -> Vec<u8> {
+/// Call `f` with the zero-padded little-endian `key_bytes`-wide key for `x`,
+/// staying on the stack for every practical key width (heap only past 64 bytes).
+#[inline]
+fn with_u64_key<R>(x: u64, key_bytes: usize, f: impl FnOnce(&[u8]) -> R) -> R {
     assert!(key_bytes >= 8, "u64 keys require key_bytes >= 8");
-    let mut key = vec![0u8; key_bytes];
-    key[..8].copy_from_slice(&x.to_le_bytes());
-    key
+    if key_bytes <= 64 {
+        let mut buf = [0u8; 64];
+        buf[..8].copy_from_slice(&x.to_le_bytes());
+        f(&buf[..key_bytes])
+    } else {
+        let mut buf = vec![0u8; key_bytes];
+        buf[..8].copy_from_slice(&x.to_le_bytes());
+        f(&buf)
+    }
 }
 
 fn key_to_u64(key: &[u8]) -> u64 {
@@ -182,17 +175,65 @@ fn key_to_u64(key: &[u8]) -> u64 {
     u64::from_le_bytes(buf)
 }
 
+/// Allocation-free iterator over the `hash_count` distinct cell indices of a key
+/// (partitioned hashing: hash function `j` owns cells `[j·m/k, (j+1)·m/k)`).
+struct CellIndices {
+    base: u64,
+    seed: u64,
+    part: usize,
+    hash_count: usize,
+    j: usize,
+}
+
+impl Iterator for CellIndices {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.j == self.hash_count {
+            return None;
+        }
+        let j = self.j;
+        self.j += 1;
+        let h = hash64(self.base, split_seed(self.seed, j as u64 + 1));
+        Some(j * self.part + (h % self.part as u64) as usize)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.hash_count - self.j;
+        (left, Some(left))
+    }
+}
+
+#[inline]
+fn cell_indices(cells: usize, hash_count: usize, seed: u64, key: &[u8]) -> CellIndices {
+    CellIndices {
+        base: hash_bytes(key, split_seed(seed, 0xB0CC)),
+        seed,
+        part: cells / hash_count,
+        hash_count,
+        j: 0,
+    }
+}
+
 /// An Invertible Bloom Lookup Table over fixed-width byte keys.
 ///
-/// See the crate-level documentation for the data-structure description. The table is
-/// cheap to clone (a flat `Vec` of cells) and serializes through
-/// [`recon_base::wire::Encode`], which is how its communication cost is measured.
+/// See the crate-level documentation for the data-structure description and the
+/// module documentation for the flat struct-of-arrays cell bank. The table is cheap
+/// to clone (three flat `Vec`s) and serializes through [`recon_base::wire::Encode`],
+/// which is how its communication cost is measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Iblt {
     key_bytes: usize,
     hash_count: usize,
     seed: u64,
-    cells: Vec<Cell>,
+    /// Signed occurrence count per cell.
+    counts: Vec<i64>,
+    /// XOR of all keys per cell, `counts.len() * key_bytes` bytes at stride
+    /// `key_bytes`.
+    key_sums: Vec<u8>,
+    /// XOR of the key checksums per cell.
+    check_sums: Vec<u64>,
 }
 
 impl Iblt {
@@ -206,7 +247,9 @@ impl Iblt {
             key_bytes: cfg.key_bytes,
             hash_count: cfg.hash_count,
             seed: cfg.seed,
-            cells: (0..m).map(|_| Cell::new(cfg.key_bytes)).collect(),
+            counts: vec![0; m],
+            key_sums: vec![0; m * cfg.key_bytes],
+            check_sums: vec![0; m],
         }
     }
 
@@ -218,7 +261,7 @@ impl Iblt {
 
     /// Number of cells.
     pub fn cells(&self) -> usize {
-        self.cells.len()
+        self.counts.len()
     }
 
     /// Width of the keys stored in this table, in bytes.
@@ -238,23 +281,39 @@ impl Iblt {
 
     /// `true` if every cell is zero (the represented multiset difference is empty).
     pub fn is_empty(&self) -> bool {
-        self.cells.iter().all(Cell::is_empty)
+        self.counts.iter().all(|&c| c == 0)
+            && self.check_sums.iter().all(|&c| c == 0)
+            && self.key_sums.iter().all(|&b| b == 0)
     }
 
-    /// The `hash_count` distinct cell indices of a key (partitioned hashing).
-    fn indices(&self, key: &[u8]) -> Vec<usize> {
-        let part = self.cells.len() / self.hash_count;
-        let base = hash_bytes(key, split_seed(self.seed, 0xB0CC));
-        (0..self.hash_count)
-            .map(|j| {
-                let h = hash64(base, split_seed(self.seed, j as u64 + 1));
-                j * part + (h % part as u64) as usize
-            })
-            .collect()
+    /// Reset every cell to zero, keeping geometry and seed. Lets hot loops reuse one
+    /// table (and its allocations) across many encodings.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.key_sums.fill(0);
+        self.check_sums.fill(0);
+    }
+
+    /// The key-sum slice of cell `idx`.
+    #[inline]
+    fn key_sum(&self, idx: usize) -> &[u8] {
+        &self.key_sums[idx * self.key_bytes..(idx + 1) * self.key_bytes]
     }
 
     fn checksum(&self, key: &[u8]) -> u64 {
         hash_bytes(key, split_seed(self.seed, 0xC4EC))
+    }
+
+    #[inline]
+    fn apply_prehashed(&mut self, key: &[u8], checksum: u64, delta: i64) {
+        let kb = self.key_bytes;
+        for idx in cell_indices(self.counts.len(), self.hash_count, self.seed, key) {
+            self.counts[idx] += delta;
+            for (dst, src) in self.key_sums[idx * kb..(idx + 1) * kb].iter_mut().zip(key) {
+                *dst ^= src;
+            }
+            self.check_sums[idx] ^= checksum;
+        }
     }
 
     fn apply(&mut self, key: &[u8], delta: i64) {
@@ -266,9 +325,7 @@ impl Iblt {
             self.key_bytes
         );
         let checksum = self.checksum(key);
-        for idx in self.indices(key) {
-            self.cells[idx].apply(key, checksum, delta);
-        }
+        self.apply_prehashed(key, checksum, delta);
     }
 
     /// Insert a key (a "positive" occurrence).
@@ -282,82 +339,137 @@ impl Iblt {
         self.apply(key, -1);
     }
 
-    /// Insert a `u64` key (zero-padded to the table's key width).
+    /// Insert a `u64` key (zero-padded to the table's key width, without touching
+    /// the heap).
     pub fn insert_u64(&mut self, x: u64) {
-        let key = u64_to_key(x, self.key_bytes);
-        self.insert(&key);
+        with_u64_key(x, self.key_bytes, |key| self.apply(key, 1));
     }
 
     /// Delete a `u64` key.
     pub fn delete_u64(&mut self, x: u64) {
-        let key = u64_to_key(x, self.key_bytes);
-        self.delete(&key);
+        with_u64_key(x, self.key_bytes, |key| self.apply(key, -1));
+    }
+
+    fn check_geometry(&self, other: &Iblt) -> Result<(), ReconError> {
+        if self.key_bytes != other.key_bytes
+            || self.hash_count != other.hash_count
+            || self.seed != other.seed
+            || self.counts.len() != other.counts.len()
+        {
+            return Err(ReconError::InvalidInput(
+                "cannot combine IBLTs with different geometry or seed".to_string(),
+            ));
+        }
+        Ok(())
     }
 
     /// Cell-wise subtraction `self − other`: the result represents the symmetric
     /// difference of the two encoded sets (Alice's elements as positive keys, Bob's
     /// as negative). Fails if the two tables do not share geometry and seed.
     pub fn subtract(&self, other: &Iblt) -> Result<Iblt, ReconError> {
-        if self.key_bytes != other.key_bytes
-            || self.hash_count != other.hash_count
-            || self.seed != other.seed
-            || self.cells.len() != other.cells.len()
-        {
-            return Err(ReconError::InvalidInput(
-                "cannot subtract IBLTs with different geometry or seed".to_string(),
-            ));
-        }
         let mut out = self.clone();
-        for (c, o) in out.cells.iter_mut().zip(&other.cells) {
-            c.count -= o.count;
-            for (dst, src) in c.key_sum.iter_mut().zip(&o.key_sum) {
-                *dst ^= src;
-            }
-            c.check_sum ^= o.check_sum;
-        }
+        out.subtract_assign(other)?;
         Ok(out)
+    }
+
+    /// In-place cell-wise subtraction `self −= other` over the flat cell bank.
+    pub fn subtract_assign(&mut self, other: &Iblt) -> Result<(), ReconError> {
+        self.check_geometry(other)?;
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c -= o;
+        }
+        self.xor_sums(other);
+        Ok(())
+    }
+
+    /// In-place cell-wise addition `self += other` (counts add, key sums and
+    /// checksums XOR). Adding is how signed sketches merge: a table whose deletions
+    /// encode Bob's side added to a table encoding Alice's side yields the same
+    /// difference table as [`Iblt::subtract`] on two positive encodings.
+    pub fn add_assign(&mut self, other: &Iblt) -> Result<(), ReconError> {
+        self.check_geometry(other)?;
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.xor_sums(other);
+        Ok(())
+    }
+
+    /// XOR the key-sum and checksum banks of `other` into `self` — one pass over
+    /// each contiguous buffer (geometry must already be verified).
+    fn xor_sums(&mut self, other: &Iblt) {
+        for (dst, src) in self.key_sums.iter_mut().zip(&other.key_sums) {
+            *dst ^= src;
+        }
+        for (dst, src) in self.check_sums.iter_mut().zip(&other.check_sums) {
+            *dst ^= src;
+        }
     }
 
     /// `true` if the cell currently holds exactly one key (count ±1 and the checksum
     /// of its key sum matches its checksum sum).
     fn is_pure(&self, idx: usize) -> bool {
-        let cell = &self.cells[idx];
-        (cell.count == 1 || cell.count == -1) && self.checksum(&cell.key_sum) == cell.check_sum
+        let count = self.counts[idx];
+        (count == 1 || count == -1) && self.checksum(self.key_sum(idx)) == self.check_sums[idx]
     }
 
     /// Decode (peel) the table, returning the recovered positive and negative keys.
     ///
-    /// This consumes a clone of the cells; the table itself is left untouched so the
-    /// caller can retry with different strategies or report diagnostics.
+    /// This peels a clone of the cell bank; the table itself is left untouched so
+    /// the caller can retry with different strategies or report diagnostics. Hot
+    /// paths that own (or may mutate) their table should prefer
+    /// [`Iblt::into_decode`] / [`Iblt::decode_in_place`], which skip the copy.
     pub fn decode(&self) -> DecodeResult {
         self.clone().into_decode()
     }
 
     /// Decode (peel) the table, consuming it.
     pub fn into_decode(mut self) -> DecodeResult {
+        self.decode_in_place()
+    }
+
+    /// Decode (peel) the table in place, without copying the cell bank.
+    ///
+    /// On a complete decode the table is left empty; on a peeling failure it holds
+    /// exactly the 2-core the peel could not clear, so
+    /// [`Iblt::nonempty_cells`] afterwards reports the genuinely undecodable
+    /// remainder (a sharper diagnostic than the pre-peel cell count).
+    pub fn decode_in_place(&mut self) -> DecodeResult {
         let mut result = DecodeResult::default();
         let mut queue: VecDeque<usize> =
-            (0..self.cells.len()).filter(|&i| self.is_pure(i)).collect();
+            (0..self.counts.len()).filter(|&i| self.is_pure(i)).collect();
 
         while let Some(idx) = queue.pop_front() {
             if !self.is_pure(idx) {
                 continue;
             }
-            let count = self.cells[idx].count;
-            let key = self.cells[idx].key_sum.clone();
+            let count = self.counts[idx];
+            let key = self.key_sum(idx).to_vec();
+            // A pure cell's checksum sum equals its key's checksum, so the hash
+            // need not be recomputed to remove the key.
+            let checksum = self.check_sums[idx];
             // Remove the key from the table: if it was a positive key, delete it; if
-            // negative, add it back (as described in Section 2 of the paper).
-            if count == 1 {
-                result.positive.push(key.clone());
-                self.apply(&key, -1);
-            } else {
-                result.negative.push(key.clone());
-                self.apply(&key, 1);
-            }
-            for touched in self.indices(&key) {
+            // negative, add it back (as described in Section 2 of the paper). The
+            // partitioned cells of a key are distinct, so each becomes final the
+            // moment it is updated and can be tested for purity right away.
+            let delta = if count == 1 { -1 } else { 1 };
+            let kb = self.key_bytes;
+            for touched in cell_indices(self.counts.len(), self.hash_count, self.seed, &key) {
+                self.counts[touched] += delta;
+                for (dst, src) in
+                    self.key_sums[touched * kb..(touched + 1) * kb].iter_mut().zip(&key)
+                {
+                    *dst ^= src;
+                }
+                self.check_sums[touched] ^= checksum;
                 if self.is_pure(touched) {
                     queue.push_back(touched);
                 }
+            }
+            if count == 1 {
+                result.positive.push(key);
+            } else {
+                result.negative.push(key);
             }
         }
 
@@ -368,7 +480,13 @@ impl Iblt {
     /// Number of cells that are currently non-empty (diagnostic for peeling
     /// failures).
     pub fn nonempty_cells(&self) -> usize {
-        self.cells.iter().filter(|c| !c.is_empty()).count()
+        (0..self.counts.len())
+            .filter(|&i| {
+                self.counts[i] != 0
+                    || self.check_sums[i] != 0
+                    || self.key_sum(i).iter().any(|&b| b != 0)
+            })
+            .count()
     }
 
     /// The exact serialized size of this table in bytes.
@@ -381,21 +499,22 @@ impl Encode for Iblt {
     fn encode(&self, buf: &mut Vec<u8>) {
         write_uvarint(buf, self.key_bytes as u64);
         write_uvarint(buf, self.hash_count as u64);
-        write_uvarint(buf, self.cells.len() as u64);
+        write_uvarint(buf, self.counts.len() as u64);
         buf.extend_from_slice(&self.seed.to_le_bytes());
-        for cell in &self.cells {
-            buf.extend_from_slice(&cell.count.to_le_bytes());
-            buf.extend_from_slice(&cell.key_sum);
-            buf.extend_from_slice(&cell.check_sum.to_le_bytes());
+        buf.reserve(self.counts.len() * (16 + self.key_bytes));
+        for idx in 0..self.counts.len() {
+            buf.extend_from_slice(&self.counts[idx].to_le_bytes());
+            buf.extend_from_slice(self.key_sum(idx));
+            buf.extend_from_slice(&self.check_sums[idx].to_le_bytes());
         }
     }
 
     fn encoded_len(&self) -> usize {
         uvarint_len(self.key_bytes as u64)
             + uvarint_len(self.hash_count as u64)
-            + uvarint_len(self.cells.len() as u64)
+            + uvarint_len(self.counts.len() as u64)
             + 8
-            + self.cells.len() * (8 + self.key_bytes + 8)
+            + self.counts.len() * (8 + self.key_bytes + 8)
     }
 }
 
@@ -407,23 +526,27 @@ impl Decode for Iblt {
         if key_bytes == 0 || hash_count == 0 {
             return Err(WireError::Invalid("IBLT header"));
         }
-        if cell_count.saturating_mul(16 + key_bytes) > buf.len().saturating_add(16) + buf.len() * 2
-        {
-            // Loose sanity bound; precise length errors surface below.
-        }
         let seed = u64::decode(buf)?;
-        let mut cells = Vec::with_capacity(cell_count);
-        for _ in 0..cell_count {
-            let count = i64::decode(buf)?;
-            if buf.len() < key_bytes {
-                return Err(WireError::UnexpectedEnd);
-            }
-            let (key_sum, rest) = buf.split_at(key_bytes);
-            *buf = rest;
-            let check_sum = u64::decode(buf)?;
-            cells.push(Cell { count, key_sum: key_sum.to_vec(), check_sum });
+        // Exact remaining-length check up front: every cell needs 16 + key_bytes
+        // bytes, so corrupt headers cannot trigger absurd allocations below.
+        let need = key_bytes
+            .checked_add(16)
+            .and_then(|per_cell| cell_count.checked_mul(per_cell))
+            .ok_or(WireError::Invalid("IBLT header"))?;
+        if buf.len() < need {
+            return Err(WireError::UnexpectedEnd);
         }
-        Ok(Iblt { key_bytes, hash_count, seed, cells })
+        let mut counts = Vec::with_capacity(cell_count);
+        let mut key_sums = vec![0u8; cell_count * key_bytes];
+        let mut check_sums = Vec::with_capacity(cell_count);
+        for idx in 0..cell_count {
+            counts.push(i64::decode(buf)?);
+            let (key_sum, rest) = buf.split_at(key_bytes);
+            key_sums[idx * key_bytes..(idx + 1) * key_bytes].copy_from_slice(key_sum);
+            *buf = rest;
+            check_sums.push(u64::decode(buf)?);
+        }
+        Ok(Iblt { key_bytes, hash_count, seed, counts, key_sums, check_sums })
     }
 }
 
@@ -484,6 +607,55 @@ mod tests {
     }
 
     #[test]
+    fn decode_in_place_drains_the_table() {
+        let mut t = Iblt::with_expected_diff(8, &cfg());
+        for x in 0..6u64 {
+            t.insert_u64(x);
+        }
+        let reference = t.decode();
+        let in_place = t.decode_in_place();
+        assert_eq!(in_place, reference);
+        assert!(in_place.complete);
+        assert!(t.is_empty(), "a complete in-place peel empties the table");
+        assert_eq!(t.nonempty_cells(), 0);
+    }
+
+    #[test]
+    fn clear_resets_all_cells() {
+        let mut t = Iblt::with_expected_diff(4, &cfg());
+        t.insert_u64(3);
+        t.delete_u64(1000);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t, Iblt::with_expected_diff(4, &cfg()));
+    }
+
+    #[test]
+    fn add_assign_matches_subtract_of_negation() {
+        let config = cfg();
+        let mut alice = Iblt::with_expected_diff(8, &config);
+        let mut bob_negated = Iblt::with_expected_diff(8, &config);
+        for x in 0..50u64 {
+            alice.insert_u64(x);
+        }
+        for x in 40..90u64 {
+            bob_negated.delete_u64(x);
+        }
+        // alice + (−bob) must equal the subtract-based difference table.
+        let mut bob = Iblt::with_expected_diff(8, &config);
+        for x in 40..90u64 {
+            bob.insert_u64(x);
+        }
+        let via_subtract = alice.subtract(&bob).unwrap();
+        let mut via_add = alice.clone();
+        via_add.add_assign(&bob_negated).unwrap();
+        assert_eq!(via_add, via_subtract);
+
+        let mismatched = Iblt::with_cells(alice.cells() + 4, &config);
+        assert!(via_add.add_assign(&mismatched).is_err());
+    }
+
+    #[test]
     fn subtract_recovers_symmetric_difference() {
         let config = cfg();
         let mut alice = Iblt::with_expected_diff(16, &config);
@@ -526,6 +698,11 @@ mod tests {
         assert!(!d.complete);
         assert!(d.recovered() < 500);
         assert!(t.nonempty_cells() > 0);
+        // The in-place peel leaves exactly the 2-core behind.
+        let in_place = t.decode_in_place();
+        assert_eq!(in_place, d);
+        assert!(t.nonempty_cells() > 0);
+        assert!(!t.is_empty());
     }
 
     #[test]
@@ -542,6 +719,22 @@ mod tests {
         assert!(d.complete);
         let got: HashSet<Vec<u8>> = d.positive.into_iter().collect();
         assert_eq!(got, keys.into_iter().collect());
+    }
+
+    #[test]
+    fn u64_keys_pad_identically_at_every_width() {
+        // insert_u64 goes through the stack key buffer; at widths above 64 bytes it
+        // must fall back to the heap with identical zero padding.
+        for key_bytes in [8usize, 24, 64, 80] {
+            let config = IbltConfig::for_key_bytes(key_bytes, 5);
+            let mut via_u64 = Iblt::with_expected_diff(4, &config);
+            via_u64.insert_u64(0xDEAD_BEEF);
+            let mut via_bytes = Iblt::with_expected_diff(4, &config);
+            let mut key = vec![0u8; key_bytes];
+            key[..8].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+            via_bytes.insert(&key);
+            assert_eq!(via_u64, via_bytes, "key_bytes = {key_bytes}");
+        }
     }
 
     #[test]
@@ -567,6 +760,19 @@ mod tests {
         assert!(d.complete);
         assert_eq!(d.positive.len(), 4);
         assert_eq!(d.negative_u64(), vec![777]);
+    }
+
+    #[test]
+    fn decode_rejects_overflowing_header() {
+        // A key width of usize::MAX - 15 would wrap the per-cell size (16 + kb)
+        // to zero and defeat the length check; it must fail cleanly instead.
+        let mut bytes = Vec::new();
+        write_uvarint(&mut bytes, u64::MAX - 15); // key_bytes
+        write_uvarint(&mut bytes, 1); // hash_count
+        write_uvarint(&mut bytes, 1); // cell_count
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // seed
+        bytes.extend_from_slice(&[0u8; 24]);
+        assert!(Iblt::from_bytes(&bytes).is_err());
     }
 
     #[test]

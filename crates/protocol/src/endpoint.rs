@@ -323,7 +323,7 @@ pub struct ShardedOutcome<T> {
 }
 
 /// A deterministic fan-out of a reconciliation workload across concurrent
-/// sessions multiplexed over one link.
+/// sessions multiplexed over one link, optionally executed on worker threads.
 ///
 /// The runner fixes the two ingredients both parties must agree on *without
 /// communicating*: how keys map to shards ([`ShardedRunner::shard_of_key`], a
@@ -331,11 +331,19 @@ pub struct ShardedOutcome<T> {
 /// bins keeps every bin's difference small) and the per-shard public-coin
 /// seeds ([`ShardedRunner::shard_seed`]). Domain crates build per-shard party
 /// pairs from those and hand them to [`ShardedRunner::run_pairs`], which runs
-/// them all through a single framed in-memory endpoint pair.
+/// them through framed in-memory endpoint pairs.
+///
+/// With [`ShardedRunner::with_threads`] the shards execute on that many
+/// `std::thread::scope` workers (shard `i` on worker `i mod threads`, each
+/// worker multiplexing its shards over its own endpoint pair). Per-shard
+/// parties are independent state machines over `Send` flat-buffer tables, and
+/// each shard's [`CommStats`] comes from its own transcript, so the outcomes —
+/// merged back in shard order — are identical to the single-threaded run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardedRunner {
     num_shards: usize,
     seed: u64,
+    threads: usize,
 }
 
 /// Salt separating the shard-assignment hash from the per-shard protocol seeds.
@@ -343,14 +351,33 @@ const SHARD_ASSIGN_SALT: u64 = 0x5AAD_0001;
 
 impl ShardedRunner {
     /// A runner splitting work into `num_shards` shards (at least 1) under the
-    /// shared public-coin `seed`.
+    /// shared public-coin `seed`, executing on one thread.
     pub fn new(num_shards: usize, seed: u64) -> Self {
-        Self { num_shards: num_shards.max(1), seed }
+        Self { num_shards: num_shards.max(1), seed, threads: 1 }
+    }
+
+    /// Execute shards on up to `threads` worker threads (at least 1). The shard
+    /// map, per-shard seeds, stats and outcomes are unaffected — only wall-clock
+    /// parallelism changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// A thread count matching the machine's available parallelism.
+    pub fn with_available_threads(self) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.with_threads(threads)
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.num_shards
+    }
+
+    /// Number of worker threads shards execute on.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The shared seed the shard map and per-shard seeds derive from.
@@ -370,34 +397,96 @@ impl ShardedRunner {
         split_seed(self.seed, shard as u64)
     }
 
-    /// Run per-shard party pairs concurrently through one framed in-memory
-    /// endpoint pair: shard `i`'s pair becomes session id `i` on a shared
-    /// [`MemoryTransport`]. Returns the per-shard outcomes in shard order; the
-    /// first failing shard's error aborts the whole run.
+    /// Run per-shard party pairs concurrently: shard `i`'s pair becomes session
+    /// id `i` on a framed [`MemoryTransport`]. On a single thread every shard
+    /// multiplexes over one shared endpoint pair; with
+    /// [`ShardedRunner::with_threads`] the shards are dealt round-robin onto
+    /// scoped worker threads, each multiplexing its share over its own endpoint
+    /// pair. Returns the per-shard outcomes in shard order either way; the
+    /// failing shard with the lowest id aborts the whole run.
     pub fn run_pairs<A, B>(
         &self,
         pairs: impl IntoIterator<Item = (A, B)>,
     ) -> Result<Vec<Outcome<B::Output>>, ReconError>
     where
+        A: Party + Send + 'static,
+        B: Party + Send + 'static,
+        B::Output: Send + 'static,
+    {
+        let pairs: Vec<(A, B)> = pairs.into_iter().collect();
+        let workers = self.threads.min(pairs.len()).max(1);
+        if workers <= 1 {
+            let ids = 0..pairs.len() as SessionId;
+            return Self::run_chunk(ids.zip(pairs).collect())
+                .map(|done| done.into_iter().map(|(_, outcome)| outcome).collect())
+                .map_err(|(_, error)| error);
+        }
+
+        // Deal shards round-robin so every worker sees ids in increasing order.
+        let mut chunks: Vec<Vec<(SessionId, (A, B))>> = (0..workers).map(|_| Vec::new()).collect();
+        for (id, pair) in pairs.into_iter().enumerate() {
+            chunks[id % workers].push((id as SessionId, pair));
+        }
+
+        let total = chunks.iter().map(Vec::len).sum::<usize>();
+        let mut slots: Vec<Option<Outcome<B::Output>>> = Vec::new();
+        slots.resize_with(total, || None);
+        let mut first_error: Option<(SessionId, ReconError)> = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                chunks.into_iter().map(|chunk| scope.spawn(|| Self::run_chunk(chunk))).collect();
+            for handle in handles {
+                match handle.join().expect("shard worker panicked") {
+                    Ok(done) => {
+                        for (id, outcome) in done {
+                            slots[id as usize] = Some(outcome);
+                        }
+                    }
+                    Err((id, error)) => {
+                        // Deterministic abort: report the lowest failing shard id,
+                        // exactly like the sequential take_outcome order would.
+                        if first_error.as_ref().is_none_or(|(worst, _)| id < *worst) {
+                            first_error = Some((id, error));
+                        }
+                    }
+                }
+            }
+        });
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+        Ok(slots.into_iter().map(|slot| slot.expect("all shards completed")).collect())
+    }
+
+    /// Drive one worker's share of the shards over its own framed in-memory
+    /// endpoint pair. Errors carry the lowest affected shard id so the caller
+    /// can abort deterministically.
+    #[allow(clippy::type_complexity)]
+    fn run_chunk<A, B>(
+        chunk: Vec<(SessionId, (A, B))>,
+    ) -> Result<Vec<(SessionId, Outcome<B::Output>)>, (SessionId, ReconError)>
+    where
         A: Party + 'static,
         B: Party + 'static,
         B::Output: 'static,
     {
+        let first_id = chunk.first().map(|(id, _)| *id).unwrap_or(0);
         let (transport_a, transport_b) = MemoryTransport::pair();
         let mut alice_end = Endpoint::new(transport_a);
         let mut bob_end = Endpoint::new(transport_b);
-        let mut count = 0usize;
-        for (id, (alice, bob)) in pairs.into_iter().enumerate() {
-            alice_end.register(id as SessionId, Role::Alice, alice)?;
-            bob_end.register(id as SessionId, Role::Bob, bob)?;
-            count += 1;
+        let mut ids = Vec::with_capacity(chunk.len());
+        for (id, (alice, bob)) in chunk {
+            alice_end.register(id, Role::Alice, alice).map_err(|e| (id, e))?;
+            bob_end.register(id, Role::Bob, bob).map_err(|e| (id, e))?;
+            ids.push(id);
         }
-        drive_pair(&mut alice_end, &mut bob_end)?;
-        let mut outcomes = Vec::with_capacity(count);
-        for id in 0..count as SessionId {
+        drive_pair(&mut alice_end, &mut bob_end).map_err(|e| (first_id, e))?;
+        let mut outcomes = Vec::with_capacity(ids.len());
+        for id in ids {
             let outcome = bob_end
                 .take_outcome::<B::Output>(id)
-                .expect("drive_pair finished every session")?;
+                .expect("drive_pair finished every session")
+                .map_err(|e| (id, e))?;
             // The Alice side observed the very same envelopes.
             let alice_stats = alice_end.close(id);
             debug_assert_eq!(
@@ -405,7 +494,7 @@ impl ShardedRunner {
                 alice_stats,
                 "both endpoints must account session {id} identically"
             );
-            outcomes.push(outcome);
+            outcomes.push((id, outcome));
         }
         Ok(outcomes)
     }

@@ -9,7 +9,10 @@
 //! ship it over any byte stream, and reconstruct it losslessly on the far side.
 
 use recon_base::comm::{Direction, Transcript};
-use recon_base::wire::{read_uvarint, write_uvarint, Bytes, Decode, Encode, WireError};
+use recon_base::wire::{
+    read_length_prefixed, read_uvarint, uvarint_len, write_length_prefixed, write_uvarint, Decode,
+    Encode, WireError,
+};
 use recon_base::ReconError;
 
 /// How a message counts against the transcript's byte/round accounting.
@@ -154,20 +157,31 @@ impl Decode for Meter {
 
 impl Encode for Envelope {
     fn encode(&self, buf: &mut Vec<u8>) {
+        // Length-prefix the label and payload straight from the borrowed slices
+        // (byte-identical to encoding `Bytes` copies, without the copies).
         self.tag.encode(buf);
-        Bytes(self.label.as_bytes().to_vec()).encode(buf);
-        Bytes(self.payload.clone()).encode(buf);
+        write_length_prefixed(buf, self.label.as_bytes());
+        write_length_prefixed(buf, &self.payload);
         self.meter.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.tag.encoded_len()
+            + uvarint_len(self.label.len() as u64)
+            + self.label.len()
+            + uvarint_len(self.payload.len() as u64)
+            + self.payload.len()
+            + self.meter.encoded_len()
     }
 }
 
 impl Decode for Envelope {
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         let tag = u16::decode(buf)?;
-        let label_bytes = Bytes::decode(buf)?;
-        let label =
-            String::from_utf8(label_bytes.0).map_err(|_| WireError::Invalid("envelope label"))?;
-        let payload = Bytes::decode(buf)?.0;
+        let label = std::str::from_utf8(read_length_prefixed(buf)?)
+            .map_err(|_| WireError::Invalid("envelope label"))?
+            .to_string();
+        let payload = read_length_prefixed(buf)?.to_vec();
         let meter = Meter::decode(buf)?;
         Ok(Envelope { tag, label, payload, meter })
     }

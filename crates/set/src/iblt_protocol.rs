@@ -114,7 +114,9 @@ impl IbltSetProtocol {
         for &x in local {
             table.delete_u64(x);
         }
-        let decoded = table.decode();
+        // Peel in place: the clone above is the only copy on this path, and on
+        // failure the table holds exactly the undecodable 2-core.
+        let decoded = table.decode_in_place();
         if !decoded.complete {
             return Err(ReconError::PeelingFailure { remaining_cells: table.nonempty_cells() });
         }

@@ -158,8 +158,8 @@ pub struct MultisetProtocol {
     iblt_cfg: IbltConfig,
 }
 
-fn pair_key(x: u64, count: u64) -> Vec<u8> {
-    let mut key = vec![0u8; 16];
+fn pair_key(x: u64, count: u64) -> [u8; 16] {
+    let mut key = [0u8; 16];
     key[..8].copy_from_slice(&x.to_le_bytes());
     key[8..].copy_from_slice(&count.to_le_bytes());
     key
@@ -207,7 +207,7 @@ impl MultisetProtocol {
         for (x, c) in local.iter() {
             table.delete(&pair_key(x, c));
         }
-        let decoded = table.decode();
+        let decoded = table.decode_in_place();
         if !decoded.complete {
             return Err(ReconError::PeelingFailure { remaining_cells: table.nonempty_cells() });
         }
@@ -248,7 +248,7 @@ impl MultisetProtocol {
         for (x, c) in local.iter() {
             table.delete(&pair_key(x, c));
         }
-        let decoded = table.decode();
+        let decoded = table.decode_in_place();
         if !decoded.complete {
             return Err(ReconError::PeelingFailure { remaining_cells: table.nonempty_cells() });
         }

@@ -40,7 +40,8 @@ fn shard_config(
 }
 
 /// One shard's party pair: Alice's sender half and Bob's recovering half.
-type ShardPair = (Box<dyn Party<Output = ()>>, Box<dyn Party<Output = HashSet<u64>>>);
+/// `Send` so the runner may execute shards on worker threads.
+type ShardPair = (Box<dyn Party<Output = ()> + Send>, Box<dyn Party<Output = HashSet<u64>> + Send>);
 
 fn reassemble(
     outcomes: Vec<recon_protocol::Outcome<HashSet<u64>>>,

@@ -879,3 +879,126 @@ fn sharded_sos_stats_match_solo_memory_link_shards() {
     .expect("second sharded run");
     assert_eq!(outcome, again);
 }
+
+// ---------------------------------------------------------------------------
+// Thread-parallel sharded execution: identical outcomes at every thread count
+// ---------------------------------------------------------------------------
+
+/// Running the sharded set protocols on worker threads must change nothing but
+/// wall-clock: per-shard `CommStats`, merged stats, and recovered sets are
+/// byte-identical to the single-threaded multiplexed run, for both known-`d`
+/// and unknown-`d` (per-shard estimator) variants.
+#[test]
+fn threaded_sharded_set_matches_single_thread() {
+    let (alice, bob) = random_set_pair(900, 36, 0x7157);
+    let amplification = Amplification::replicate(3);
+    let base = ShardedRunner::new(6, 0xEED5);
+    assert_eq!(base.threads(), 1);
+
+    let single = recon_set::reconcile_known_sharded(&alice, &bob, 40, amplification, &base)
+        .expect("single-threaded run");
+    for threads in [2usize, 3, 16] {
+        let runner = base.with_threads(threads);
+        assert_eq!(runner.threads(), threads);
+        let threaded = recon_set::reconcile_known_sharded(&alice, &bob, 40, amplification, &runner)
+            .expect("threaded run");
+        assert_eq!(threaded, single, "known-d, {threads} threads");
+    }
+
+    let single = recon_set::reconcile_unknown_sharded(
+        &alice,
+        &bob,
+        Amplification::replicate(6),
+        L0Config::default(),
+        &base,
+    )
+    .expect("single-threaded unknown run");
+    let threaded = recon_set::reconcile_unknown_sharded(
+        &alice,
+        &bob,
+        Amplification::replicate(6),
+        L0Config::default(),
+        &base.with_threads(4),
+    )
+    .expect("threaded unknown run");
+    assert_eq!(threaded, single, "unknown-d");
+}
+
+/// Same property for the set-of-sets families, including the new per-shard
+/// unknown-`d` path, and errors abort deterministically regardless of threads.
+#[test]
+fn threaded_sharded_sos_matches_single_thread() {
+    let workload = WorkloadParams::new(54, 10, 1 << 28);
+    let (alice, bob) = generate_pair(&workload, 5, 0xF00D);
+    let params = SosParams::new(0x5EED, workload.max_child_size);
+    let base = ShardedRunner::new(5, 0xD00F);
+    let amplification = Amplification::replicate(4);
+
+    for family in
+        [ShardedSosFamily::Naive, ShardedSosFamily::IbltOfIblts, ShardedSosFamily::Cascading]
+    {
+        let per_shard_d = match family {
+            ShardedSosFamily::Naive => 12,
+            _ => 12 * (workload.max_child_size + 1),
+        };
+        let single = recon_sos::sharded::reconcile_known_sharded(
+            &alice,
+            &bob,
+            per_shard_d,
+            family,
+            &params,
+            amplification,
+            &base,
+        )
+        .expect("single-threaded run");
+        let threaded = recon_sos::sharded::reconcile_known_sharded(
+            &alice,
+            &bob,
+            per_shard_d,
+            family,
+            &params,
+            amplification,
+            &base.with_threads(3),
+        )
+        .expect("threaded run");
+        assert_eq!(threaded, single, "{family:?}");
+    }
+
+    // Per-shard unknown-d (naive family estimates per shard; the doubling
+    // families cap per shard) is thread-count-invariant too.
+    let single = recon_sos::sharded::reconcile_unknown_sharded(
+        &alice,
+        &bob,
+        ShardedSosFamily::IbltOfIblts,
+        &params,
+        L0Config::default(),
+        &base,
+    )
+    .expect("single-threaded unknown run");
+    let threaded = recon_sos::sharded::reconcile_unknown_sharded(
+        &alice,
+        &bob,
+        ShardedSosFamily::IbltOfIblts,
+        &params,
+        L0Config::default(),
+        &base.with_available_threads(),
+    )
+    .expect("threaded unknown run");
+    assert_eq!(threaded, single, "unknown-d ioi");
+
+    // A guaranteed-failing workload reports the same error at every thread
+    // count (the lowest failing shard id wins, as in sequential collection).
+    let undersized = |threads: usize| {
+        recon_sos::sharded::reconcile_known_sharded(
+            &alice,
+            &bob,
+            1, // far too small for the bit-level family
+            ShardedSosFamily::IbltOfIblts,
+            &params,
+            Amplification::single(),
+            &base.with_threads(threads),
+        )
+        .expect_err("undersized bound must fail")
+    };
+    assert_eq!(format!("{}", undersized(1)), format!("{}", undersized(4)));
+}
