@@ -1,0 +1,82 @@
+//! The rational-interpolation solve in isolation: dense `O(d^3)` Gaussian
+//! elimination on the flat bank vs the `O(d^2)` structured path (Newton
+//! interpolation + extended-Euclidean rational reconstruction) that
+//! `recon-set`'s charpoly protocol now tries first. The end-to-end charpoly
+//! bench is dominated by the `O(n·d)` evaluations and the root finding, so this
+//! bench pins the solver gap itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_field::{
+    batch_invert, interpolate, rational_reconstruct, solve_consistent_flat, Fp, Poly,
+};
+use std::hint::black_box;
+
+/// Build the charpoly system for a difference of `d` elements split evenly:
+/// evaluation points, ratio values `f_i = P*(z_i)/Q*(z_i)`, and the true monic
+/// numerator/denominator degrees.
+fn system(d: usize) -> (Vec<Fp>, Vec<Fp>, usize, usize) {
+    let deg_missing = d / 2;
+    let deg_extra = d - deg_missing;
+    let missing: Vec<Fp> = (0..deg_missing as u64).map(|i| Fp::new(i * 7 + 3)).collect();
+    let extra: Vec<Fp> = (0..deg_extra as u64).map(|i| Fp::new(i * 11 + 5_000)).collect();
+    let p_true = Poly::from_roots(&missing);
+    let q_true = Poly::from_roots(&extra);
+    // One point more than the degree budget, as the protocol uses.
+    let points: Vec<Fp> = (0..=d as u64).map(|i| Fp::new((1 << 60) + i)).collect();
+    let mut denominators: Vec<Fp> = points.iter().map(|&z| q_true.eval(z)).collect();
+    assert!(batch_invert(&mut denominators));
+    let ratios: Vec<Fp> =
+        points.iter().zip(&denominators).map(|(&z, &inv)| p_true.eval(z) * inv).collect();
+    (points, ratios, deg_missing, deg_extra)
+}
+
+fn bench_dense_vs_structured(c: &mut Criterion) {
+    let mut group = c.benchmark_group("charpoly_solve");
+    group.sample_size(10);
+    for d in [32usize, 128, 256] {
+        let (points, ratios, deg_missing, deg_extra) = system(d);
+
+        group.bench_with_input(BenchmarkId::new("dense", d), &d, |b, _| {
+            // The dense path solves over exactly d points (as the protocol's
+            // fallback does).
+            let points = &points[..d];
+            let ratios = &ratios[..d];
+            b.iter(|| {
+                let mut matrix = Vec::with_capacity(d * d);
+                let mut rhs = Vec::with_capacity(d);
+                for (&z, &f) in points.iter().zip(ratios) {
+                    let mut zp = Fp::ONE;
+                    for _ in 0..deg_missing {
+                        matrix.push(zp);
+                        zp *= z;
+                    }
+                    let z_pow_p = zp;
+                    let mut zq = Fp::ONE;
+                    for _ in 0..deg_extra {
+                        matrix.push(-(f * zq));
+                        zq *= z;
+                    }
+                    rhs.push(f * zq - z_pow_p);
+                }
+                black_box(solve_consistent_flat(&matrix, d, d, &rhs).expect("solvable"))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("structured", d), &d, |b, _| {
+            b.iter(|| {
+                let modulus = Poly::from_roots(&points);
+                let interpolant = interpolate(&points, &ratios).expect("distinct points");
+                let (r, t) =
+                    rational_reconstruct(&modulus, &interpolant, deg_missing).expect("pair");
+                let g = r.gcd(&t);
+                let (p_red, _) = r.divmod(&g);
+                let (q_red, _) = t.divmod(&g);
+                black_box((p_red.monic(), q_red.monic()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_vs_structured);
+criterion_main!(benches);

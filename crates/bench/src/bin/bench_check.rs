@@ -1,0 +1,144 @@
+//! `bench-check` — the perf-regression gate over the criterion shim's JSON
+//! reports.
+//!
+//! ```text
+//! bench-check [--baseline PATH] [--threshold RATIO] [--update] CI_REPORT...
+//! ```
+//!
+//! Reads one or more reports written by `cargo bench -p recon-bench --bench
+//! <name> -- [--smoke] --json <path>`, merges their entries (later files win on
+//! duplicate ids), and compares them against the committed baseline
+//! (`BENCH_baseline.json` by default). A benchmark fails the gate when its mean
+//! exceeds `threshold ×` its baseline mean — 1.5× by default (override with
+//! `--threshold` or the `RECON_BENCH_THRESHOLD` environment variable), generous
+//! on purpose: the gate is meant to catch order-of-magnitude slips and
+//! accidentally quadratic loops, not daily jitter. New benchmarks are reported
+//! but never fail the gate; benchmarks missing from the run are warned about.
+//!
+//! `--update` rewrites the baseline from the given reports instead of
+//! comparing (run it locally after intentional performance changes and commit
+//! the result).
+
+use recon_bench::perf::{compare, parse_report, render_report, BenchEntry};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const DEFAULT_BASELINE: &str = "BENCH_baseline.json";
+const DEFAULT_THRESHOLD: f64 = 1.5;
+
+struct Options {
+    baseline: String,
+    threshold: f64,
+    update: bool,
+    reports: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench-check [--baseline PATH] [--threshold RATIO] [--update] CI_REPORT...");
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        baseline: DEFAULT_BASELINE.to_string(),
+        threshold: std::env::var("RECON_BENCH_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_THRESHOLD),
+        update: false,
+        reports: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => options.baseline = args.next().unwrap_or_else(|| usage()),
+            "--threshold" => {
+                options.threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t > 0.0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--update" => options.update = true,
+            "--help" | "-h" => usage(),
+            _ => options.reports.push(arg),
+        }
+    }
+    if options.reports.is_empty() {
+        usage();
+    }
+    options
+}
+
+fn load_entries(paths: &[String]) -> Result<Vec<BenchEntry>, String> {
+    let mut merged: BTreeMap<String, BenchEntry> = BTreeMap::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|error| format!("read {path}: {error}"))?;
+        let report = parse_report(&text).map_err(|error| format!("parse {path}: {error}"))?;
+        for entry in report.benches {
+            merged.insert(entry.id.clone(), entry);
+        }
+    }
+    Ok(merged.into_values().collect())
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+    let current = match load_entries(&options.reports) {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("bench-check: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.update {
+        let body = render_report("baseline", &current);
+        if let Err(error) = std::fs::write(&options.baseline, body) {
+            eprintln!("bench-check: write {}: {error}", options.baseline);
+            return ExitCode::from(2);
+        }
+        println!("wrote {} baseline entries to {}", current.len(), options.baseline);
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match load_entries(std::slice::from_ref(&options.baseline)) {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("bench-check: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let comparison = compare(&baseline, &current, options.threshold);
+    println!(
+        "bench-check: {} benchmarks vs {} (threshold {:.2}x)",
+        current.len(),
+        options.baseline,
+        options.threshold
+    );
+    for delta in &comparison.within {
+        println!("  ok        {delta}");
+    }
+    for id in &comparison.new_benches {
+        println!("  new       {id} (not in baseline; add it with --update)");
+    }
+    for id in &comparison.missing {
+        println!("  missing   {id} (in baseline but not measured this run)");
+    }
+    for delta in &comparison.regressions {
+        println!("  REGRESSED {delta}");
+    }
+    if comparison.regressions.is_empty() {
+        println!("bench-check: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-check: {} benchmark(s) regressed beyond {:.2}x",
+            comparison.regressions.len(),
+            options.threshold
+        );
+        ExitCode::FAILURE
+    }
+}

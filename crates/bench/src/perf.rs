@@ -1,0 +1,423 @@
+//! The machine-readable half of the perf-regression gate.
+//!
+//! The in-repo criterion shim writes a small JSON report per bench binary
+//! (`--json <path>`: schema version, smoke/full mode, and one `{id, mean_ns,
+//! iters}` record per measurement). This module parses those reports and
+//! compares a fresh run against a committed baseline with a noise threshold —
+//! the logic behind the `bench-check` binary that CI runs. The parser covers
+//! exactly the JSON subset the shim emits (objects, arrays, strings with
+//! escapes, numbers) so the gate stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark id as printed by the shim (`group/parameter`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
+/// A parsed bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// The measurements, in run order.
+    pub benches: Vec<BenchEntry>,
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------------
+
+/// The JSON values the shim's schema uses.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end of input"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte sequences included).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty string tail");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<f64>().map(Json::Number).map_err(|_| self.error("invalid number"))
+    }
+}
+
+/// Parse a bench report written by the criterion shim's `--json` mode.
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let mut reader = Reader::new(text);
+    let value = reader.value()?;
+    reader.skip_whitespace();
+    if reader.pos != reader.bytes.len() {
+        return Err(reader.error("trailing content"));
+    }
+    let Json::Object(root) = value else {
+        return Err("report root must be an object".to_string());
+    };
+    match root.get("schema") {
+        Some(Json::Number(v)) if *v == 1.0 => {}
+        other => return Err(format!("unsupported schema version: {other:?}")),
+    }
+    let mode = match root.get("mode") {
+        Some(Json::String(m)) => m.clone(),
+        _ => return Err("report is missing \"mode\"".to_string()),
+    };
+    let Some(Json::Array(raw)) = root.get("benches") else {
+        return Err("report is missing \"benches\"".to_string());
+    };
+    let mut benches = Vec::with_capacity(raw.len());
+    for item in raw {
+        let Json::Object(fields) = item else {
+            return Err("bench entry must be an object".to_string());
+        };
+        let id = match fields.get("id") {
+            Some(Json::String(id)) => id.clone(),
+            _ => return Err("bench entry is missing \"id\"".to_string()),
+        };
+        let mean_ns = match fields.get("mean_ns") {
+            Some(Json::Number(v)) if *v >= 0.0 => *v,
+            _ => return Err(format!("bench '{id}' is missing a valid \"mean_ns\"")),
+        };
+        let iters = match fields.get("iters") {
+            Some(Json::Number(v)) if *v >= 0.0 => *v as u64,
+            _ => return Err(format!("bench '{id}' is missing a valid \"iters\"")),
+        };
+        benches.push(BenchEntry { id, mean_ns, iters });
+    }
+    Ok(BenchReport { mode, benches })
+}
+
+/// Render entries back into the shim's report format (used by `bench-check
+/// --update` to rewrite the committed baseline). The escaping matches the
+/// shim's writer exactly, so an updated baseline always re-parses.
+pub fn render_report(mode: &str, benches: &[BenchEntry]) -> String {
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, entry) in benches.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}}}{}\n",
+            escape(&entry.id),
+            entry.mean_ns,
+            entry.iters,
+            if i + 1 == benches.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// The verdict for one benchmark present in both baseline and current run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline mean (ns / iter).
+    pub baseline_ns: f64,
+    /// Current mean (ns / iter).
+    pub current_ns: f64,
+    /// `current / baseline` (`> 1` is slower).
+    pub ratio: f64,
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<50} {:>12.1} -> {:>12.1} ns/iter  ({:+.1}%)",
+            self.id,
+            self.baseline_ns,
+            self.current_ns,
+            (self.ratio - 1.0) * 100.0
+        )
+    }
+}
+
+/// Outcome of comparing a run against the baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Benchmarks slower than the threshold allows.
+    pub regressions: Vec<Delta>,
+    /// Benchmarks within the threshold (faster or mildly slower).
+    pub within: Vec<Delta>,
+    /// Ids present in the current run but not the baseline.
+    pub new_benches: Vec<String>,
+    /// Ids present in the baseline but missing from the current run.
+    pub missing: Vec<String>,
+}
+
+/// Compare `current` against `baseline`: a benchmark regresses when its mean
+/// exceeds `threshold ×` the baseline mean. The threshold is deliberately
+/// generous (CI default 1.5×) because the shim's short windows are noisy and CI
+/// machines differ from the machine that recorded the baseline.
+pub fn compare(baseline: &[BenchEntry], current: &[BenchEntry], threshold: f64) -> Comparison {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let current_by_id: BTreeMap<&str, &BenchEntry> =
+        current.iter().map(|e| (e.id.as_str(), e)).collect();
+    let baseline_ids: BTreeMap<&str, ()> = baseline.iter().map(|e| (e.id.as_str(), ())).collect();
+
+    let mut comparison = Comparison::default();
+    for base in baseline {
+        match current_by_id.get(base.id.as_str()) {
+            None => comparison.missing.push(base.id.clone()),
+            Some(entry) => {
+                // A zero-mean baseline (sub-ns bench) cannot regress meaningfully.
+                let ratio = if base.mean_ns > 0.0 { entry.mean_ns / base.mean_ns } else { 1.0 };
+                let delta = Delta {
+                    id: base.id.clone(),
+                    baseline_ns: base.mean_ns,
+                    current_ns: entry.mean_ns,
+                    ratio,
+                };
+                if ratio > threshold {
+                    comparison.regressions.push(delta);
+                } else {
+                    comparison.within.push(delta);
+                }
+            }
+        }
+    }
+    for entry in current {
+        if !baseline_ids.contains_key(entry.id.as_str()) {
+            comparison.new_benches.push(entry.id.clone());
+        }
+    }
+    comparison
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, mean_ns: f64) -> BenchEntry {
+        BenchEntry { id: id.to_string(), mean_ns, iters: 10 }
+    }
+
+    #[test]
+    fn parses_a_shim_report() {
+        let text = r#"{
+  "schema": 1,
+  "mode": "smoke",
+  "benches": [
+    {"id": "iblt_insert_10k_keys/8", "mean_ns": 510650.250, "iters": 392},
+    {"id": "odd \"name\"", "mean_ns": 2.5, "iters": 1}
+  ]
+}"#;
+        let report = parse_report(text).unwrap();
+        assert_eq!(report.mode, "smoke");
+        assert_eq!(report.benches.len(), 2);
+        assert_eq!(report.benches[0].id, "iblt_insert_10k_keys/8");
+        assert_eq!(report.benches[0].iters, 392);
+        assert!((report.benches[0].mean_ns - 510650.25).abs() < 1e-6);
+        assert_eq!(report.benches[1].id, "odd \"name\"");
+    }
+
+    #[test]
+    fn report_roundtrips_through_render() {
+        let benches = vec![entry("a/1", 100.125), entry("b \"x\"/2", 7.0)];
+        let rendered = render_report("full", &benches);
+        let parsed = parse_report(&rendered).unwrap();
+        assert_eq!(parsed.mode, "full");
+        assert_eq!(parsed.benches, benches);
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(parse_report("").is_err());
+        assert!(parse_report("[]").is_err());
+        assert!(parse_report(r#"{"schema": 2, "mode": "full", "benches": []}"#).is_err());
+        assert!(parse_report(r#"{"schema": 1, "benches": []}"#).is_err());
+        assert!(parse_report(r#"{"schema": 1, "mode": "full", "benches": [{"id": "x"}]}"#).is_err());
+        assert!(parse_report(r#"{"schema": 1, "mode": "full", "benches": []} extra"#).is_err());
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_threshold() {
+        let baseline = vec![entry("fast", 100.0), entry("slow", 100.0), entry("gone", 5.0)];
+        let current = vec![entry("fast", 140.0), entry("slow", 151.0), entry("added", 9.0)];
+        let comparison = compare(&baseline, &current, 1.5);
+        assert_eq!(comparison.regressions.len(), 1);
+        assert_eq!(comparison.regressions[0].id, "slow");
+        assert!((comparison.regressions[0].ratio - 1.51).abs() < 1e-9);
+        assert_eq!(comparison.within.len(), 1);
+        assert_eq!(comparison.within[0].id, "fast");
+        assert_eq!(comparison.new_benches, vec!["added".to_string()]);
+        assert_eq!(comparison.missing, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn zero_baseline_never_regresses() {
+        let comparison = compare(&[entry("z", 0.0)], &[entry("z", 50.0)], 1.5);
+        assert!(comparison.regressions.is_empty());
+        assert_eq!(comparison.within[0].ratio, 1.0);
+    }
+}

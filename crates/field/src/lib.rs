@@ -18,7 +18,11 @@
 //!   the paper embeds directly as long as elements are `< 2^61 − 1`),
 //! * [`poly::Poly`] — dense univariate polynomials with multiplication, Euclidean
 //!   division, GCD, evaluation and construction from roots,
-//! * [`linalg`] — Gaussian elimination over GF(2^61 − 1),
+//! * [`linalg`] — Gaussian elimination over GF(2^61 − 1) on a flat row-major
+//!   coefficient bank (the dense `O(d^3)` fallback),
+//! * [`structured`] — the `O(d^2)` structured solve for the rational
+//!   interpolation system (Newton interpolation + extended-Euclidean rational
+//!   reconstruction, plus Montgomery batch inversion),
 //! * [`roots`] — root finding for polynomials that split into distinct linear
 //!   factors, via Cantor–Zassenhaus equal-degree splitting.
 
@@ -29,8 +33,10 @@ pub mod fp;
 pub mod linalg;
 pub mod poly;
 pub mod roots;
+pub mod structured;
 
 pub use fp::{Fp, MODULUS};
-pub use linalg::{solve_consistent, solve_linear_system};
+pub use linalg::{solve_consistent, solve_consistent_flat, solve_linear_system};
 pub use poly::Poly;
 pub use roots::find_roots;
+pub use structured::{batch_invert, interpolate, rational_reconstruct};

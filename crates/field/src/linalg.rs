@@ -1,115 +1,146 @@
-//! Gaussian elimination over GF(2^61 − 1).
+//! Gaussian elimination over GF(2^61 − 1), on a flat row-major coefficient bank.
 //!
 //! Theorem 2.3 of the paper costs its characteristic-polynomial protocol at
 //! `O(d^3)` for "computing the roots of the ratio of polynomials ... via Gaussian
 //! elimination". The elimination step is the rational-function interpolation: given
 //! evaluations of `χ_{S_A}/χ_{S_B}` at `d` points, the unknown coefficients of the
 //! (monic) numerator and denominator satisfy a `d × d` linear system, solved here.
-
-// Row/column index arithmetic is the clearest way to write Gaussian elimination;
-// iterator rewrites obscure the pivoting structure.
-#![allow(clippy::needless_range_loop, clippy::assign_op_pattern)]
+//! (The charpoly protocol itself first tries the `O(d^2)` structured solver in
+//! [`crate::structured`] and only falls back to this dense elimination.)
+//!
+//! # Storage
+//!
+//! The augmented system lives in one flat row-major `Vec<Fp>` with stride
+//! `cols + 1`; rows are addressed through a row-index permutation, so pivoting
+//! swaps two `usize`s instead of cloning or moving row storage.
 
 use crate::fp::Fp;
 
-/// Solve the square linear system `A·x = b` over GF(2^61 − 1).
-///
-/// Returns `None` when the matrix is singular (the reconciliation layer treats that
-/// as "the difference bound was wrong — retry with more evaluations", never as a
-/// silent failure). `matrix` is row-major and must be `n × n` with `b` of length `n`.
-pub fn solve_linear_system(matrix: &[Vec<Fp>], rhs: &[Fp]) -> Option<Vec<Fp>> {
-    let n = rhs.len();
-    assert_eq!(matrix.len(), n, "matrix must be square and match the rhs length");
-    for row in matrix {
-        assert_eq!(row.len(), n, "matrix must be square");
+/// The flat augmented bank behind both solvers: `rows` logical rows of
+/// `cols + 1` elements (coefficients then right-hand side), addressed through a
+/// row permutation so pivot swaps never touch the element storage.
+struct AugmentedBank {
+    data: Vec<Fp>,
+    stride: usize,
+    /// `row_of[logical]` = physical row index into `data`.
+    row_of: Vec<usize>,
+}
+
+impl AugmentedBank {
+    fn new(matrix: &[Fp], rows: usize, cols: usize, rhs: &[Fp]) -> Self {
+        let stride = cols + 1;
+        let mut data = Vec::with_capacity(rows * stride);
+        for r in 0..rows {
+            data.extend_from_slice(&matrix[r * cols..(r + 1) * cols]);
+            data.push(rhs[r]);
+        }
+        Self { data, stride, row_of: (0..rows).collect() }
     }
+
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> Fp {
+        self.data[self.row_of[row] * self.stride + col]
+    }
+
+    /// Swap two logical rows (an index swap; the bank itself is untouched).
+    #[inline]
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        self.row_of.swap(a, b);
+    }
+
+    /// Scale `row` by `factor` from `from_col` to the end (rhs included).
+    fn scale_row(&mut self, row: usize, from_col: usize, factor: Fp) {
+        let start = self.row_of[row] * self.stride;
+        for v in &mut self.data[start + from_col..start + self.stride] {
+            *v *= factor;
+        }
+    }
+
+    /// `row -= factor · pivot_row` from `from_col` to the end (rhs included).
+    fn eliminate(&mut self, row: usize, pivot_row: usize, from_col: usize, factor: Fp) {
+        let dst = self.row_of[row] * self.stride;
+        let src = self.row_of[pivot_row] * self.stride;
+        for j in from_col..self.stride {
+            let sub = factor * self.data[src + j];
+            self.data[dst + j] -= sub;
+        }
+    }
+}
+
+/// Solve the square `n × n` system `A·x = b` over GF(2^61 − 1), with `matrix`
+/// given as a flat row-major bank of length `n·n`.
+///
+/// Returns `None` when the matrix is singular (the reconciliation layer treats
+/// that as "the difference bound was wrong — retry with more evaluations", never
+/// as a silent failure).
+pub fn solve_linear_system_flat(matrix: &[Fp], n: usize, rhs: &[Fp]) -> Option<Vec<Fp>> {
+    assert_eq!(matrix.len(), n * n, "matrix must be n × n");
+    assert_eq!(rhs.len(), n, "rhs must have n entries");
     if n == 0 {
         return Some(Vec::new());
     }
+    // An all-zero matrix is singular for n ≥ 1; bail before building the bank.
+    if matrix.iter().all(|c| c.is_zero()) {
+        return None;
+    }
 
-    // Augmented matrix.
-    let mut a: Vec<Vec<Fp>> = matrix
-        .iter()
-        .zip(rhs)
-        .map(|(row, &b)| {
-            let mut r = row.clone();
-            r.push(b);
-            r
-        })
-        .collect();
-
+    let mut bank = AugmentedBank::new(matrix, n, n, rhs);
     for col in 0..n {
-        // Find a pivot.
-        let pivot_row = (col..n).find(|&r| !a[r][col].is_zero())?;
-        a.swap(col, pivot_row);
-        let pivot_inv = a[col][col].inv();
-        for j in col..=n {
-            a[col][j] = a[col][j] * pivot_inv;
-        }
+        let pivot = (col..n).find(|&r| !bank.at(r, col).is_zero())?;
+        bank.swap_rows(col, pivot);
+        bank.scale_row(col, col, bank.at(col, col).inv());
         for r in 0..n {
-            if r != col && !a[r][col].is_zero() {
-                let factor = a[r][col];
-                for j in col..=n {
-                    let sub = factor * a[col][j];
-                    a[r][j] = a[r][j] - sub;
-                }
+            if r != col && !bank.at(r, col).is_zero() {
+                let factor = bank.at(r, col);
+                bank.eliminate(r, col, col, factor);
             }
         }
     }
-
-    Some(a.into_iter().map(|row| row[row.len() - 1]).collect())
+    Some((0..n).map(|r| bank.at(r, n)).collect())
 }
 
-/// Solve `A·x = b` allowing a rank-deficient (but consistent) system.
+/// Solve `A·x = b` allowing a rank-deficient (but consistent) system, with
+/// `matrix` given as a flat row-major `rows × cols` bank.
 ///
-/// The characteristic-polynomial protocol interpolates a rational function of degree
-/// equal to the *bound* `d`, which is usually larger than the true difference; the
-/// resulting system is then underdetermined (any common factor of numerator and
-/// denominator is a valid solution). This routine performs row-echelon elimination,
-/// assigns zero to free variables, and returns `None` only if the system is
-/// inconsistent.
-pub fn solve_consistent(matrix: &[Vec<Fp>], rhs: &[Fp]) -> Option<Vec<Fp>> {
-    let rows = matrix.len();
-    assert_eq!(rows, rhs.len(), "matrix and rhs must have the same number of rows");
-    let cols = matrix.first().map_or(0, Vec::len);
-    for row in matrix {
-        assert_eq!(row.len(), cols, "all rows must have the same length");
-    }
+/// The characteristic-polynomial protocol interpolates a rational function of
+/// degree equal to the *bound* `d`, which is usually larger than the true
+/// difference; the resulting system is then underdetermined (any common factor of
+/// numerator and denominator is a valid solution). This routine performs
+/// row-echelon elimination with index-swapped pivoting, assigns zero to free
+/// variables, and returns `None` only if the system is inconsistent.
+pub fn solve_consistent_flat(
+    matrix: &[Fp],
+    rows: usize,
+    cols: usize,
+    rhs: &[Fp],
+) -> Option<Vec<Fp>> {
+    assert_eq!(matrix.len(), rows * cols, "matrix must be rows × cols");
+    assert_eq!(rhs.len(), rows, "matrix and rhs must have the same number of rows");
     if cols == 0 {
         return if rhs.iter().all(|b| b.is_zero()) { Some(Vec::new()) } else { None };
     }
+    // All-zero matrix: consistent exactly when the rhs is zero, with the all-zero
+    // vector as the canonical solution — no bank allocation needed.
+    if matrix.iter().all(|c| c.is_zero()) {
+        return rhs.iter().all(|b| b.is_zero()).then(|| vec![Fp::ZERO; cols]);
+    }
 
-    let mut a: Vec<Vec<Fp>> = matrix
-        .iter()
-        .zip(rhs)
-        .map(|(row, &b)| {
-            let mut r = row.clone();
-            r.push(b);
-            r
-        })
-        .collect();
-
-    let mut pivot_cols = Vec::new();
+    let mut bank = AugmentedBank::new(matrix, rows, cols, rhs);
+    let mut pivot_cols: Vec<(usize, usize)> = Vec::new();
     let mut pivot_row = 0usize;
     for col in 0..cols {
         if pivot_row >= rows {
             break;
         }
-        let Some(r) = (pivot_row..rows).find(|&r| !a[r][col].is_zero()) else {
+        let Some(r) = (pivot_row..rows).find(|&r| !bank.at(r, col).is_zero()) else {
             continue;
         };
-        a.swap(pivot_row, r);
-        let inv = a[pivot_row][col].inv();
-        for j in col..=cols {
-            a[pivot_row][j] = a[pivot_row][j] * inv;
-        }
+        bank.swap_rows(pivot_row, r);
+        bank.scale_row(pivot_row, col, bank.at(pivot_row, col).inv());
         for rr in 0..rows {
-            if rr != pivot_row && !a[rr][col].is_zero() {
-                let factor = a[rr][col];
-                for j in col..=cols {
-                    let sub = factor * a[pivot_row][j];
-                    a[rr][j] = a[rr][j] - sub;
-                }
+            if rr != pivot_row && !bank.at(rr, col).is_zero() {
+                let factor = bank.at(rr, col);
+                bank.eliminate(rr, pivot_row, col, factor);
             }
         }
         pivot_cols.push((pivot_row, col));
@@ -118,16 +149,41 @@ pub fn solve_consistent(matrix: &[Vec<Fp>], rhs: &[Fp]) -> Option<Vec<Fp>> {
 
     // Inconsistent if a zero row has a non-zero rhs.
     for r in pivot_row..rows {
-        if a[r][..cols].iter().all(|c| c.is_zero()) && !a[r][cols].is_zero() {
+        if (0..cols).all(|c| bank.at(r, c).is_zero()) && !bank.at(r, cols).is_zero() {
             return None;
         }
     }
 
     let mut x = vec![Fp::ZERO; cols];
     for &(r, c) in &pivot_cols {
-        x[c] = a[r][cols];
+        x[c] = bank.at(r, cols);
     }
     Some(x)
+}
+
+/// Solve the square linear system `A·x = b` with `matrix` given row by row
+/// (adapter over [`solve_linear_system_flat`] for callers holding nested rows).
+pub fn solve_linear_system(matrix: &[Vec<Fp>], rhs: &[Fp]) -> Option<Vec<Fp>> {
+    let n = rhs.len();
+    assert_eq!(matrix.len(), n, "matrix must be square and match the rhs length");
+    for row in matrix {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    let flat: Vec<Fp> = matrix.iter().flatten().copied().collect();
+    solve_linear_system_flat(&flat, n, rhs)
+}
+
+/// Solve `A·x = b` allowing a rank-deficient (but consistent) system, with
+/// `matrix` given row by row (adapter over [`solve_consistent_flat`]).
+pub fn solve_consistent(matrix: &[Vec<Fp>], rhs: &[Fp]) -> Option<Vec<Fp>> {
+    let rows = matrix.len();
+    assert_eq!(rows, rhs.len(), "matrix and rhs must have the same number of rows");
+    let cols = matrix.first().map_or(0, Vec::len);
+    for row in matrix {
+        assert_eq!(row.len(), cols, "all rows must have the same length");
+    }
+    let flat: Vec<Fp> = matrix.iter().flatten().copied().collect();
+    solve_consistent_flat(&flat, rows, cols, rhs)
 }
 
 /// Multiply a square matrix by a vector (testing helper, also used by the
@@ -174,6 +230,17 @@ mod tests {
     }
 
     #[test]
+    fn all_zero_matrix_short_circuits() {
+        // Square: singular.
+        let matrix = vec![vec![fp(0), fp(0)], vec![fp(0), fp(0)]];
+        assert_eq!(solve_linear_system(&matrix, &[fp(0), fp(0)]), None);
+        // Consistent solver: zero rhs admits the zero solution, non-zero rhs is
+        // inconsistent.
+        assert_eq!(solve_consistent(&matrix, &[fp(0), fp(0)]), Some(vec![fp(0), fp(0)]));
+        assert_eq!(solve_consistent(&matrix, &[fp(0), fp(3)]), None);
+    }
+
+    #[test]
     fn solve_consistent_handles_underdetermined_systems() {
         // x + y = 3 with two unknowns: rank 1, pick y = 0 => x = 3.
         let matrix = vec![vec![fp(1), fp(1)]];
@@ -212,6 +279,14 @@ mod tests {
         assert_eq!(x, vec![fp(3), fp(7)]);
     }
 
+    #[test]
+    fn flat_and_nested_entry_points_agree() {
+        let matrix = vec![vec![fp(2), fp(7), fp(1)], vec![fp(0), fp(3), fp(9)]];
+        let flat: Vec<Fp> = matrix.iter().flatten().copied().collect();
+        let rhs = vec![fp(4), fp(6)];
+        assert_eq!(solve_consistent(&matrix, &rhs), solve_consistent_flat(&flat, 2, 3, &rhs));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -231,6 +306,23 @@ mod tests {
                 // is the invariant that must always hold.
                 prop_assert_eq!(mat_vec(&matrix, &solution), b);
             }
+        }
+
+        /// Consistent rectangular systems built from a known solution always
+        /// solve, and the solution satisfies the system.
+        #[test]
+        fn random_rectangular_systems_solve(
+            entries in proptest::collection::vec(any::<u64>(), 12),
+            xs in proptest::collection::vec(any::<u64>(), 4),
+        ) {
+            let matrix: Vec<Vec<Fp>> = entries
+                .chunks(4)
+                .map(|row| row.iter().map(|&v| Fp::new(v)).collect())
+                .collect();
+            let x: Vec<Fp> = xs.into_iter().map(Fp::new).collect();
+            let b = mat_vec_rect(&matrix, &x);
+            let solution = solve_consistent(&matrix, &b).expect("consistent by construction");
+            prop_assert_eq!(mat_vec_rect(&matrix, &solution), b);
         }
     }
 }

@@ -53,9 +53,13 @@
 //! assert_eq!(decoded.negative_u64(), vec![100]);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and re-allowed only inside `kernels`, whose
+// `std::arch` intrinsic calls are each gated on runtime CPU-feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
 mod table;
 
+pub use kernels::{active_kernel, force_scalar_kernels};
 pub use table::{DecodeResult, Iblt, IbltConfig};

@@ -5,13 +5,17 @@
 //! Cells are stored as a flat struct-of-arrays bank rather than a `Vec<Cell>`:
 //! one contiguous `counts: Vec<i64>`, one contiguous `check_sums: Vec<u64>`, and a
 //! single `key_sums: Vec<u8>` buffer holding every cell's key sum at stride
-//! `key_bytes`. Insert/delete/subtract are in-place XOR/add kernels over these
-//! arrays, cell indices are produced by an allocation-free iterator, and the wire
-//! encoder/decoder stream straight from/to the flat buffers. The serialized byte
-//! format is identical to the previous per-cell layout (count | key sum |
-//! checksum per cell, little-endian), so tables interoperate across versions.
+//! `key_bytes`. The bulk table combinators (subtract/add) run through the
+//! fixed-width chunked kernels in [`crate::kernels`] (runtime-dispatched AVX2 on
+//! x86_64, chunked scalar elsewhere); the per-key paths batch the `k` cell-index
+//! hashes into one stack array using hash seeds pre-split at construction, and
+//! XOR keys into the bank a 64-bit word at a time. The wire encoder/decoder
+//! stream straight from/to the flat buffers. The serialized byte format is
+//! identical to the previous per-cell layout (count | key sum | checksum per
+//! cell, little-endian), so tables interoperate across versions.
 
-use recon_base::hash::{hash64, hash_bytes};
+use crate::kernels;
+use recon_base::hash::{hash64, hash_bytes, hash_bytes8};
 use recon_base::rng::split_seed;
 use recon_base::wire::{read_uvarint, write_uvarint, Decode, Encode, WireError};
 use recon_base::ReconError;
@@ -175,44 +179,56 @@ fn key_to_u64(key: &[u8]) -> u64 {
     u64::from_le_bytes(buf)
 }
 
-/// Allocation-free iterator over the `hash_count` distinct cell indices of a key
-/// (partitioned hashing: hash function `j` owns cells `[j·m/k, (j+1)·m/k)`).
-struct CellIndices {
-    base: u64,
-    seed: u64,
-    part: usize,
-    hash_count: usize,
-    j: usize,
+/// Hash seeds pre-split from the table seed at construction, so the per-key hot
+/// paths never re-derive them: the byte-hash seed for the partition base, the
+/// checksum seed, and one index seed per hash function.
+///
+/// Deterministic in `(seed, hash_count)`, so the derived `PartialEq` on [`Iblt`]
+/// stays consistent: tables with equal geometry and seed have equal plans.
+#[derive(Debug, Clone, PartialEq)]
+struct HashPlan {
+    base_seed: u64,
+    check_seed: u64,
+    index_seeds: Vec<u64>,
 }
 
-impl Iterator for CellIndices {
-    type Item = usize;
-
-    #[inline]
-    fn next(&mut self) -> Option<usize> {
-        if self.j == self.hash_count {
-            return None;
+impl HashPlan {
+    fn new(seed: u64, hash_count: usize) -> Self {
+        Self {
+            base_seed: split_seed(seed, 0xB0CC),
+            check_seed: split_seed(seed, 0xC4EC),
+            index_seeds: (0..hash_count).map(|j| split_seed(seed, j as u64 + 1)).collect(),
         }
-        let j = self.j;
-        self.j += 1;
-        let h = hash64(self.base, split_seed(self.seed, j as u64 + 1));
-        Some(j * self.part + (h % self.part as u64) as usize)
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let left = self.hash_count - self.j;
-        (left, Some(left))
     }
 }
 
+/// Hash counts up to this bound batch their cell indices into a stack array;
+/// larger (unusual) counts fall back to one heap buffer per operation.
+const MAX_HASHES_ON_STACK: usize = 16;
+
+/// Hash a key with [`hash_bytes`], taking the loop-free [`hash_bytes8`] shortcut
+/// for the ubiquitous 8-byte key width (bit-identical by construction).
 #[inline]
-fn cell_indices(cells: usize, hash_count: usize, seed: u64, key: &[u8]) -> CellIndices {
-    CellIndices {
-        base: hash_bytes(key, split_seed(seed, 0xB0CC)),
-        seed,
-        part: cells / hash_count,
-        hash_count,
-        j: 0,
+fn hash_key(key: &[u8], seed: u64) -> u64 {
+    match <&[u8; 8]>::try_from(key) {
+        Ok(words) => hash_bytes8(u64::from_le_bytes(*words), seed),
+        Err(_) => hash_bytes(key, seed),
+    }
+}
+
+/// XOR `src` into `dst` one 64-bit word at a time, with a byte tail — the
+/// per-key analogue of the bulk bank kernels (key widths are small, so the word
+/// loop beats vector dispatch overhead).
+#[inline]
+fn xor_key(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let (dc, dr) = dst.as_chunks_mut::<8>();
+    let (sc, sr) = src.as_chunks::<8>();
+    for (d, s) in dc.iter_mut().zip(sc) {
+        *d = (u64::from_le_bytes(*d) ^ u64::from_le_bytes(*s)).to_le_bytes();
+    }
+    for (d, s) in dr.iter_mut().zip(sr) {
+        *d ^= s;
     }
 }
 
@@ -234,6 +250,8 @@ pub struct Iblt {
     key_sums: Vec<u8>,
     /// XOR of the key checksums per cell.
     check_sums: Vec<u64>,
+    /// Pre-split hash seeds (derived from `seed` and `hash_count`).
+    plan: HashPlan,
 }
 
 impl Iblt {
@@ -250,6 +268,7 @@ impl Iblt {
             counts: vec![0; m],
             key_sums: vec![0; m * cfg.key_bytes],
             check_sums: vec![0; m],
+            plan: HashPlan::new(cfg.seed, cfg.hash_count),
         }
     }
 
@@ -281,9 +300,13 @@ impl Iblt {
 
     /// `true` if every cell is zero (the represented multiset difference is empty).
     pub fn is_empty(&self) -> bool {
+        fn all_zero_bytes(bytes: &[u8]) -> bool {
+            let (chunks, rest) = bytes.as_chunks::<8>();
+            chunks.iter().all(|c| u64::from_le_bytes(*c) == 0) && rest.iter().all(|&b| b == 0)
+        }
         self.counts.iter().all(|&c| c == 0)
             && self.check_sums.iter().all(|&c| c == 0)
-            && self.key_sums.iter().all(|&b| b == 0)
+            && all_zero_bytes(&self.key_sums)
     }
 
     /// Reset every cell to zero, keeping geometry and seed. Lets hot loops reuse one
@@ -301,17 +324,38 @@ impl Iblt {
     }
 
     fn checksum(&self, key: &[u8]) -> u64 {
-        hash_bytes(key, split_seed(self.seed, 0xC4EC))
+        hash_key(key, self.plan.check_seed)
     }
 
+    /// Compute the `hash_count` partitioned cell indices of the key with base
+    /// hash `base` into `out` (one batch, no per-index seed derivation).
+    #[inline]
+    fn fill_indices(&self, base: u64, out: &mut [usize]) {
+        let part = self.counts.len() / self.hash_count;
+        for (j, (slot, &index_seed)) in out.iter_mut().zip(&self.plan.index_seeds).enumerate() {
+            let h = hash64(base, index_seed);
+            *slot = j * part + (h % part as u64) as usize;
+        }
+    }
+
+    /// Apply `delta` occurrences of `key` (checksum already computed) to the
+    /// bank: one batched index computation, then lane-at-a-time cell updates.
     #[inline]
     fn apply_prehashed(&mut self, key: &[u8], checksum: u64, delta: i64) {
+        let base = hash_key(key, self.plan.base_seed);
+        let mut stack = [0usize; MAX_HASHES_ON_STACK];
+        let mut heap: Vec<usize>;
+        let indices: &mut [usize] = if self.hash_count <= MAX_HASHES_ON_STACK {
+            &mut stack[..self.hash_count]
+        } else {
+            heap = vec![0; self.hash_count];
+            &mut heap
+        };
+        self.fill_indices(base, indices);
         let kb = self.key_bytes;
-        for idx in cell_indices(self.counts.len(), self.hash_count, self.seed, key) {
-            self.counts[idx] += delta;
-            for (dst, src) in self.key_sums[idx * kb..(idx + 1) * kb].iter_mut().zip(key) {
-                *dst ^= src;
-            }
+        for &idx in indices.iter() {
+            self.counts[idx] = self.counts[idx].wrapping_add(delta);
+            xor_key(&mut self.key_sums[idx * kb..(idx + 1) * kb], key);
             self.check_sums[idx] ^= checksum;
         }
     }
@@ -375,9 +419,7 @@ impl Iblt {
     /// In-place cell-wise subtraction `self −= other` over the flat cell bank.
     pub fn subtract_assign(&mut self, other: &Iblt) -> Result<(), ReconError> {
         self.check_geometry(other)?;
-        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
-            *c -= o;
-        }
+        kernels::sub_i64(&mut self.counts, &other.counts);
         self.xor_sums(other);
         Ok(())
     }
@@ -388,22 +430,17 @@ impl Iblt {
     /// difference table as [`Iblt::subtract`] on two positive encodings.
     pub fn add_assign(&mut self, other: &Iblt) -> Result<(), ReconError> {
         self.check_geometry(other)?;
-        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
-            *c += o;
-        }
+        kernels::add_i64(&mut self.counts, &other.counts);
         self.xor_sums(other);
         Ok(())
     }
 
-    /// XOR the key-sum and checksum banks of `other` into `self` — one pass over
-    /// each contiguous buffer (geometry must already be verified).
+    /// XOR the key-sum and checksum banks of `other` into `self` — one chunked
+    /// kernel pass over each contiguous buffer (geometry must already be
+    /// verified).
     fn xor_sums(&mut self, other: &Iblt) {
-        for (dst, src) in self.key_sums.iter_mut().zip(&other.key_sums) {
-            *dst ^= src;
-        }
-        for (dst, src) in self.check_sums.iter_mut().zip(&other.check_sums) {
-            *dst ^= src;
-        }
+        kernels::xor_bytes(&mut self.key_sums, &other.key_sums);
+        kernels::xor_u64(&mut self.check_sums, &other.check_sums);
     }
 
     /// `true` if the cell currently holds exactly one key (count ±1 and the checksum
@@ -436,8 +473,15 @@ impl Iblt {
     /// remainder (a sharper diagnostic than the pre-peel cell count).
     pub fn decode_in_place(&mut self) -> DecodeResult {
         let mut result = DecodeResult::default();
-        let mut queue: VecDeque<usize> =
-            (0..self.counts.len()).filter(|&i| self.is_pure(i)).collect();
+        let mut queue: VecDeque<usize> = VecDeque::with_capacity(self.counts.len() / 2);
+        for i in 0..self.counts.len() {
+            if self.is_pure(i) {
+                queue.push_back(i);
+            }
+        }
+        let mut stack = [0usize; MAX_HASHES_ON_STACK];
+        let mut heap =
+            vec![0usize; if self.hash_count > MAX_HASHES_ON_STACK { self.hash_count } else { 0 }];
 
         while let Some(idx) = queue.pop_front() {
             if !self.is_pure(idx) {
@@ -454,13 +498,16 @@ impl Iblt {
             // moment it is updated and can be tested for purity right away.
             let delta = if count == 1 { -1 } else { 1 };
             let kb = self.key_bytes;
-            for touched in cell_indices(self.counts.len(), self.hash_count, self.seed, &key) {
-                self.counts[touched] += delta;
-                for (dst, src) in
-                    self.key_sums[touched * kb..(touched + 1) * kb].iter_mut().zip(&key)
-                {
-                    *dst ^= src;
-                }
+            let base = hash_key(&key, self.plan.base_seed);
+            let indices: &mut [usize] = if self.hash_count <= MAX_HASHES_ON_STACK {
+                &mut stack[..self.hash_count]
+            } else {
+                &mut heap
+            };
+            self.fill_indices(base, indices);
+            for &touched in indices.iter() {
+                self.counts[touched] = self.counts[touched].wrapping_add(delta);
+                xor_key(&mut self.key_sums[touched * kb..(touched + 1) * kb], &key);
                 self.check_sums[touched] ^= checksum;
                 if self.is_pure(touched) {
                     queue.push_back(touched);
@@ -546,7 +593,8 @@ impl Decode for Iblt {
             *buf = rest;
             check_sums.push(u64::decode(buf)?);
         }
-        Ok(Iblt { key_bytes, hash_count, seed, counts, key_sums, check_sums })
+        let plan = HashPlan::new(seed, hash_count);
+        Ok(Iblt { key_bytes, hash_count, seed, counts, key_sums, check_sums, plan })
     }
 }
 

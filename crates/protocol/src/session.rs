@@ -137,7 +137,7 @@ impl SessionBuilder {
 /// completion state. Drivers — the blocking [`Session::run`] loop, an
 /// [`Endpoint`](crate::Endpoint) multiplexing many sessions over one framed
 /// transport — poll it for outgoing envelopes and feed it incoming ones; once
-/// the party reports [`Step::Done`] the core stops sending and holds the output
+/// the party reports [`Step::Done`](crate::Step::Done) the core stops sending and holds the output
 /// until it is taken.
 #[derive(Debug)]
 pub struct SessionCore<P: Party> {
@@ -210,7 +210,7 @@ impl<L: Link> Session<L> {
 
     /// Drive the party pair to completion: poll each side for outgoing envelopes,
     /// deliver them through the link, and hand them to the other side, until Bob
-    /// returns [`Step::Done`]. Alice's completion (if any) is implicit — per the
+    /// returns [`Step::Done`](crate::Step::Done). Alice's completion (if any) is implicit — per the
     /// paper's one-way convention she never learns whether Bob succeeded unless
     /// the protocol itself sends an acknowledgement.
     pub fn run<A: Party, B: Party>(&mut self, alice: A, bob: B) -> Result<B::Output, ReconError> {

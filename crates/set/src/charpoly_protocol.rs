@@ -18,7 +18,10 @@ use recon_base::hash::hash_u64_set;
 use recon_base::rng::split_seed;
 use recon_base::wire::{Decode, Encode, WireError};
 use recon_base::ReconError;
-use recon_field::{find_roots, solve_consistent, Fp, Poly, MODULUS};
+use recon_field::{
+    batch_invert, find_roots, interpolate, rational_reconstruct, solve_consistent_flat, Fp, Poly,
+    MODULUS,
+};
 use std::collections::HashSet;
 
 /// Alice's one-round message for the characteristic-polynomial protocol.
@@ -160,8 +163,13 @@ impl CharPolyProtocol {
             return Ok(SetDiff::default());
         }
 
-        let points: Vec<Fp> = (0..d_use).map(|i| self.point(i)).collect();
-        // Bob's evaluations.
+        // The digest carries `d + 1 ≥ d_use + 1` evaluations; use one more point
+        // than the degree budget so the structured solve below has a uniqueness
+        // margin (any two candidate fractions within the degree bounds agree on
+        // `deg P + deg Q + 1` points only if they are equal).
+        let points: Vec<Fp> = (0..=d_use).map(|i| self.point(i)).collect();
+        // Bob's evaluations, then the ratios f_i = χ_{S_A}(z_i) / χ_{S_B}(z_i)
+        // via one batched inversion.
         let mut local_evals = vec![Fp::ONE; points.len()];
         for &x in local {
             let fx = Fp::new(x);
@@ -169,49 +177,32 @@ impl CharPolyProtocol {
                 *e *= z - fx;
             }
         }
-
-        // Build the linear system for the coefficients of monic P (deg `deg_missing`)
-        // and monic Q (deg `deg_extra`) with P(z_i) = f_i Q(z_i).
-        let mut matrix = Vec::with_capacity(d_use);
-        let mut rhs = Vec::with_capacity(d_use);
-        for (i, &z) in points.iter().enumerate() {
-            let a = Fp::new(digest.evaluations[i]);
-            let b = local_evals[i];
-            debug_assert!(!b.is_zero(), "evaluation points lie outside the universe");
-            let f = a / b;
-            let mut row = Vec::with_capacity(d_use);
-            // Powers of z for P's unknown coefficients.
-            let mut zp = Fp::ONE;
-            for _ in 0..deg_missing {
-                row.push(zp);
-                zp *= z;
-            }
-            let z_pow_deg_missing = zp;
-            // Powers of z for Q's unknown coefficients (negated, scaled by f).
-            let mut zq = Fp::ONE;
-            for _ in 0..deg_extra {
-                row.push(-(f * zq));
-                zq *= z;
-            }
-            let z_pow_deg_extra = zq;
-            matrix.push(row);
-            rhs.push(f * z_pow_deg_extra - z_pow_deg_missing);
+        let mut inverses = local_evals;
+        let all_nonzero = batch_invert(&mut inverses);
+        debug_assert!(all_nonzero, "evaluation points lie outside the universe");
+        if !all_nonzero {
+            return Err(ReconError::InterpolationFailure);
         }
+        let ratios: Vec<Fp> = digest.evaluations[..points.len()]
+            .iter()
+            .zip(&inverses)
+            .map(|(&a, &inv)| Fp::new(a) * inv)
+            .collect();
 
-        let solution = solve_consistent(&matrix, &rhs).ok_or(ReconError::InterpolationFailure)?;
-
-        let mut p_coeffs: Vec<Fp> = solution[..deg_missing].to_vec();
-        p_coeffs.push(Fp::ONE);
-        let mut q_coeffs: Vec<Fp> = solution[deg_missing..].to_vec();
-        q_coeffs.push(Fp::ONE);
-        let p = Poly::from_coeffs(p_coeffs);
-        let q = Poly::from_coeffs(q_coeffs);
-
-        // Divide out the common factor so only the true differences remain.
-        let g = p.gcd(&q);
-        let (p_reduced, rem_p) = p.divmod(&g);
-        let (q_reduced, rem_q) = q.divmod(&g);
-        debug_assert!(rem_p.is_zero() && rem_q.is_zero());
+        // Structured `O(d^2)` solve first; dense elimination over the first
+        // `d_use` points as the fallback. Both find the same (unique) reduced
+        // monic fraction whenever the bound is honest, so the choice of path is
+        // invisible to callers.
+        let (p_reduced, q_reduced) =
+            match structured_reduced_fraction(&points, &ratios, deg_missing, deg_extra, delta) {
+                Some(pair) => pair,
+                None => dense_reduced_fraction(
+                    &points[..d_use],
+                    &ratios[..d_use],
+                    deg_missing,
+                    deg_extra,
+                )?,
+            };
 
         let missing_roots = find_roots(&p_reduced, split_seed(self.seed, 0xF00D));
         let extra_roots = find_roots(&q_reduced, split_seed(self.seed, 0xF00E));
@@ -247,6 +238,92 @@ impl CharPolyProtocol {
         }
         Ok(recovered)
     }
+}
+
+/// Structured `O(d^2)` solve of the rational-interpolation system: interpolate
+/// the ratio values into a single polynomial `N`, then run extended-Euclidean
+/// rational reconstruction against `M = ∏(z − z_i)` and reduce.
+///
+/// `points` must have `deg_missing + deg_extra + 1` entries; with that margin a
+/// reduced monic pair passing the degree/`delta` checks below is unique, so it
+/// is exactly the fraction the dense elimination would find. Returns `None`
+/// whenever the checks fail (e.g. the difference bound was violated), in which
+/// case the caller falls back to the dense path.
+fn structured_reduced_fraction(
+    points: &[Fp],
+    ratios: &[Fp],
+    deg_missing: usize,
+    deg_extra: usize,
+    delta: i64,
+) -> Option<(Poly, Poly)> {
+    debug_assert_eq!(points.len(), deg_missing + deg_extra + 1);
+    let modulus = Poly::from_roots(points);
+    let interpolant = interpolate(points, ratios)?;
+    let (r, t) = rational_reconstruct(&modulus, &interpolant, deg_missing)?;
+    if r.is_zero() {
+        return None;
+    }
+    let g = r.gcd(&t);
+    let (p_reduced, rem_p) = r.divmod(&g);
+    let (q_reduced, rem_q) = t.divmod(&g);
+    debug_assert!(rem_p.is_zero() && rem_q.is_zero());
+    let p_reduced = p_reduced.monic();
+    let q_reduced = q_reduced.monic();
+    let dp = p_reduced.degree()? as i64;
+    let dq = q_reduced.degree().unwrap_or(0) as i64;
+    // The true reduced fraction has deg P − deg Q = |S_A| − |S_B| and respects
+    // both degree budgets; anything else means the bound was wrong.
+    (dp - dq == delta && dp <= deg_missing as i64 && dq <= deg_extra as i64)
+        .then_some((p_reduced, q_reduced))
+}
+
+/// Dense fallback: build the linear system for the coefficients of monic `P`
+/// (deg `deg_missing`) and monic `Q` (deg `deg_extra`) with `P(z_i) = f_i
+/// Q(z_i)` as a flat row-major bank, solve it by Gaussian elimination, and
+/// divide out the common factor so only the true differences remain.
+fn dense_reduced_fraction(
+    points: &[Fp],
+    ratios: &[Fp],
+    deg_missing: usize,
+    deg_extra: usize,
+) -> Result<(Poly, Poly), ReconError> {
+    let d_use = points.len();
+    debug_assert_eq!(d_use, deg_missing + deg_extra);
+    let mut matrix = Vec::with_capacity(d_use * d_use);
+    let mut rhs = Vec::with_capacity(d_use);
+    for (&z, &f) in points.iter().zip(ratios) {
+        // Powers of z for P's unknown coefficients.
+        let mut zp = Fp::ONE;
+        for _ in 0..deg_missing {
+            matrix.push(zp);
+            zp *= z;
+        }
+        let z_pow_deg_missing = zp;
+        // Powers of z for Q's unknown coefficients (negated, scaled by f).
+        let mut zq = Fp::ONE;
+        for _ in 0..deg_extra {
+            matrix.push(-(f * zq));
+            zq *= z;
+        }
+        let z_pow_deg_extra = zq;
+        rhs.push(f * z_pow_deg_extra - z_pow_deg_missing);
+    }
+
+    let solution = solve_consistent_flat(&matrix, d_use, d_use, &rhs)
+        .ok_or(ReconError::InterpolationFailure)?;
+
+    let mut p_coeffs: Vec<Fp> = solution[..deg_missing].to_vec();
+    p_coeffs.push(Fp::ONE);
+    let mut q_coeffs: Vec<Fp> = solution[deg_missing..].to_vec();
+    q_coeffs.push(Fp::ONE);
+    let p = Poly::from_coeffs(p_coeffs);
+    let q = Poly::from_coeffs(q_coeffs);
+
+    let g = p.gcd(&q);
+    let (p_reduced, rem_p) = p.divmod(&g);
+    let (q_reduced, rem_q) = q.divmod(&g);
+    debug_assert!(rem_p.is_zero() && rem_q.is_zero());
+    Ok((p_reduced, q_reduced))
 }
 
 #[cfg(test)]
@@ -338,6 +415,42 @@ mod tests {
         let diff2 = protocol.diff(&digest2, &bob_superset).unwrap().sorted();
         assert!(diff2.missing.is_empty());
         assert_eq!(diff2.extra, (100..105).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn structured_path_solves_tight_and_loose_bounds() {
+        // The structured solver must carry both the tight case (degree budget
+        // exactly the true difference) and the loose case (budget padded, so
+        // numerator and denominator share a spurious common factor) — otherwise
+        // every reconciliation would quietly pay the dense fallback on top.
+        let missing: Vec<Fp> = [3u64, 77, 1234].iter().map(|&x| Fp::new(x)).collect();
+        let extra: Vec<Fp> = [500u64, 9000].iter().map(|&x| Fp::new(x)).collect();
+        let p_true = Poly::from_roots(&missing);
+        let q_true = Poly::from_roots(&extra);
+        let delta = missing.len() as i64 - extra.len() as i64;
+        for slack in [0usize, 2, 5] {
+            let deg_missing = missing.len() + slack;
+            let deg_extra = extra.len() + slack;
+            let points: Vec<Fp> =
+                (0..=(deg_missing + deg_extra) as u64).map(|i| Fp::new((1 << 60) + i)).collect();
+            let ratios: Vec<Fp> = points.iter().map(|&z| p_true.eval(z) / q_true.eval(z)).collect();
+            let (p_red, q_red) =
+                structured_reduced_fraction(&points, &ratios, deg_missing, deg_extra, delta)
+                    .unwrap_or_else(|| panic!("structured path must solve (slack {slack})"));
+            assert_eq!(p_red, p_true, "slack {slack}");
+            assert_eq!(q_red, q_true, "slack {slack}");
+        }
+    }
+
+    #[test]
+    fn structured_path_rejects_violated_bounds() {
+        // Five genuine differences but a budget of two: the structured solver
+        // must refuse (degree/delta check) rather than hand back garbage.
+        let missing: Vec<Fp> = (0..5u64).map(|i| Fp::new(i * 13 + 2)).collect();
+        let p_true = Poly::from_roots(&missing);
+        let points: Vec<Fp> = (0..=3u64).map(|i| Fp::new((1 << 60) + i)).collect();
+        let ratios: Vec<Fp> = points.iter().map(|&z| p_true.eval(z)).collect();
+        assert_eq!(structured_reduced_fraction(&points, &ratios, 2, 1, 5), None);
     }
 
     #[test]

@@ -520,12 +520,12 @@ fn framed_transport_matches_memory_link_per_family() {
 // Acceptance: >= 8 concurrent mixed-family sessions over ONE framed transport
 // ---------------------------------------------------------------------------
 
-/// One endpoint pair multiplexes nine concurrent sessions spanning all three
-/// protocol layers (plain sets, sets of sets, graphs) over a single framed
-/// byte stream, and every session's `CommStats` is byte-identical to the same
-/// protocol run alone through the legacy `MemoryLink` path.
-#[test]
-fn one_endpoint_drives_nine_concurrent_mixed_family_sessions() {
+/// Body of the nine-session acceptance test, shared with the kernel-dispatch
+/// equivalence test below: runs the full mixed-family suite (nine concurrent
+/// sessions over one framed transport, each checked against its solo
+/// `MemoryLink` twin), asserts every recovery, and returns the per-session
+/// stats so callers can compare whole runs against each other.
+fn run_nine_session_suite() -> Vec<CommStats> {
     use recon_graph::degree_order::DegreeOrderParams;
     use recon_graph::{forest, session as graph_session, Forest, Graph};
     use recon_sos::multiset_of_multisets::{self, PairPacking};
@@ -752,12 +752,49 @@ fn one_endpoint_drives_nine_concurrent_mixed_family_sessions() {
             _ => end.take_outcome::<Forest>(id).unwrap().unwrap().stats,
         }
     };
+    let mut per_session = Vec::with_capacity(9);
     for id in 0..9u64 {
         let alice_stats = alice_end.close(id).expect("alice side registered");
         let stats = take(&mut bob_end, id);
         assert_eq!(stats, expected[id as usize], "session {id} vs MemoryLink");
         assert_eq!(alice_stats, expected[id as usize], "session {id} alice side");
+        per_session.push(stats);
     }
+    per_session
+}
+
+/// One endpoint pair multiplexes nine concurrent sessions spanning all three
+/// protocol layers (plain sets, sets of sets, graphs) over a single framed
+/// byte stream, and every session's `CommStats` is byte-identical to the same
+/// protocol run alone through the legacy `MemoryLink` path.
+#[test]
+fn one_endpoint_drives_nine_concurrent_mixed_family_sessions() {
+    let per_session = run_nine_session_suite();
+    assert_eq!(per_session.len(), 9);
+}
+
+/// Forcing the IBLT bulk kernels onto the scalar fallback path (the code every
+/// non-AVX2 machine runs) must be invisible end to end: the full mixed-family
+/// suite recovers the same data with byte-identical `CommStats` under both the
+/// runtime-dispatched kernels and the forced fallback. `RECON_IBLT_FORCE_SCALAR=1`
+/// gives the same coverage for an entire test-suite run without recompiling.
+#[test]
+fn forced_scalar_kernels_match_dispatched_nine_session_suite() {
+    /// Restores auto dispatch even if the suite panics mid-run.
+    struct ScalarModeGuard;
+    impl Drop for ScalarModeGuard {
+        fn drop(&mut self) {
+            recon_iblt::force_scalar_kernels(false);
+        }
+    }
+
+    let dispatched = run_nine_session_suite();
+    let scalar = {
+        recon_iblt::force_scalar_kernels(true);
+        let _guard = ScalarModeGuard;
+        run_nine_session_suite()
+    };
+    assert_eq!(dispatched, scalar, "kernel dispatch must not change any session's stats");
 }
 
 // ---------------------------------------------------------------------------
