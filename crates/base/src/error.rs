@@ -65,6 +65,12 @@ pub enum ReconError {
     /// The characteristic-polynomial interpolation produced an inconsistent system
     /// (more differences than evaluation points).
     InterpolationFailure,
+    /// A deadline elapsed before the work completed: a reactor-served session
+    /// (or its whole connection) exceeded its readiness-driven time budget.
+    Timeout {
+        /// How long the runtime waited, in milliseconds, before giving up.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for ReconError {
@@ -92,6 +98,9 @@ impl fmt::Display for ReconError {
             }
             ReconError::InterpolationFailure => {
                 write!(f, "characteristic polynomial interpolation failed")
+            }
+            ReconError::Timeout { waited_ms } => {
+                write!(f, "deadline elapsed after {waited_ms} ms")
             }
         }
     }

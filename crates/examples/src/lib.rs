@@ -20,6 +20,10 @@ pub mod prelude {
     pub use recon_protocol::{
         Amplification, Envelope, Outcome, Party, Session, SessionBuilder, Step,
     };
+    pub use recon_runtime::{
+        connect_endpoint, drive_endpoint, Poller, Reactor, ReactorConfig, Server, ServerConfig,
+        TcpService,
+    };
     pub use recon_set::{CharPolyProtocol, IbltSetProtocol, Multiset, MultisetProtocol, SetDiff};
     pub use recon_sos::{
         cascading, iblt_of_iblts, multiround, naive, workload, SetOfSets, SosParams,

@@ -159,6 +159,38 @@ impl<T: Transport> Endpoint<T> {
         Ok(progressed)
     }
 
+    /// Pump the multiplexer from a readiness notification instead of
+    /// speculatively: flush buffered output if the stream reported *writable*,
+    /// drain and dispatch arrived frames if it reported *readable*, then frame
+    /// any responses the sessions queued. This is [`Endpoint::poll`] with the
+    /// transport work gated on actual readiness, so an event-loop driver (see
+    /// `recon-runtime`) never spins on a stream that has nothing for it.
+    ///
+    /// Returns whether any protocol-level work happened (frames dispatched or
+    /// envelopes sent) — byte-level progress such as a partial frame arriving
+    /// is visible through the transport's counters instead.
+    pub fn poll_ready(&mut self, readable: bool, writable: bool) -> Result<bool, ReconError> {
+        let mut progressed = false;
+        if writable {
+            self.transport.flush()?;
+        }
+        if readable {
+            while let Some(frame) = self.transport.recv()? {
+                progressed = true;
+                self.dispatch(frame)?;
+            }
+        }
+        progressed |= self.pump_sends()?;
+        Ok(progressed)
+    }
+
+    /// `true` while the transport holds outgoing bytes its stream has not yet
+    /// accepted — the signal a readiness-driven driver uses to arm (and, once
+    /// the buffer drains, disarm) write interest.
+    pub fn is_write_blocked(&self) -> bool {
+        self.transport.has_pending_out()
+    }
+
     fn pump_sends(&mut self) -> Result<bool, ReconError> {
         let mut progressed = false;
         for (&id, slot) in self.sessions.iter_mut() {
@@ -217,6 +249,13 @@ impl<T: Transport> Endpoint<T> {
         self.sessions.len()
     }
 
+    /// The ids of every currently registered session, in ascending order.
+    /// Drivers that did not book-keep their registrations (a server handling
+    /// whatever a factory installed) iterate these to harvest outcomes.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions.keys().copied().collect()
+    }
+
     /// Total frames dispatched to sessions so far.
     pub fn frames_dispatched(&self) -> usize {
         self.frames_dispatched
@@ -266,6 +305,27 @@ impl<T: Transport> Endpoint<T> {
         }
     }
 
+    /// Retire every finished session at once, discarding outcomes and stats —
+    /// the allocation-free harvest for serving paths that only need sessions
+    /// gone (an Alice side whose parties produce no output). Each retired
+    /// session gets its peer-notifying `Fin` exactly like [`Endpoint::close`].
+    /// Returns how many sessions were retired.
+    pub fn close_finished(&mut self) -> usize {
+        let transport = &mut self.transport;
+        let before = self.sessions.len();
+        self.sessions.retain(|&id, slot| {
+            if slot.finished() {
+                if !slot.fin_sent {
+                    let _ = transport.send(&Frame::fin(id));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        before - self.sessions.len()
+    }
+
     /// Retire session `id` regardless of local completion — how an Alice-side
     /// endpoint (whose party never produces an output) releases a session once
     /// the peer's Fin arrived. Returns the session's accounting.
@@ -289,24 +349,68 @@ impl<T: Transport> Endpoint<T> {
 }
 
 /// Drive two connected in-process endpoints until every session on both sides
-/// has finished. Errors with [`ReconError::SessionStalled`] if neither side can
-/// make progress while sessions remain open — a protocol logic error, since an
-/// in-process pair has no genuine "waiting on the network" state.
+/// has finished.
+///
+/// Deadlock guard: a round where neither endpoint dispatched a frame, moved a
+/// single byte through its transport, sent an envelope, or retired a session
+/// cannot unblock itself — an in-process pair has no genuine "waiting on the
+/// network" state — so the driver returns a descriptive
+/// [`ReconError::Transport`] naming the stuck sessions instead of looping
+/// forever on a stalled peer. Byte-level movement counts as progress on
+/// purpose, and the guard waits for a *second* consecutive idle round before
+/// declaring deadlock: a transport that delivers one byte then `WouldBlock`
+/// alternately (the fragmentation torture tests) legally produces isolated
+/// idle rounds, but can never produce two in a row while bytes are pending.
 pub fn drive_pair<TA: Transport, TB: Transport>(
     a: &mut Endpoint<TA>,
     b: &mut Endpoint<TB>,
 ) -> Result<(), ReconError> {
+    // (frames dispatched, framed bytes in, open sessions) per side: every way a
+    // round can matter. Frames/bytes only ever grow, and open sessions only
+    // ever shrink, so "all six unchanged" is exactly "nothing happened".
+    let observe = |a: &Endpoint<TA>, b: &Endpoint<TB>| {
+        (
+            a.frames_dispatched(),
+            a.transport().bytes_framed_in(),
+            a.open_sessions(),
+            b.frames_dispatched(),
+            b.transport().bytes_framed_in(),
+            b.open_sessions(),
+        )
+    };
+    let mut before = observe(a, b);
+    let mut idle_rounds = 0;
     loop {
         let progressed_a = a.poll()?;
         let progressed_b = b.poll()?;
         if a.open_sessions() == 0 && b.open_sessions() == 0 {
             return Ok(());
         }
-        if !progressed_a && !progressed_b {
-            return Err(ReconError::SessionStalled {
-                messages_exchanged: a.frames_dispatched() + b.frames_dispatched(),
-            });
+        let after = observe(a, b);
+        if progressed_a || progressed_b || after != before {
+            idle_rounds = 0;
+        } else {
+            idle_rounds += 1;
         }
+        if idle_rounds >= 2 {
+            return Err(ReconError::Transport(format!(
+                "endpoint pair deadlocked: no frame dispatched, byte moved, or session \
+                 finished in a full round ({} frames dispatched so far; waiting sessions \
+                 a={:?} b={:?})",
+                a.frames_dispatched() + b.frames_dispatched(),
+                a.sessions
+                    .iter()
+                    .filter(|(_, s)| !s.finished())
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>(),
+                b.sessions
+                    .iter()
+                    .filter(|(_, s)| !s.finished())
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>(),
+            )));
+        }
+        before = after;
     }
 }
 
@@ -631,6 +735,67 @@ mod tests {
         assert!(end.dispatch(Frame::envelope(1234, Envelope::round(1, "m", &0u8))).is_err());
         // A stray Fin for a retired session is tolerated.
         assert!(end.dispatch(Frame::fin(1234)).is_ok());
+    }
+
+    #[test]
+    fn close_finished_retires_sessions_without_outcomes() {
+        let (ta, tb) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(ta);
+        let mut bob_end = Endpoint::new(tb);
+        for id in 0..3u64 {
+            let (alice, bob) = counting_pair(id, 0);
+            alice_end.register(id, Role::Alice, alice).unwrap();
+            bob_end.register(id, Role::Bob, bob).unwrap();
+        }
+        assert_eq!(alice_end.close_finished(), 0, "nothing finished yet");
+        drive_pair(&mut alice_end, &mut bob_end).unwrap();
+        assert_eq!(alice_end.close_finished(), 3);
+        assert_eq!(alice_end.registered_sessions(), 0);
+        // Bob's outcomes are unaffected by Alice's bulk harvest.
+        for id in 0..3u64 {
+            assert!(bob_end.take_outcome::<u64>(id).unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn drive_pair_detects_a_deadlocked_peer() {
+        // Bob waits for an Alice that was never registered on the other side:
+        // no frame, byte, or finish can ever happen, and the guard must name
+        // the stuck session instead of looping forever.
+        let (ta, tb) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(ta);
+        let mut bob_end = Endpoint::new(tb);
+        let (_, bob) = counting_pair(1, 0);
+        bob_end.register(3, Role::Bob, bob).unwrap();
+        match drive_pair(&mut alice_end, &mut bob_end) {
+            Err(ReconError::Transport(why)) => {
+                assert!(why.contains("deadlocked"), "{why}");
+                assert!(why.contains("b=[3]"), "{why}");
+            }
+            other => panic!("expected a descriptive Transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poll_ready_drives_a_session_like_poll() {
+        let (ta, tb) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(ta);
+        let mut bob_end = Endpoint::new(tb);
+        let (alice, bob) = counting_pair(9, 1);
+        alice_end.register(0, Role::Alice, alice).unwrap();
+        bob_end.register(0, Role::Bob, bob).unwrap();
+        // Memory transports are always "ready" both ways; readiness-driven
+        // pumping must converge exactly like Endpoint::poll.
+        let mut rounds = 0;
+        while bob_end.take_outcome::<u64>(0).is_none() {
+            alice_end.poll_ready(true, true).unwrap();
+            bob_end.poll_ready(true, true).unwrap();
+            rounds += 1;
+            assert!(rounds < 64, "poll_ready failed to converge");
+        }
+        assert!(!alice_end.is_write_blocked(), "memory transport never buffers");
+        assert_eq!(alice_end.session_ids(), vec![0]);
+        assert_eq!(bob_end.session_ids(), Vec::<SessionId>::new());
     }
 
     #[test]

@@ -61,4 +61,6 @@ pub use link::{Link, MemoryLink};
 pub use nested::Nested;
 pub use party::{Party, Step};
 pub use session::{Amplification, Outcome, Session, SessionBuilder, SessionConfig, SessionCore};
+#[cfg(unix)]
+pub use transport::Pollable;
 pub use transport::{MemoryTransport, PipeTransport, StreamTransport, Transport};

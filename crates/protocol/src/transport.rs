@@ -47,12 +47,58 @@ pub trait Transport {
         false
     }
 
+    /// `true` while previously sent frames sit in an internal buffer waiting
+    /// for the underlying stream to accept them. A readiness-driven driver
+    /// uses this to decide whether to watch the stream for writability;
+    /// transports whose `send` delivers immediately keep the default `false`.
+    fn has_pending_out(&self) -> bool {
+        false
+    }
+
     /// Total framed bytes handed to this transport for sending (wire encoding
     /// included) — the denominator for amortization measurements.
     fn bytes_framed_out(&self) -> u64;
 
     /// Total framed bytes received from the peer so far.
     fn bytes_framed_in(&self) -> u64;
+}
+
+/// Extension for transports backed by OS streams that a readiness poller
+/// (epoll / `poll(2)`) can watch.
+///
+/// The interest contract is fixed by the framing layer: a transport always
+/// wants to know when its stream becomes *readable* (a frame may complete at
+/// any time), and wants *writability* only while [`Transport::has_pending_out`]
+/// reports buffered outgoing bytes — re-arming write interest on an empty
+/// buffer would make a level-triggered poller spin, since a healthy socket is
+/// almost always writable.
+///
+/// [`Pollable::read_fd`] and [`Pollable::write_fd`] may name the same
+/// descriptor (a socket) or two different ones (a pipe pair); the runtime
+/// registers them accordingly.
+#[cfg(unix)]
+pub trait Pollable {
+    /// The raw descriptor readiness-to-read is observed on.
+    fn read_fd(&self) -> std::os::fd::RawFd;
+
+    /// The raw descriptor readiness-to-write is observed on. Equal to
+    /// [`Pollable::read_fd`] for full-duplex streams like sockets.
+    fn write_fd(&self) -> std::os::fd::RawFd;
+}
+
+#[cfg(unix)]
+impl<R, W> Pollable for StreamTransport<R, W>
+where
+    R: Read + std::os::fd::AsRawFd,
+    W: Write + std::os::fd::AsRawFd,
+{
+    fn read_fd(&self) -> std::os::fd::RawFd {
+        self.reader.as_raw_fd()
+    }
+
+    fn write_fd(&self) -> std::os::fd::RawFd {
+        self.writer.as_raw_fd()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -160,6 +206,12 @@ impl<R: Read, W: Write> StreamTransport<R, W> {
             bytes_in: 0,
         }
     }
+
+    /// Number of staged outgoing bytes the stream has not yet accepted — the
+    /// buffered-output state a readiness poller re-arms write interest on.
+    pub fn pending_out(&self) -> usize {
+        self.out_buf.len()
+    }
 }
 
 fn io_error(context: &str, e: std::io::Error) -> ReconError {
@@ -213,6 +265,10 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
 
     fn is_closed(&self) -> bool {
         self.closed
+    }
+
+    fn has_pending_out(&self) -> bool {
+        !self.out_buf.is_empty()
     }
 
     fn bytes_framed_out(&self) -> u64 {

@@ -1,0 +1,51 @@
+//! # recon-runtime
+//!
+//! The readiness-driven runtime under the workspace's sans-I/O protocol
+//! stack: the layer that turns "a [`SessionCore`] never blocks" from a design
+//! principle into served traffic. Built entirely on raw OS readiness APIs —
+//! this workspace compiles with no external crates — it provides, bottom up:
+//!
+//! * [`sys`] — `extern "C"` bindings for `epoll`, `poll(2)`, `O_NONBLOCK` and
+//!   raw-fd I/O; the crate's only `unsafe` module, mirroring
+//!   `crates/iblt/src/kernels.rs`.
+//! * [`Poller`] — one blocking wait over many descriptors, with an epoll
+//!   backend on Linux and a portable `poll(2)` fallback selected at runtime
+//!   (`RECON_RUNTIME_FORCE_POLL`, or [`Poller::with_backend`] in code).
+//! * [`TimerWheel`] — hashed-wheel deadlines for sessions that stall.
+//! * [`Reactor`] — many multiplexed [`Endpoint`]s over [`Pollable`] stream
+//!   transports, pumped only on readiness ([`Endpoint::poll_ready`]), with
+//!   precise write-interest re-arming ([`Endpoint::is_write_blocked`]),
+//!   per-session deadlines, and graceful `Fin` draining. [`drive_endpoint`]
+//!   is the single-connection client-side loop on the same machinery.
+//! * [`Server`] — a non-blocking TCP listener fanning accepted connections
+//!   across N worker reactors with two-choice least-loaded balancing.
+//!
+//! What stays out: protocol logic (the parties, sessions and accounting live
+//! in `recon-protocol` and the family crates, unchanged), and any form of
+//! work-stealing between reactors — sessions are single-threaded state
+//! machines, so a connection lives its whole life on the worker the balancer
+//! picked.
+//!
+//! [`SessionCore`]: recon_protocol::SessionCore
+//! [`Endpoint`]: recon_protocol::Endpoint
+//! [`Endpoint::poll_ready`]: recon_protocol::Endpoint::poll_ready
+//! [`Endpoint::is_write_blocked`]: recon_protocol::Endpoint::is_write_blocked
+//! [`Pollable`]: recon_protocol::Pollable
+
+#![cfg(unix)]
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod poller;
+pub mod reactor;
+pub mod server;
+pub mod sys;
+pub mod timer;
+
+pub use poller::{Backend, Event, Interest, Poller};
+pub use reactor::{drive_endpoint, ConnId, Finished, Reactor, ReactorConfig, Waker};
+pub use server::{
+    connect_endpoint, Server, ServerConfig, ServerStats, TcpEndpoint, TcpService, TcpTransport,
+};
+pub use sys::{set_nonblocking, RawFdIo};
+pub use timer::TimerWheel;

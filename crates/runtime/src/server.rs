@@ -1,0 +1,615 @@
+//! The multi-reactor [`Server`]: a non-blocking TCP listener fanning accepted
+//! connections out across worker [`Reactor`]s.
+//!
+//! ```text
+//!            TcpListener (non-blocking, its own mini event loop)
+//!                │ accept
+//!                ▼
+//!     two-choice least-loaded balancer        (sample 2 workers, pick the
+//!                │                             one with fewer live conns)
+//!      ┌─────────┴─────────┐
+//!      ▼                   ▼
+//!  worker reactor 0 …  worker reactor N-1     (one thread + epoll set each)
+//!      │                   │
+//!      └── Endpoint per connection, sessions multiplexed inside
+//! ```
+//!
+//! The balancer is the "power of two choices" policy: sampling two reactors
+//! and picking the less loaded one keeps the maximum load within
+//! `O(log log n)` of the mean — exponentially better than one random choice —
+//! while touching only two counters per accept. (See Walzer's *"What if we
+//! tried Less Power?"* in PAPERS.md for the surrounding theory; the same
+//! imbalance-vs-probes trade-off the workspace's sharded IBLTs lean on.)
+//!
+//! Each worker owns one single-threaded [`Reactor`] plus one [`TcpService`]
+//! instance (built by the factory passed to [`Server::bind`]); accepted
+//! streams are handed over through a mutex-guarded intake and a reactor
+//! [`Waker`](crate::Waker). Sessions therefore never cross threads after
+//! registration, which is what lets the endpoint layer stay `!Send`.
+
+use crate::poller::{Backend, Interest, Poller};
+use crate::reactor::{ConnId, Reactor, ReactorConfig};
+use crate::sys;
+use recon_base::rng::Xoshiro256;
+use recon_base::ReconError;
+use recon_protocol::{Endpoint, StreamTransport};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// The transport a served TCP connection runs on.
+pub type TcpTransport = StreamTransport<TcpStream, TcpStream>;
+/// The endpoint a served TCP connection runs on.
+pub type TcpEndpoint = Endpoint<TcpTransport>;
+
+/// Per-worker protocol logic a [`Server`] runs. One instance per worker
+/// thread, so implementations need `Send` but never `Sync`; shared read-only
+/// state (the authoritative dataset) travels in an `Arc` inside the factory.
+pub trait TcpService: Send + 'static {
+    /// Install the local halves of this connection's sessions. Runs before the
+    /// connection joins the reactor, so everything registered here is covered
+    /// by the per-session deadlines.
+    fn register(&mut self, peer: SocketAddr, endpoint: &mut TcpEndpoint) -> Result<(), ReconError>;
+
+    /// The connection joined worker `conn`'s reactor.
+    fn on_accepted(&mut self, _conn: ConnId, _peer: SocketAddr) {}
+
+    /// The connection was pumped by a readiness event: harvest finished
+    /// sessions (`take_outcome` / `close`) here. A connection retires once
+    /// every session is closed and its output has drained. The default
+    /// implementation is [`Endpoint::close_finished`] — retire everything
+    /// finished, discarding outcomes and stats, allocation-free — right for
+    /// fire-and-forget serving (an Alice side whose parties produce no
+    /// output); override it to collect outcomes.
+    fn on_progress(&mut self, _conn: ConnId, endpoint: &mut TcpEndpoint) {
+        endpoint.close_finished();
+    }
+
+    /// The connection retired; `result` is `Ok` for a clean close.
+    fn on_closed(
+        &mut self,
+        _conn: ConnId,
+        _endpoint: &TcpEndpoint,
+        _result: &Result<(), ReconError>,
+    ) {
+    }
+}
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker reactors (threads). At least 1.
+    pub workers: usize,
+    /// Per-session deadline applied by every worker reactor.
+    pub session_deadline: Option<Duration>,
+    /// Pin the poller backend for the acceptor and all workers.
+    pub backend: Option<Backend>,
+    /// Seed for the balancer's two random worker choices.
+    pub accept_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4),
+            session_deadline: Some(Duration::from_secs(30)),
+            backend: None,
+            accept_seed: 0x2C01CE5,
+        }
+    }
+}
+
+/// What a [`Server`] did over its lifetime, returned by [`Server::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections each worker retired cleanly, in worker order.
+    pub served_per_worker: Vec<u64>,
+    /// Connections that retired with an error (including registration
+    /// failures), across all workers.
+    pub failed: u64,
+}
+
+impl ServerStats {
+    /// Total connections retired cleanly.
+    pub fn served(&self) -> u64 {
+        self.served_per_worker.iter().sum()
+    }
+}
+
+struct WorkerShared {
+    intake: Mutex<Vec<(TcpStream, SocketAddr)>>,
+    /// Live connections assigned to this worker (queued or in its reactor) —
+    /// the balancer's load signal.
+    load: AtomicU64,
+    /// Cleared when the worker's loop returns *or unwinds* (panicking service
+    /// callbacks included), so the balancer stops routing to a dead worker.
+    alive: AtomicBool,
+}
+
+/// Marks the worker dead on every exit path, including panics.
+struct AliveGuard<'a>(&'a AtomicBool);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+struct WorkerReport {
+    served: u64,
+    failed: u64,
+}
+
+/// A listening multi-reactor server; see the module docs. Runs until
+/// [`Server::shutdown`].
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepting_done: Arc<AtomicBool>,
+    accept_wake: std::io::PipeWriter,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<WorkerReport>>,
+    worker_wakers: Vec<crate::reactor::Waker>,
+    shared: Vec<Arc<WorkerShared>>,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> ReconError {
+    ReconError::Transport(format!("{context}: {e}"))
+}
+
+/// Tear down already-spawned worker threads on a failed `Server::bind`.
+/// Without `accepting_done` the workers' exit condition could never hold and
+/// they would spin (and leak their reactors) forever.
+fn abort_workers<'a>(
+    stop: &AtomicBool,
+    accepting_done: &AtomicBool,
+    wakers: impl IntoIterator<Item = &'a crate::reactor::Waker>,
+    workers: Vec<std::thread::JoinHandle<WorkerReport>>,
+) {
+    stop.store(true, Ordering::SeqCst);
+    accepting_done.store(true, Ordering::SeqCst);
+    for waker in wakers {
+        waker.wake();
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+impl Server {
+    /// Bind `addr` and start serving: one acceptor thread plus
+    /// `config.workers` reactor threads, each running the service returned by
+    /// `factory(worker_index)`.
+    pub fn bind<S: TcpService>(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        mut factory: impl FnMut(usize) -> S,
+    ) -> Result<Server, ReconError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
+        listener.set_nonblocking(true).map_err(|e| io_err("listener nonblock", e))?;
+        let local_addr = listener.local_addr().map_err(|e| io_err("local addr", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepting_done = Arc::new(AtomicBool::new(false));
+        let workers_n = config.workers.max(1);
+
+        let mut shared = Vec::with_capacity(workers_n);
+        let mut workers = Vec::with_capacity(workers_n);
+        let (waker_tx, waker_rx) = mpsc::channel();
+        for worker in 0..workers_n {
+            let worker_shared = Arc::new(WorkerShared {
+                intake: Mutex::new(Vec::new()),
+                load: AtomicU64::new(0),
+                alive: AtomicBool::new(true),
+            });
+            shared.push(Arc::clone(&worker_shared));
+            let reactor_config = ReactorConfig {
+                session_deadline: config.session_deadline,
+                backend: config.backend,
+                // Disjoint id ranges so connection ids are process-unique.
+                first_conn_id: (worker as ConnId) << 48,
+            };
+            let service = factory(worker);
+            let stop = Arc::clone(&stop);
+            let accepting_done = Arc::clone(&accepting_done);
+            let waker_tx = waker_tx.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(reactor_config, worker_shared, service, stop, accepting_done, waker_tx)
+            }));
+        }
+        drop(waker_tx);
+        // The reactors build their wakers on their own threads; collect them
+        // before accepting the first connection.
+        let mut worker_wakers: Vec<(usize, crate::reactor::Waker)> =
+            waker_rx.iter().take(workers_n).collect();
+        if worker_wakers.len() < workers_n {
+            abort_workers(&stop, &accepting_done, worker_wakers.iter().map(|(_, w)| w), workers);
+            return Err(ReconError::Transport("a worker reactor failed to start".into()));
+        }
+        worker_wakers.sort_by_key(|(worker, _)| *worker);
+        let worker_wakers: Vec<_> = worker_wakers.into_iter().map(|(_, waker)| waker).collect();
+
+        let (accept_wake_rx, accept_wake) = match std::io::pipe() {
+            Ok(pipe) => pipe,
+            Err(e) => {
+                abort_workers(&stop, &accepting_done, &worker_wakers, workers);
+                return Err(io_err("acceptor wake pipe", e));
+            }
+        };
+        if let Err(e) = sys::set_nonblocking(accept_wake_rx.as_raw_fd()) {
+            abort_workers(&stop, &accepting_done, &worker_wakers, workers);
+            return Err(io_err("acceptor wake nonblock", e));
+        }
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let shared = shared.clone();
+            let wakers = worker_wakers.clone();
+            let backend = config.backend;
+            let seed = config.accept_seed;
+            std::thread::spawn(move || {
+                accept_loop(listener, accept_wake_rx, stop, shared, wakers, backend, seed)
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            accepting_done,
+            accept_wake,
+            acceptor: Some(acceptor),
+            workers,
+            worker_wakers,
+            shared,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live connections currently assigned to each worker.
+    pub fn loads(&self) -> Vec<u64> {
+        self.shared.iter().map(|s| s.load.load(Ordering::SeqCst)).collect()
+    }
+
+    /// Stop accepting, let in-flight connections finish (bounded by their
+    /// session deadlines), and join every thread.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = (&self.accept_wake).write(&[1]);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Only after the acceptor has fully exited may workers treat an empty
+        // intake as final — otherwise a connection accepted during shutdown
+        // could land in the intake of a worker that already returned.
+        self.accepting_done.store(true, Ordering::SeqCst);
+        for waker in &self.worker_wakers {
+            waker.wake();
+        }
+        let mut stats = ServerStats { served_per_worker: Vec::new(), failed: 0 };
+        for handle in self.workers.drain(..) {
+            match handle.join() {
+                Ok(report) => {
+                    stats.served_per_worker.push(report.served);
+                    stats.failed += report.failed;
+                }
+                Err(_) => {
+                    stats.served_per_worker.push(0);
+                    stats.failed += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// One worker: a reactor, its service, and the intake handshake.
+fn worker_loop<S: TcpService>(
+    config: ReactorConfig,
+    shared: Arc<WorkerShared>,
+    mut service: S,
+    stop: Arc<AtomicBool>,
+    accepting_done: Arc<AtomicBool>,
+    waker_tx: mpsc::Sender<(usize, crate::reactor::Waker)>,
+) -> WorkerReport {
+    // Dropped on every exit path (panics included): tells the balancer to
+    // stop routing connections here.
+    let _alive = AliveGuard(&shared.alive);
+    let worker = (config.first_conn_id >> 48) as usize;
+    let mut report = WorkerReport { served: 0, failed: 0 };
+    let Ok(mut reactor) = Reactor::<TcpTransport>::new(config) else {
+        // Dropping the sender makes bind() fail loudly.
+        return report;
+    };
+    if waker_tx.send((worker, reactor.waker())).is_err() {
+        return report;
+    }
+    drop(waker_tx);
+
+    loop {
+        // Adopt whatever the acceptor queued.
+        let streams: Vec<(TcpStream, SocketAddr)> =
+            std::mem::take(&mut *shared.intake.lock().expect("intake lock"));
+        for (stream, peer) in streams {
+            match adopt(&mut reactor, &mut service, stream, peer) {
+                Ok(conn) => service.on_accepted(conn, peer),
+                Err(_) => {
+                    shared.load.fetch_sub(1, Ordering::SeqCst);
+                    report.failed += 1;
+                }
+            }
+        }
+
+        // Hand back retired connections.
+        for finished in reactor.take_finished() {
+            shared.load.fetch_sub(1, Ordering::SeqCst);
+            service.on_closed(finished.conn, &finished.endpoint, &finished.result);
+            match finished.result {
+                Ok(()) => report.served += 1,
+                Err(_) => report.failed += 1,
+            }
+        }
+
+        // Exit only once the acceptor is gone for good: until then a fresh
+        // connection could still land in this worker's intake.
+        if stop.load(Ordering::SeqCst)
+            && accepting_done.load(Ordering::SeqCst)
+            && reactor.is_empty()
+            && shared.intake.lock().expect("intake lock").is_empty()
+        {
+            return report;
+        }
+
+        // The waker interrupts this for intake and shutdown; the cap is a
+        // safety tick so a missed wake can never park the worker for good.
+        if reactor
+            .turn(Some(Duration::from_millis(200)), |conn, endpoint| {
+                service.on_progress(conn, endpoint)
+            })
+            .is_err()
+        {
+            // A poller-level failure is unrecoverable for this worker.
+            report.failed += 1;
+            return report;
+        }
+    }
+}
+
+fn adopt<S: TcpService>(
+    reactor: &mut Reactor<TcpTransport>,
+    service: &mut S,
+    stream: TcpStream,
+    peer: SocketAddr,
+) -> Result<ConnId, ReconError> {
+    stream.set_nonblocking(true).map_err(|e| io_err("conn nonblock", e))?;
+    // Frames are small and latency-coupled (a session round-trips); letting
+    // Nagle batch them against delayed ACKs costs tens of ms per exchange.
+    stream.set_nodelay(true).map_err(|e| io_err("conn nodelay", e))?;
+    let reader = stream.try_clone().map_err(|e| io_err("clone stream", e))?;
+    let mut endpoint = Endpoint::new(StreamTransport::new(reader, stream));
+    service.register(peer, &mut endpoint)?;
+    reactor.insert(endpoint)
+}
+
+/// Dial `addr` and wrap the stream as a non-blocking, no-delay
+/// [`TcpEndpoint`] — the client-side counterpart of the server's adoption
+/// path, ready for [`drive_endpoint`](crate::drive_endpoint).
+pub fn connect_endpoint(addr: impl ToSocketAddrs) -> Result<TcpEndpoint, ReconError> {
+    let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+    stream.set_nonblocking(true).map_err(|e| io_err("conn nonblock", e))?;
+    stream.set_nodelay(true).map_err(|e| io_err("conn nodelay", e))?;
+    let reader = stream.try_clone().map_err(|e| io_err("clone stream", e))?;
+    Ok(Endpoint::new(StreamTransport::new(reader, stream)))
+}
+
+/// The acceptor: its own tiny event loop over the listener plus a wake pipe,
+/// pushing each accepted stream to the less loaded of two sampled workers.
+fn accept_loop(
+    listener: TcpListener,
+    wake_rx: std::io::PipeReader,
+    stop: Arc<AtomicBool>,
+    shared: Vec<Arc<WorkerShared>>,
+    wakers: Vec<crate::reactor::Waker>,
+    backend: Option<Backend>,
+    seed: u64,
+) {
+    let mut wake_rx = wake_rx;
+    let mut poller = match backend {
+        Some(backend) => Poller::with_backend(backend),
+        None => Poller::new(),
+    }
+    .expect("acceptor poller");
+    poller.register(listener.as_raw_fd(), 0, Interest::READ).expect("register listener");
+    poller.register(wake_rx.as_raw_fd(), 1, Interest::READ).expect("register acceptor waker");
+    let mut rng = Xoshiro256::new(seed);
+    let mut events = Vec::new();
+
+    while !stop.load(Ordering::SeqCst) {
+        if poller.wait(&mut events, Some(Duration::from_millis(500))).is_err() {
+            break;
+        }
+        let mut drain = [0u8; 64];
+        while matches!(wake_rx.read(&mut drain), Ok(n) if n > 0) {}
+        let mut transient_error = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let Some(worker) = pick_two_choices(&shared, &mut rng) else {
+                        // Every worker is dead; dropping the stream resets the
+                        // client rather than parking it in a dead intake.
+                        drop(stream);
+                        continue;
+                    };
+                    shared[worker].load.fetch_add(1, Ordering::SeqCst);
+                    shared[worker].intake.lock().expect("intake lock").push((stream, peer));
+                    wakers[worker].wake();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Aborted handshakes, fd exhaustion (EMFILE), and other
+                // transient errors: keep serving, but back off below.
+                Err(_) => {
+                    transient_error = true;
+                    break;
+                }
+            }
+        }
+        if transient_error {
+            // The pending connection keeps the listener level-triggered
+            // readable, so an un-accepted error (EMFILE until fds free up)
+            // would otherwise hot-loop this thread. poll(2) with no
+            // descriptors is a pure kernel-timed wait.
+            let _ = sys::poll_fds(&mut [], 50);
+        }
+    }
+}
+
+/// Sample two distinct *live* workers uniformly and return the less loaded one
+/// (ties go to the first sample) — the classic power-of-two-choices balancer.
+/// `None` when no worker is alive.
+fn pick_two_choices(shared: &[Arc<WorkerShared>], rng: &mut Xoshiro256) -> Option<usize> {
+    let alive: Vec<usize> =
+        (0..shared.len()).filter(|&w| shared[w].alive.load(Ordering::SeqCst)).collect();
+    let n = alive.len();
+    match n {
+        0 => None,
+        1 => Some(alive[0]),
+        _ => {
+            let i = rng.next_below(n as u64) as usize;
+            let mut j = rng.next_below(n as u64 - 1) as usize;
+            if j >= i {
+                j += 1;
+            }
+            let (first, second) = (alive[i], alive[j]);
+            if shared[second].load.load(Ordering::SeqCst)
+                < shared[first].load.load(Ordering::SeqCst)
+            {
+                Some(second)
+            } else {
+                Some(first)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reactor::drive_endpoint;
+    use recon_protocol::amplify::{AmplifiedReceiver, AmplifiedSender, Exhaust};
+    use recon_protocol::{Envelope, Role};
+
+    struct EchoNumbers;
+
+    impl TcpService for EchoNumbers {
+        fn register(
+            &mut self,
+            _peer: SocketAddr,
+            endpoint: &mut TcpEndpoint,
+        ) -> Result<(), ReconError> {
+            // One Alice session per connection, payload fixed by protocol.
+            let alice = AmplifiedSender::new(4, |attempt| {
+                Ok(Envelope::round(1, "digest", &(1000 + attempt)))
+            })
+            .expect("sender");
+            endpoint.register(0, Role::Alice, alice)
+        }
+        // on_progress: the default close-all-finished harvest is exactly right.
+    }
+
+    fn run_client(addr: SocketAddr, retries: u64) -> u64 {
+        let mut endpoint = connect_endpoint(addr).expect("connect");
+        let bob = AmplifiedReceiver::new(
+            4,
+            move |attempt, env: Envelope| {
+                if attempt < retries {
+                    Err(ReconError::ChecksumFailure)
+                } else {
+                    env.decode_payload::<u64>()
+                }
+            },
+            |_| true,
+            |_| Envelope::control(2, "retry", &()),
+            Exhaust::LastError,
+        );
+        endpoint.register(0, Role::Bob, bob).expect("register");
+        let mut recovered = None;
+        drive_endpoint(&mut endpoint, &crate::reactor::ReactorConfig::default(), |endpoint| {
+            match endpoint.take_outcome::<u64>(0) {
+                Some(outcome) => {
+                    recovered = Some(outcome?.recovered);
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        })
+        .expect("client drive");
+        recovered.expect("recovered")
+    }
+
+    #[test]
+    fn two_worker_server_serves_concurrent_clients() {
+        let config = ServerConfig {
+            workers: 2,
+            session_deadline: Some(Duration::from_secs(15)),
+            backend: None,
+            accept_seed: 7,
+        };
+        let server = Server::bind("127.0.0.1:0", config, |_| EchoNumbers).expect("bind");
+        let addr = server.local_addr();
+
+        let clients: Vec<_> =
+            (0..8).map(|i| std::thread::spawn(move || run_client(addr, i % 3))).collect();
+        for (i, client) in clients.into_iter().enumerate() {
+            let recovered = client.join().expect("client thread");
+            assert_eq!(recovered, 1000 + (i as u64 % 3));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served(), 8, "{stats:?}");
+        assert_eq!(stats.failed, 0, "{stats:?}");
+        assert_eq!(stats.served_per_worker.len(), 2);
+    }
+
+    fn worker(load: u64, alive: bool) -> Arc<WorkerShared> {
+        Arc::new(WorkerShared {
+            intake: Mutex::new(Vec::new()),
+            load: AtomicU64::new(load),
+            alive: AtomicBool::new(alive),
+        })
+    }
+
+    #[test]
+    fn pick_two_choices_prefers_the_lighter_worker() {
+        let shared: Vec<Arc<WorkerShared>> =
+            (0..4).map(|i| worker(if i == 2 { 0 } else { 100 }, true)).collect();
+        let mut rng = Xoshiro256::new(99);
+        let mut hits = 0;
+        for _ in 0..400 {
+            if pick_two_choices(&shared, &mut rng) == Some(2) {
+                hits += 1;
+            }
+        }
+        // Worker 2 is in a sample pair with probability 1 - C(3,2)/C(4,2) = 1/2
+        // and wins every pair it appears in.
+        assert!((150..=250).contains(&hits), "two-choice skew off: {hits}/400");
+    }
+
+    #[test]
+    fn pick_two_choices_never_routes_to_a_dead_worker() {
+        let shared = vec![worker(50, true), worker(0, false), worker(60, true), worker(0, false)];
+        let mut rng = Xoshiro256::new(5);
+        for _ in 0..200 {
+            let picked = pick_two_choices(&shared, &mut rng).expect("live workers exist");
+            assert!(picked == 0 || picked == 2, "routed to dead worker {picked}");
+        }
+        // One survivor: always picked. None: refused.
+        let one = vec![worker(9, false), worker(1, true)];
+        assert_eq!(pick_two_choices(&one, &mut rng), Some(1));
+        let none = vec![worker(0, false), worker(0, false)];
+        assert_eq!(pick_two_choices(&none, &mut rng), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! A hashed timer wheel for per-session deadlines.
+//!
+//! Deadlines in a reactor are many, coarse, and usually cancelled (a session
+//! that finishes in time never fires) — the classic fit for a timer wheel
+//! rather than a comparison-based priority queue: insertion is O(1) into the
+//! slot its tick hashes to, and expiry touches only the slots the clock has
+//! passed since the previous turn. Entries whose deadline lies a full wheel
+//! revolution (or more) ahead simply stay in their slot; expiry re-checks the
+//! stored absolute deadline, so far-future entries ride around the wheel
+//! untouched until their round comes up.
+//!
+//! Cancellation is lazy, reactor-style: the wheel stores plain tokens and the
+//! owner decides at fire time whether the token still means anything (a
+//! finished session's timer fires into the void). That keeps the wheel free of
+//! back-references and the cancel path allocation-free.
+
+use std::time::{Duration, Instant};
+
+/// One pending deadline: when it is due and the caller's token.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    deadline: Instant,
+    token: T,
+}
+
+/// A fixed-granularity hashed timer wheel; see the module docs.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    slots: Vec<Vec<Entry<T>>>,
+    granularity: Duration,
+    origin: Instant,
+    /// First tick not yet processed by [`TimerWheel::expire`].
+    cursor: u64,
+    len: usize,
+    /// Cached earliest pending deadline, so the per-turn
+    /// [`TimerWheel::next_deadline`] on the event-loop hot path is O(1);
+    /// `None` means "unknown, recompute" (only after entries actually fired).
+    earliest: Option<Instant>,
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel of `slots` buckets, each covering `granularity` of time (one
+    /// revolution spans `slots × granularity`).
+    pub fn new(granularity: Duration, slots: usize) -> Self {
+        assert!(!granularity.is_zero(), "granularity must be positive");
+        Self {
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            granularity,
+            origin: Instant::now(),
+            cursor: 0,
+            len: 0,
+            earliest: None,
+        }
+    }
+
+    /// A wheel tuned for connection-serving deadlines: 10 ms ticks, 512 slots
+    /// (a ~5 s revolution).
+    pub fn for_connections() -> Self {
+        Self::new(Duration::from_millis(10), 512)
+    }
+
+    /// Number of pending deadlines.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no deadlines are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.origin);
+        // Integer division by a Duration is not in std; nanos keep full range
+        // for any realistic uptime (584 years of u64 nanoseconds).
+        (since.as_nanos() / self.granularity.as_nanos()) as u64
+    }
+
+    /// Schedule `token` to fire once `deadline` has passed.
+    pub fn insert(&mut self, deadline: Instant, token: T) {
+        // Never behind the cursor: a deadline already in the past fires on the
+        // next expire() sweep from the cursor's own slot.
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { deadline, token });
+        self.len += 1;
+        // Only *lower* a known minimum. A `None` cache means "unknown" (an
+        // entry fired since the last recompute) — overwriting it with this
+        // deadline could mask an earlier entry still parked in the wheel.
+        if let Some(earliest) = self.earliest {
+            if deadline < earliest {
+                self.earliest = Some(deadline);
+            }
+        } else if self.len == 1 {
+            // Empty wheel: the new entry is trivially the minimum.
+            self.earliest = Some(deadline);
+        }
+    }
+
+    /// The earliest pending deadline, if any — what bounds a poller's wait.
+    /// O(1): served from a cached minimum maintained by `insert`/`expire`.
+    pub fn next_deadline(&mut self) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.earliest.is_none() {
+            self.earliest = self.slots.iter().flatten().map(|e| e.deadline).min();
+        }
+        self.earliest
+    }
+
+    /// Pop every deadline that has passed as of `now` into `due`, advancing
+    /// the wheel. Only the slots between the previous call and `now` are
+    /// touched; entries parked there for a later revolution are skipped (their
+    /// absolute deadline has not passed).
+    pub fn expire(&mut self, now: Instant, due: &mut Vec<T>) {
+        if self.len == 0 {
+            self.cursor = self.tick_of(now);
+            return;
+        }
+        let now_tick = self.tick_of(now);
+        let slots = self.slots.len() as u64;
+        // One full revolution visits every slot; more wraps add nothing.
+        let span = (now_tick - self.cursor + 1).min(slots);
+        let mut fired = false;
+        for tick in self.cursor..self.cursor + span {
+            let slot = (tick % slots) as usize;
+            let mut i = 0;
+            while i < self.slots[slot].len() {
+                if self.slots[slot][i].deadline <= now {
+                    due.push(self.slots[slot].swap_remove(i).token);
+                    self.len -= 1;
+                    fired = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick;
+        if fired {
+            // The cached minimum may have fired; recompute lazily on the next
+            // next_deadline() call instead of eagerly every sweep.
+            self.earliest = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_fire_in_their_slot_not_before() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 16);
+        let now = Instant::now();
+        wheel.insert(now + Duration::from_millis(35), "late");
+        wheel.insert(now + Duration::from_millis(5), "early");
+        assert_eq!(wheel.len(), 2);
+
+        let mut due = Vec::new();
+        wheel.expire(now, &mut due);
+        assert!(due.is_empty(), "nothing is due yet");
+
+        wheel.expire(now + Duration::from_millis(12), &mut due);
+        assert_eq!(due, vec!["early"]);
+        due.clear();
+
+        wheel.expire(now + Duration::from_millis(40), &mut due);
+        assert_eq!(due, vec!["late"]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn far_future_entries_survive_full_revolutions() {
+        // 4 slots x 10ms: a 100ms deadline wraps the wheel twice.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 4);
+        let now = Instant::now();
+        wheel.insert(now + Duration::from_millis(100), "far");
+        let mut due = Vec::new();
+        for step in 1..=9 {
+            wheel.expire(now + Duration::from_millis(step * 10), &mut due);
+            assert!(due.is_empty(), "fired {}ms early", 100 - step * 10);
+        }
+        wheel.expire(now + Duration::from_millis(101), &mut due);
+        assert_eq!(due, vec!["far"]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_sweep() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let now = Instant::now();
+        // Advance the cursor first so the insert lands behind it.
+        let mut due: Vec<&str> = Vec::new();
+        wheel.expire(now + Duration::from_millis(50), &mut due);
+        wheel.insert(now, "overdue");
+        wheel.expire(now + Duration::from_millis(50), &mut due);
+        assert_eq!(due, vec!["overdue"]);
+    }
+
+    #[test]
+    fn next_deadline_reports_the_minimum() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        assert_eq!(wheel.next_deadline(), None);
+        let now = Instant::now();
+        wheel.insert(now + Duration::from_millis(80), "b");
+        wheel.insert(now + Duration::from_millis(20), "a");
+        let next = wheel.next_deadline().unwrap();
+        assert!(next <= now + Duration::from_millis(20));
+        assert!(next > now);
+    }
+
+    #[test]
+    fn cached_minimum_survives_fire_then_far_insert() {
+        // Regression: after A fires (cache invalidated), inserting a far
+        // deadline must not mask B, which is still parked in the wheel.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 16);
+        let now = Instant::now();
+        wheel.insert(now + Duration::from_millis(20), "a");
+        wheel.insert(now + Duration::from_millis(100), "b");
+        let mut due = Vec::new();
+        wheel.expire(now + Duration::from_millis(30), &mut due);
+        assert_eq!(due, vec!["a"]);
+        wheel.insert(now + Duration::from_secs(5), "c");
+        let next = wheel.next_deadline().expect("two entries pending");
+        assert!(
+            next <= now + Duration::from_millis(100),
+            "cached minimum skipped the parked entry"
+        );
+    }
+
+    #[test]
+    fn idle_expiry_keeps_the_cursor_current() {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(Duration::from_millis(1), 4);
+        let now = Instant::now();
+        let mut due = Vec::new();
+        // A long idle gap (many revolutions) with no entries must not make the
+        // next expire() sweep the whole gap slot by slot.
+        wheel.expire(now + Duration::from_secs(60), &mut due);
+        wheel.insert(now + Duration::from_secs(60), 1);
+        wheel.expire(now + Duration::from_secs(61), &mut due);
+        assert_eq!(due, vec![1]);
+    }
+}

@@ -1,26 +1,38 @@
-//! Two processes, one pipe, many concurrent reconciliations — the multiplexed
-//! `Endpoint`/`Transport` API.
+//! Two processes, one pipe, many concurrent reconciliations — multiplexed
+//! endpoints driven by OS readiness instead of sleep-backoff polling.
 //!
 //! Run with: `cargo run -p recon-examples --release --example session_two_processes`
 //!
-//! The parent plays Alice, a forked child plays Bob. Where the blocking
-//! `session_blocking` example hand-pumps a single protocol over the pipe, here
-//! each process owns an [`Endpoint`] over a [`PipeTransport`] on the child's
-//! stdin/stdout and registers *three* sessions of mixed families — unknown-`d`
-//! set reconciliation, known-`d` IBLT set reconciliation, and cascading
-//! set-of-sets reconciliation — that all interleave their session-tagged frames
-//! over the same byte stream. Each process constructs only its own party state
-//! machines from its own data plus the shared public-coin seed; the per-session
-//! `CommStats` each side reports are identical to running the protocols alone.
+//! The parent plays Alice, a forked child plays Bob. Each process owns an
+//! [`Endpoint`] over a [`StreamTransport`] on the child's stdin/stdout pipes
+//! (both ends switched to `O_NONBLOCK`) and registers *three* sessions of
+//! mixed families — unknown-`d` set reconciliation, known-`d` IBLT set
+//! reconciliation, and cascading set-of-sets reconciliation — that interleave
+//! their session-tagged frames over the same byte stream. Each process
+//! constructs only its own party state machines from its own data plus the
+//! shared public-coin seed; the per-session `CommStats` each side reports are
+//! identical to running the protocols alone.
+//!
+//! Both processes block in [`drive_endpoint`] — the reactor runtime's
+//! epoll/`poll(2)` wait (`RECON_RUNTIME_FORCE_POLL=1` selects the portable
+//! backend) — and are woken only when the pipe actually has bytes or buffer
+//! space: no `std::thread::sleep`, no reader thread. The pre-reactor
+//! implementation (a [`PipeTransport`] reader thread plus sleep-backoff
+//! polling) is kept for comparison as `--blocking`.
 //!
 //! [`Endpoint`]: recon_protocol::Endpoint
+//! [`StreamTransport`]: recon_protocol::StreamTransport
 //! [`PipeTransport`]: recon_protocol::PipeTransport
+//! [`drive_endpoint`]: recon_runtime::drive_endpoint
 
+use recon_base::CommStats;
 use recon_protocol::{Amplification, Endpoint, Role, SessionBuilder, SessionId, Transport};
+use recon_runtime::{drive_endpoint, set_nonblocking, RawFdIo, ReactorConfig};
 use recon_set::session as set_session;
 use recon_sos::workload::{generate_pair, WorkloadParams};
 use recon_sos::{session as sos_session, SetOfSets, SosParams};
 use std::collections::HashSet;
+use std::os::fd::AsRawFd;
 use std::process::{Command, Stdio};
 use std::time::Duration;
 
@@ -58,12 +70,9 @@ fn sos_params() -> SosParams {
     SosParams::new(SHARED_SEED ^ 0x505, 12)
 }
 
-/// The child process: Bob's endpoint over stdin/stdout, collecting all three
-/// recoveries.
-fn run_bob() {
-    let transport = recon_protocol::PipeTransport::spawn(std::io::stdin(), std::io::stdout());
-    let mut endpoint = Endpoint::new(transport);
+const ALL_SESSIONS: [SessionId; 3] = [UNKNOWN_SET, KNOWN_SET, CASCADING_SOS];
 
+fn register_bob<T: Transport>(endpoint: &mut Endpoint<T>) {
     let builder = SessionBuilder::new(SHARED_SEED).amplification(Amplification::replicate(6));
     endpoint
         .register(
@@ -90,65 +99,9 @@ fn run_bob() {
             ),
         )
         .unwrap();
-
-    let mut remaining = vec![UNKNOWN_SET, KNOWN_SET, CASCADING_SOS];
-    while !remaining.is_empty() {
-        let progressed = endpoint.poll().expect("bob poll");
-        remaining.retain(|&id| match id {
-            UNKNOWN_SET | KNOWN_SET => match endpoint.take_outcome::<HashSet<u64>>(id) {
-                None => true,
-                Some(outcome) => {
-                    let outcome = outcome.expect("set session");
-                    let expected =
-                        if id == UNKNOWN_SET { unknown_pair().0 } else { known_pair().0 };
-                    assert_eq!(outcome.recovered, expected, "session {id}");
-                    eprintln!(
-                        "[bob]   session {id} recovered {} elements: {}",
-                        expected.len(),
-                        outcome.stats
-                    );
-                    false
-                }
-            },
-            _ => match endpoint.take_outcome::<SetOfSets>(id) {
-                None => true,
-                Some(outcome) => {
-                    let outcome = outcome.expect("sos session");
-                    assert_eq!(outcome.recovered, sos_pair().0, "session {id}");
-                    eprintln!(
-                        "[bob]   session {id} recovered {} child sets: {}",
-                        outcome.recovered.num_children(),
-                        outcome.stats
-                    );
-                    false
-                }
-            },
-        });
-        if !remaining.is_empty() && !progressed {
-            assert!(!endpoint.transport().is_closed(), "pipe closed before Bob finished");
-            std::thread::sleep(Duration::from_micros(200));
-        }
-    }
-    // The Fins for the collected sessions are already written; push them out.
-    endpoint.transport_mut().flush().expect("final flush");
-    eprintln!("[bob]   all {} sessions done over one pipe", 3);
 }
 
-/// The parent process: Alice's endpoint over the child's pipes.
-fn run_alice() {
-    let exe = std::env::current_exe().expect("own path");
-    let mut child = Command::new(exe)
-        .arg("--bob")
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
-        .spawn()
-        .expect("spawn Bob process");
-    let to_bob = child.stdin.take().expect("child stdin");
-    let from_bob = child.stdout.take().expect("child stdout");
-    let transport = recon_protocol::PipeTransport::spawn(from_bob, to_bob);
-    let mut endpoint = Endpoint::new(transport);
-
+fn register_alice<T: Transport>(endpoint: &mut Endpoint<T>) {
     let builder = SessionBuilder::new(SHARED_SEED).amplification(Amplification::replicate(6));
     endpoint
         .register(
@@ -178,6 +131,155 @@ fn run_alice() {
             .expect("alice party"),
         )
         .unwrap();
+}
+
+/// Harvest one finished Bob session, verifying the recovery. Returns `true`
+/// when it was collected.
+fn take_bob_outcome<T: Transport>(endpoint: &mut Endpoint<T>, id: SessionId) -> bool {
+    match id {
+        UNKNOWN_SET | KNOWN_SET => match endpoint.take_outcome::<HashSet<u64>>(id) {
+            None => false,
+            Some(outcome) => {
+                let outcome = outcome.expect("set session");
+                let expected = if id == UNKNOWN_SET { unknown_pair().0 } else { known_pair().0 };
+                assert_eq!(outcome.recovered, expected, "session {id}");
+                eprintln!(
+                    "[bob]   session {id} recovered {} elements: {}",
+                    expected.len(),
+                    outcome.stats
+                );
+                true
+            }
+        },
+        _ => match endpoint.take_outcome::<SetOfSets>(id) {
+            None => false,
+            Some(outcome) => {
+                let outcome = outcome.expect("sos session");
+                assert_eq!(outcome.recovered, sos_pair().0, "session {id}");
+                eprintln!(
+                    "[bob]   session {id} recovered {} child sets: {}",
+                    outcome.recovered.num_children(),
+                    outcome.stats
+                );
+                true
+            }
+        },
+    }
+}
+
+fn reactor_config() -> ReactorConfig {
+    ReactorConfig { session_deadline: Some(Duration::from_secs(60)), ..ReactorConfig::default() }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor path: readiness-driven, no sleeps, no reader threads
+// ---------------------------------------------------------------------------
+
+/// The child process: Bob's endpoint directly over the stdin/stdout pipe
+/// descriptors in non-blocking mode, driven by the reactor runtime.
+fn run_bob() {
+    set_nonblocking(0).expect("stdin nonblock");
+    set_nonblocking(1).expect("stdout nonblock");
+    // Raw-fd I/O instead of Stdin/Stdout: libstd's stdout LineWriter would
+    // buffer bytes where the transport's readiness accounting cannot see them.
+    let transport = recon_protocol::StreamTransport::new(RawFdIo::stdin(), RawFdIo::stdout());
+    let mut endpoint = Endpoint::new(transport);
+    register_bob(&mut endpoint);
+
+    let mut remaining: Vec<SessionId> = ALL_SESSIONS.to_vec();
+    drive_endpoint(&mut endpoint, &reactor_config(), |endpoint| {
+        remaining.retain(|&id| !take_bob_outcome(endpoint, id));
+        Ok(remaining.is_empty())
+    })
+    .expect("bob reactor drive");
+    eprintln!("[bob]   all {} sessions done over one pipe (readiness-driven)", ALL_SESSIONS.len());
+}
+
+/// The parent process: Alice's endpoint over the child's pipes, readiness-driven.
+fn run_alice() {
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .arg("--bob")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn Bob process");
+    let to_bob = child.stdin.take().expect("child stdin");
+    let from_bob = child.stdout.take().expect("child stdout");
+    set_nonblocking(to_bob.as_raw_fd()).expect("child stdin nonblock");
+    set_nonblocking(from_bob.as_raw_fd()).expect("child stdout nonblock");
+    let mut endpoint = Endpoint::new(recon_protocol::StreamTransport::new(from_bob, to_bob));
+    register_alice(&mut endpoint);
+
+    let mut stats: Vec<CommStats> = Vec::new();
+    let driven = drive_endpoint(&mut endpoint, &reactor_config(), |endpoint| {
+        for id in ALL_SESSIONS {
+            if endpoint.is_finished(id) == Some(true) {
+                let session_stats = endpoint.close(id).expect("registered");
+                eprintln!("[alice] session {id} finished: {session_stats}");
+                stats.push(session_stats);
+            }
+        }
+        Ok(stats.len() == ALL_SESSIONS.len())
+    });
+    if let Err(e) = driven {
+        // Bob exits the moment his outcomes are collected; our final Fin
+        // replies hitting his closed stdin are expected shutdown skew.
+        assert!(stats.len() == ALL_SESSIONS.len(), "transport failed mid-protocol: {e}");
+    }
+
+    let status = child.wait().expect("wait for Bob");
+    assert!(status.success(), "Bob must exit cleanly");
+    let framed = endpoint.transport().bytes_framed_out() + endpoint.transport().bytes_framed_in();
+    println!(
+        "multiplexed two-process reconciliation complete: 3 mixed-family sessions, \
+         {} metered protocol bytes inside {framed} framed bytes on one pipe, \
+         zero sleeps (epoll/poll readiness)",
+        stats.iter().map(|s| s.total_bytes()).sum::<usize>()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Blocking comparison path (the pre-reactor PR-2 implementation)
+// ---------------------------------------------------------------------------
+
+/// The child process, blocking flavor: a `PipeTransport` reader thread plus
+/// sleep-backoff polling.
+fn run_bob_blocking() {
+    let transport = recon_protocol::PipeTransport::spawn(std::io::stdin(), std::io::stdout());
+    let mut endpoint = Endpoint::new(transport);
+    register_bob(&mut endpoint);
+
+    let mut remaining: Vec<SessionId> = ALL_SESSIONS.to_vec();
+    while !remaining.is_empty() {
+        let progressed = endpoint.poll().expect("bob poll");
+        remaining.retain(|&id| !take_bob_outcome(&mut endpoint, id));
+        if !remaining.is_empty() && !progressed {
+            assert!(!endpoint.transport().is_closed(), "pipe closed before Bob finished");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    // The Fins for the collected sessions are already written; push them out.
+    endpoint.transport_mut().flush().expect("final flush");
+    eprintln!("[bob]   all {} sessions done over one pipe (blocking)", ALL_SESSIONS.len());
+}
+
+/// The parent process, blocking flavor.
+fn run_alice_blocking() {
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .arg("--bob-blocking")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn Bob process");
+    let to_bob = child.stdin.take().expect("child stdin");
+    let from_bob = child.stdout.take().expect("child stdout");
+    let transport = recon_protocol::PipeTransport::spawn(from_bob, to_bob);
+    let mut endpoint = Endpoint::new(transport);
+    register_alice(&mut endpoint);
 
     let mut stats = Vec::new();
     while endpoint.registered_sessions() > 0 {
@@ -186,14 +288,13 @@ fn run_alice() {
             // Bob exits the moment his outcomes are collected; writing our Fin
             // replies into his closed stdin is then expected shutdown skew.
             Err(e) => {
-                let all_finished = [UNKNOWN_SET, KNOWN_SET, CASCADING_SOS]
-                    .iter()
-                    .all(|&id| endpoint.is_finished(id) != Some(false));
+                let all_finished =
+                    ALL_SESSIONS.iter().all(|&id| endpoint.is_finished(id) != Some(false));
                 assert!(all_finished, "transport failed mid-protocol: {e}");
                 true
             }
         };
-        for id in [UNKNOWN_SET, KNOWN_SET, CASCADING_SOS] {
+        for id in ALL_SESSIONS {
             if endpoint.is_finished(id) == Some(true) {
                 let session_stats = endpoint.close(id).expect("registered");
                 eprintln!("[alice] session {id} finished: {session_stats}");
@@ -209,16 +310,19 @@ fn run_alice() {
     assert!(status.success(), "Bob must exit cleanly");
     let framed = endpoint.transport().bytes_framed_out() + endpoint.transport().bytes_framed_in();
     println!(
-        "multiplexed two-process reconciliation complete: 3 mixed-family sessions, \
-         {} metered protocol bytes inside {framed} framed bytes on one pipe",
+        "blocking path: 3 mixed-family sessions, {} metered protocol bytes inside \
+         {framed} framed bytes on one pipe",
         stats.iter().map(|s| s.total_bytes()).sum::<usize>()
     );
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--bob") {
-        run_bob();
-    } else {
-        run_alice();
+    let mut args = std::env::args();
+    let _ = args.next();
+    match args.next().as_deref() {
+        Some("--bob") => run_bob(),
+        Some("--bob-blocking") => run_bob_blocking(),
+        Some("--blocking") => run_alice_blocking(),
+        _ => run_alice(),
     }
 }
