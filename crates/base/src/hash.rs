@@ -152,6 +152,70 @@ where
     hash64(sum ^ xor.rotate_left(23) ^ count.wrapping_mul(0x2545_F491_4F6C_DD1D), seed)
 }
 
+/// Incrementally maintained [`hash_u64_set`] state.
+///
+/// The set hash folds per-element mixes with addition and XOR, both of which are
+/// invertible, so a long-lived store can keep `(sum, xor, count)` as running state
+/// and update it in O(1) per insert or delete. [`SetHasher::finish`] is pinned (by
+/// unit test) to equal `hash_u64_set` over the surviving elements, whatever the
+/// interleaving of inserts and removes that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetHasher {
+    seed: u64,
+    sum: u64,
+    xor: u64,
+    count: u64,
+}
+
+impl SetHasher {
+    /// An empty set's hash state under `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, sum: 0, xor: 0, count: 0 }
+    }
+
+    /// Rebuild a hasher from previously captured [`SetHasher::state`] parts.
+    pub fn from_state(seed: u64, state: (u64, u64, u64)) -> Self {
+        Self { seed, sum: state.0, xor: state.1, count: state.2 }
+    }
+
+    /// The raw `(sum, xor, count)` folding state, for durable snapshots.
+    pub fn state(&self) -> (u64, u64, u64) {
+        (self.sum, self.xor, self.count)
+    }
+
+    /// Number of elements folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold element `x` into the set.
+    #[inline]
+    pub fn insert(&mut self, x: u64) {
+        let h = hash64(x, self.seed);
+        self.sum = self.sum.wrapping_add(h);
+        self.xor ^= h.rotate_left(17);
+        self.count += 1;
+    }
+
+    /// Fold element `x` out of the set (exact inverse of [`SetHasher::insert`]).
+    #[inline]
+    pub fn remove(&mut self, x: u64) {
+        let h = hash64(x, self.seed);
+        self.sum = self.sum.wrapping_sub(h);
+        self.xor ^= h.rotate_left(17);
+        self.count -= 1;
+    }
+
+    /// The set hash of the current contents; equals [`hash_u64_set`] of the same
+    /// elements under the same seed.
+    pub fn finish(&self) -> u64 {
+        hash64(
+            self.sum ^ self.xor.rotate_left(23) ^ self.count.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            self.seed,
+        )
+    }
+}
+
 /// Truncate a 64-bit hash to `bits` bits (used for the `O(log s)`-bit child hashes).
 #[inline]
 pub fn truncate_bits(h: u64, bits: u32) -> u64 {
@@ -260,6 +324,45 @@ mod tests {
     fn set_hash_of_empty_set_is_stable() {
         assert_eq!(hash_u64_set(std::iter::empty(), 3), hash_u64_set(std::iter::empty(), 3));
         assert_ne!(hash_u64_set(std::iter::empty(), 3), hash_u64_set([0u64], 3));
+    }
+
+    #[test]
+    fn set_hasher_matches_batch_hash_under_churn() {
+        // Arbitrary insert/remove history: the incremental state must land exactly
+        // on hash_u64_set of the surviving elements.
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let mut hasher = SetHasher::new(seed);
+            let mut live: HashSet<u64> = HashSet::new();
+            let mut x = 0x1234_5678u64;
+            for step in 0..500u64 {
+                x = hash64(x, step);
+                let key = x >> 8;
+                if step % 3 == 2 && !live.is_empty() {
+                    let victim = *live.iter().next().unwrap();
+                    live.remove(&victim);
+                    hasher.remove(victim);
+                } else if live.insert(key) {
+                    hasher.insert(key);
+                }
+                assert_eq!(
+                    hasher.finish(),
+                    hash_u64_set(live.iter().copied(), seed),
+                    "diverged at step {step} (seed {seed})"
+                );
+            }
+            assert_eq!(hasher.count(), live.len() as u64);
+        }
+    }
+
+    #[test]
+    fn set_hasher_state_roundtrips() {
+        let mut h = SetHasher::new(9);
+        for x in [3u64, 99, 12345] {
+            h.insert(x);
+        }
+        let restored = SetHasher::from_state(9, h.state());
+        assert_eq!(restored, h);
+        assert_eq!(restored.finish(), hash_u64_set([3u64, 99, 12345], 9));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Daemon-served reconciliation (cached, incrementally maintained sketches)
+//! vs a cold per-session digest rebuild — both over the same TCP + reactor
+//! serving stack, so the only difference is how the Alice side obtains its
+//! digest: `O(d)` from the [`SketchStore`]'s maintained rung vs `O(n)` from
+//! [`iblt_known_alice`] hashing every resident key per connection.
+//!
+//! One iteration is one full client lifetime: connect, reconcile a `d = 16`
+//! drift under bound 20 (the store's lowest ladder rung is 20, so both legs
+//! serve byte-identical digests), verify, close. The crossover this bench
+//! tracks: the daemon's fixed control-channel overhead loses at small `n` and
+//! wins as soon as `O(n)` per-session hashing dominates — decisively so at
+//! `n = 10^5`.
+//!
+//! [`iblt_known_alice`]: recon_set::session::iblt_known_alice
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_bench::set_pair;
+use recon_protocol::Role;
+use recon_runtime::{connect_endpoint, drive_endpoint, ReactorConfig, Server, ServerConfig};
+use recon_store::{MemoryBackend, SketchStore, StoreClient, StoreConfig, StoreDaemon};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const D: usize = 16;
+const BOUND: usize = 20;
+
+/// Cold leg: the PR 5 serving shape — one Alice per connection, digest built
+/// from the full key set at registration time.
+struct ColdService {
+    keys: HashSet<u64>,
+    config: recon_protocol::SessionConfig,
+}
+
+impl recon_runtime::TcpService for ColdService {
+    fn register(
+        &mut self,
+        _peer: SocketAddr,
+        endpoint: &mut recon_runtime::TcpEndpoint,
+    ) -> Result<(), recon_base::ReconError> {
+        let alice = recon_set::session::iblt_known_alice(&self.keys, BOUND, &self.config)?;
+        endpoint.register(0, Role::Alice, alice)
+    }
+}
+
+fn run_cold_client(addr: SocketAddr, local: &HashSet<u64>, config: &recon_protocol::SessionConfig) {
+    let mut endpoint = connect_endpoint(addr).expect("connect");
+    let bob = recon_set::session::iblt_known_bob(local, config);
+    endpoint.register(0, Role::Bob, bob).expect("register");
+    let mut recovered = 0usize;
+    drive_endpoint(&mut endpoint, &ReactorConfig::default(), |endpoint| {
+        match endpoint.take_outcome::<HashSet<u64>>(0) {
+            Some(outcome) => {
+                recovered = outcome.expect("session").recovered.len();
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    })
+    .expect("drive");
+    black_box(recovered);
+}
+
+fn bench_cached_reconcile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cached_reconcile");
+    for n in [10_000usize, 100_000] {
+        let (authority, local) = set_pair(n, D, 0xCA_C4ED ^ n as u64);
+        let authority_keys: Vec<u64> = authority.iter().copied().collect();
+
+        // Ladder starts at BOUND so the daemon's lowest rung serves exactly
+        // the digest the cold leg builds — byte-identical wire traffic.
+        let store_config =
+            StoreConfig::default().with_seed(0xCAC4_ED5E ^ n as u64).with_ladder(vec![BOUND, 256]);
+        let mut store = SketchStore::open(MemoryBackend::new(), store_config).expect("open");
+        store.open_replica("bench").expect("replica");
+        for chunk in authority_keys.chunks(4096) {
+            store.insert("bench", chunk).expect("preload");
+        }
+        let params = store.params("bench").expect("params");
+        let session_config = params.session_config();
+
+        let daemon = StoreDaemon::bind("127.0.0.1:0", store, 1).expect("daemon bind");
+        let daemon_addr = daemon.local_addr();
+        group.bench_with_input(BenchmarkId::new("daemon", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let mut client = StoreClient::connect(daemon_addr).expect("connect");
+                let report =
+                    client.reconcile("bench", &local, Some(BOUND as u64)).expect("reconcile");
+                black_box(report.recovered.len());
+                client.close().expect("close");
+            })
+        });
+        let (stats, _) = daemon.shutdown();
+        assert_eq!(stats.failed, 0, "daemon leg must close cleanly: {stats:?}");
+
+        let server_config = ServerConfig {
+            workers: 1,
+            session_deadline: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
+        };
+        let cold_keys = authority.clone();
+        let cold_session = session_config.clone();
+        let server = Server::bind("127.0.0.1:0", server_config, move |_| ColdService {
+            keys: cold_keys.clone(),
+            config: cold_session.clone(),
+        })
+        .expect("server bind");
+        let cold_addr = server.local_addr();
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |bencher, _| {
+            bencher.iter(|| run_cold_client(cold_addr, &local, &session_config))
+        });
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 0, "cold leg must close cleanly: {stats:?}");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cached_reconcile);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Incremental sketch maintenance cost in the persistent store: what one
+//! WAL-logged mutation batch costs while every ladder rung's IBLT bank, the
+//! strata estimator, and the set hash are kept current — `O(k)` per key,
+//! independent of the n keys already resident (the daemon's whole point: no
+//! `O(n)` rebuild anywhere on the mutation path).
+//!
+//! `insert_delete_cycle/{n}` applies a 256-key insert batch and then deletes
+//! the same keys (the store returns to its original state, so iterations
+//! compose); `snapshot/{n}` is the durable checkpoint: encode every bank +
+//! sorted keys and atomically replace the snapshot blob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_store::{MemoryBackend, SketchStore, StoreConfig, StoreStat};
+use std::hint::black_box;
+
+const BATCH: usize = 256;
+
+fn preloaded(n: usize) -> SketchStore<MemoryBackend> {
+    let config = StoreConfig::default().with_seed(0x57_BE7C);
+    let mut store = SketchStore::open(MemoryBackend::new(), config).expect("open");
+    store.open_replica("bench").expect("replica");
+    let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    for chunk in keys.chunks(4096) {
+        store.insert("bench", chunk).expect("preload");
+    }
+    store
+}
+
+/// Batch keys disjoint from the preload (which stays below `1 << 63`).
+fn batch() -> Vec<u64> {
+    (0..BATCH as u64).map(|i| (1 << 63) | i).collect()
+}
+
+fn bench_store_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_update");
+    for n in [10_000usize, 100_000] {
+        let mut store = preloaded(n);
+        let keys = batch();
+        group.bench_with_input(BenchmarkId::new("insert_delete_cycle", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let inserted = store.insert("bench", &keys).expect("insert");
+                let deleted = store.delete("bench", &keys).expect("delete");
+                black_box((inserted, deleted));
+            })
+        });
+        let stat: StoreStat = store.stat("bench").expect("stat");
+        assert_eq!(stat.cardinality, n as u64, "cycles must leave the store unchanged");
+
+        group.bench_with_input(BenchmarkId::new("snapshot", n), &n, |bencher, _| {
+            bencher.iter(|| black_box(store.snapshot("bench").expect("snapshot")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_update);
+criterion_main!(benches);

@@ -196,6 +196,20 @@ impl Strategy for Range<f64> {
     }
 }
 
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
 /// Collection strategies (`proptest::collection::{vec, hash_set}`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -450,6 +464,13 @@ mod tests {
         #[test]
         fn collections_respect_size(v in crate::collection::vec(any::<u64>(), 0..5)) {
             prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn tuple_strategies_compose(pairs in crate::collection::vec((any::<bool>(), 0u64..7), 1..4)) {
+            for (_, x) in &pairs {
+                prop_assert!(*x < 7);
+            }
         }
     }
 }

@@ -84,6 +84,19 @@ impl StrataEstimator {
         }
     }
 
+    /// Remove element `x` from side `side` — the exact inverse of
+    /// [`StrataEstimator::update`], so a long-lived store can maintain the
+    /// estimator incrementally under churn. Removing an element that was never
+    /// added leaves the (signed) stratum encoding its absence, exactly as a
+    /// fresh build over the final set would.
+    pub fn remove(&mut self, x: u64, side: Side) {
+        let stratum = self.stratum_of(x);
+        match side {
+            Side::A => self.strata[stratum].delete_u64(x),
+            Side::B => self.strata[stratum].insert_u64(x),
+        }
+    }
+
     /// Merge with another estimator built from the same configuration.
     pub fn merge(&self, other: &StrataEstimator) -> Result<StrataEstimator, ReconError> {
         if self.cfg != other.cfg {
@@ -192,6 +205,30 @@ mod tests {
             let (a, b) = build_pair(20_000, d, 29 + d as u64);
             let est = a.merge(&b).unwrap().estimate();
             assert!(est >= d / 3 && est <= d * 3, "d = {d}, est = {est}");
+        }
+    }
+
+    #[test]
+    fn incremental_updates_match_fresh_build() {
+        // Interleaved adds and removes must land bit-identically on a fresh
+        // build over the surviving elements, for both sides.
+        let cfg = StrataConfig::default().with_seed(11);
+        for side in [Side::A, Side::B] {
+            let mut churned = StrataEstimator::new(&cfg);
+            let mut live: Vec<u64> = Vec::new();
+            for x in 0..300u64 {
+                churned.update(x, side);
+                live.push(x);
+                if x % 3 == 0 {
+                    let victim = live.remove(live.len() / 2);
+                    churned.remove(victim, side);
+                }
+            }
+            let mut fresh = StrataEstimator::new(&cfg);
+            for &x in &live {
+                fresh.update(x, side);
+            }
+            assert_eq!(churned, fresh);
         }
     }
 

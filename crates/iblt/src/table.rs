@@ -540,6 +540,75 @@ impl Iblt {
     pub fn serialized_len(&self) -> usize {
         Encode::encoded_len(self)
     }
+
+    /// Serialize the cell bank as three contiguous planes (counts, key sums,
+    /// checksums) after a small header — the snapshot format used by durable
+    /// stores.
+    ///
+    /// Unlike the wire [`Encode`] (which interleaves count | key sum | checksum
+    /// per cell for streaming decode), this dumps each flat SoA buffer in one
+    /// pass, so a snapshot loads back into the bank with three bulk copies and
+    /// no per-cell parsing.
+    pub fn encode_bank(&self, buf: &mut Vec<u8>) {
+        write_uvarint(buf, self.key_bytes as u64);
+        write_uvarint(buf, self.hash_count as u64);
+        write_uvarint(buf, self.counts.len() as u64);
+        buf.extend_from_slice(&self.seed.to_le_bytes());
+        buf.reserve(self.counts.len() * (16 + self.key_bytes));
+        for &c in &self.counts {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.key_sums);
+        for &c in &self.check_sums {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    /// The exact size of [`Iblt::encode_bank`]'s output in bytes (equal to the
+    /// wire size: same header, same cell payload, different ordering).
+    pub fn bank_len(&self) -> usize {
+        Encode::encoded_len(self)
+    }
+
+    /// Load a cell bank serialized with [`Iblt::encode_bank`].
+    pub fn decode_bank(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let key_bytes = read_uvarint(buf)? as usize;
+        let hash_count = read_uvarint(buf)? as usize;
+        let cell_count = read_uvarint(buf)? as usize;
+        if key_bytes == 0 || hash_count == 0 {
+            return Err(WireError::Invalid("IBLT bank header"));
+        }
+        let seed = u64::decode(buf)?;
+        let need = key_bytes
+            .checked_add(16)
+            .and_then(|per_cell| cell_count.checked_mul(per_cell))
+            .ok_or(WireError::Invalid("IBLT bank header"))?;
+        if buf.len() < need {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let (count_plane, rest) = buf.split_at(cell_count * 8);
+        let (key_plane, rest) = rest.split_at(cell_count * key_bytes);
+        let (check_plane, rest) = rest.split_at(cell_count * 8);
+        *buf = rest;
+        let counts = count_plane
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        let check_sums = check_plane
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        let plan = HashPlan::new(seed, hash_count);
+        Ok(Iblt {
+            key_bytes,
+            hash_count,
+            seed,
+            counts,
+            key_sums: key_plane.to_vec(),
+            check_sums,
+            plan,
+        })
+    }
 }
 
 impl Encode for Iblt {
@@ -808,6 +877,42 @@ mod tests {
         assert!(d.complete);
         assert_eq!(d.positive.len(), 4);
         assert_eq!(d.negative_u64(), vec![777]);
+    }
+
+    #[test]
+    fn bank_snapshot_roundtrips_and_matches_wire_decode() {
+        let mut t = Iblt::with_expected_diff(16, &cfg());
+        for x in 0..40u64 {
+            t.insert_u64(x * 7 + 1);
+        }
+        t.delete_u64(99);
+        let mut bank = Vec::new();
+        t.encode_bank(&mut bank);
+        assert_eq!(bank.len(), t.bank_len());
+        let mut cursor = &bank[..];
+        let restored = Iblt::decode_bank(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(restored, t);
+        // The snapshot and the wire codec describe the same table.
+        assert_eq!(restored, Iblt::from_bytes(&t.to_bytes()).unwrap());
+    }
+
+    #[test]
+    fn bank_snapshot_rejects_truncation_and_garbage() {
+        let mut t = Iblt::with_expected_diff(4, &cfg());
+        t.insert_u64(5);
+        let mut bank = Vec::new();
+        t.encode_bank(&mut bank);
+        for cut in [0, 1, bank.len() / 2, bank.len() - 1] {
+            let mut cursor = &bank[..cut];
+            assert!(Iblt::decode_bank(&mut cursor).is_err(), "cut at {cut}");
+        }
+        let mut overflow = Vec::new();
+        write_uvarint(&mut overflow, u64::MAX - 15);
+        write_uvarint(&mut overflow, 1);
+        write_uvarint(&mut overflow, 1);
+        overflow.extend_from_slice(&0u64.to_le_bytes());
+        assert!(Iblt::decode_bank(&mut &overflow[..]).is_err());
     }
 
     #[test]

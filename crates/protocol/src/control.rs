@@ -1,0 +1,140 @@
+//! Request/response control frames for long-lived services.
+//!
+//! A daemon that serves reconciliation sessions over a multiplexed
+//! [`Endpoint`](crate::Endpoint) needs a side channel for commands that are not
+//! themselves reconciliation protocols: open a replica, apply mutations, start a
+//! session, snapshot. A [`ControlFrame`] is the unit of that channel — a
+//! correlation id, a service-defined opcode, and an opaque wire-encoded payload —
+//! carried inside an **uncharged** control [`Envelope`] (see
+//! [`Meter::Control`](crate::Meter)) on a dedicated session
+//! ([`CONTROL_SESSION`]), so command traffic never perturbs the paper's
+//! communication accounting for the data sessions running next to it.
+
+use crate::envelope::Envelope;
+use crate::frame::SessionId;
+use recon_base::wire::{
+    read_length_prefixed, read_uvarint, uvarint_len, write_length_prefixed, write_uvarint, Decode,
+    Encode, WireError,
+};
+use recon_base::ReconError;
+
+/// The session id every control channel lives on. Data sessions must use ids
+/// greater than this (the endpoint rejects duplicate registrations, so the
+/// convention is enforced at registration time).
+pub const CONTROL_SESSION: SessionId = 0;
+
+/// Envelope tag of a control request (client → service).
+pub const TAG_CONTROL_REQUEST: u16 = 0xC7_01;
+
+/// Envelope tag of a control response (service → client).
+pub const TAG_CONTROL_RESPONSE: u16 = 0xC7_02;
+
+/// One control-channel message: a request or its response.
+///
+/// `request_id` correlates responses with requests (services answer every
+/// request exactly once, but nothing requires them to answer in order); `op` is
+/// a service-defined opcode; `payload` is the opcode's wire-encoded body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlFrame {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Service-defined operation code.
+    pub op: u16,
+    /// Wire-encoded operation body (opcode-specific).
+    pub payload: Vec<u8>,
+}
+
+impl ControlFrame {
+    /// Build a frame with an encoded `body`.
+    pub fn new<T: Encode + ?Sized>(request_id: u64, op: u16, body: &T) -> Self {
+        Self { request_id, op, payload: body.to_bytes() }
+    }
+
+    /// Decode the full payload as `T` (must be consumed exactly).
+    pub fn decode_payload<T: Decode>(&self) -> Result<T, ReconError> {
+        T::from_bytes(&self.payload).map_err(ReconError::Wire)
+    }
+
+    /// Wrap this frame in an uncharged request envelope.
+    pub fn request_envelope(&self, label: &str) -> Envelope {
+        Envelope::control(TAG_CONTROL_REQUEST, label, self)
+    }
+
+    /// Wrap this frame in an uncharged response envelope.
+    pub fn response_envelope(&self, label: &str) -> Envelope {
+        Envelope::control(TAG_CONTROL_RESPONSE, label, self)
+    }
+
+    /// Extract a frame from a control envelope, checking the tag is one of
+    /// [`TAG_CONTROL_REQUEST`] / [`TAG_CONTROL_RESPONSE`].
+    pub fn from_envelope(envelope: &Envelope) -> Result<Self, ReconError> {
+        if envelope.tag != TAG_CONTROL_REQUEST && envelope.tag != TAG_CONTROL_RESPONSE {
+            return Err(ReconError::InvalidInput(format!(
+                "unexpected tag {:#06x} on control channel",
+                envelope.tag
+            )));
+        }
+        envelope.decode_payload()
+    }
+}
+
+impl Encode for ControlFrame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_uvarint(buf, self.request_id);
+        self.op.encode(buf);
+        write_length_prefixed(buf, &self.payload);
+    }
+
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.request_id)
+            + 2
+            + uvarint_len(self.payload.len() as u64)
+            + self.payload.len()
+    }
+}
+
+impl Decode for ControlFrame {
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let request_id = read_uvarint(buf)?;
+        let op = u16::decode(buf)?;
+        let payload = read_length_prefixed(buf)?.to_vec();
+        Ok(ControlFrame { request_id, op, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Meter;
+
+    #[test]
+    fn frame_roundtrips_through_envelope() {
+        let frame = ControlFrame::new(42, 7, &(3u64, 9u64));
+        let envelope = frame.request_envelope("open replica");
+        assert_eq!(envelope.meter, Meter::Control, "control traffic must be uncharged");
+        assert_eq!(envelope.charged_bytes(), 0);
+        let wire = Envelope::from_bytes(&envelope.to_bytes()).unwrap();
+        let back = ControlFrame::from_envelope(&wire).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.decode_payload::<(u64, u64)>().unwrap(), (3, 9));
+    }
+
+    #[test]
+    fn response_envelope_uses_response_tag() {
+        let frame = ControlFrame::new(1, 2, &());
+        assert_eq!(frame.request_envelope("r").tag, TAG_CONTROL_REQUEST);
+        assert_eq!(frame.response_envelope("r").tag, TAG_CONTROL_RESPONSE);
+    }
+
+    #[test]
+    fn from_envelope_rejects_foreign_tags() {
+        let envelope = Envelope::round(0x5E01, "digest", &());
+        assert!(ControlFrame::from_envelope(&envelope).is_err());
+    }
+
+    #[test]
+    fn payload_must_be_consumed_exactly() {
+        let frame = ControlFrame::new(5, 1, &(1u64, 2u64));
+        assert!(frame.decode_payload::<u64>().is_err());
+    }
+}

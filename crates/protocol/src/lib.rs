@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod amplify;
+pub mod control;
 pub mod endpoint;
 pub mod envelope;
 pub mod frame;
@@ -54,6 +55,7 @@ pub mod session;
 pub mod transport;
 
 pub use amplify::{AmplifiedReceiver, AmplifiedSender, Deferred, Exhaust, WithPreamble};
+pub use control::{ControlFrame, CONTROL_SESSION, TAG_CONTROL_REQUEST, TAG_CONTROL_RESPONSE};
 pub use endpoint::{drive_pair, Endpoint, Role, ShardedOutcome, ShardedRunner};
 pub use envelope::{Envelope, Meter, NESTED_TAG_BIT};
 pub use frame::{Frame, FrameBody, FrameDecoder, SessionId};

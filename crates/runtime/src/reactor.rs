@@ -255,7 +255,17 @@ impl<T: Transport + Pollable> Reactor<T> {
         for (&conn, &(readable, writable)) in &ready {
             let Some(slot) = self.conns.get_mut(&conn) else { continue };
             match slot.endpoint.poll_ready(readable, writable) {
-                Ok(_) => visit(conn, &mut slot.endpoint),
+                Ok(_) => {
+                    visit(conn, &mut slot.endpoint);
+                    // The visitor may have registered new sessions (a service
+                    // starting a reconciliation in response to a control
+                    // message). Their opening envelopes are queued inside the
+                    // endpoint, and no readiness event will arrive to flush
+                    // them — pump once more before settling.
+                    if let Err(e) = slot.endpoint.poll_ready(false, false) {
+                        slot.failed = Some(e);
+                    }
+                }
                 Err(e) => slot.failed = Some(e),
             }
         }

@@ -12,6 +12,18 @@ use recon_base::wire::{Decode, Encode, WireError};
 use recon_base::ReconError;
 use recon_iblt::{Iblt, IbltConfig};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of full `O(n)` digest builds ([`IbltSetProtocol::digest`]
+/// calls). Incremental stores serve digests from maintained sketches instead of
+/// rebuilding; their tests pin "never rebuilt from scratch" by asserting this
+/// counter does not move across the serving path.
+static FULL_DIGEST_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of full digest builds performed by this process so far.
+pub fn full_digest_builds() -> u64 {
+    FULL_DIGEST_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Alice's one-round message: the IBLT of her set, plus verification metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,7 +91,10 @@ impl IbltSetProtocol {
         &self.iblt_cfg
     }
 
-    fn set_hash_seed(&self) -> u64 {
+    /// The seed of the whole-set verification hash ([`hash_u64_set`]) derived from
+    /// the protocol seed. Public so incremental stores can maintain the same hash
+    /// with [`recon_base::hash::SetHasher`] and serve digests without rebuilding.
+    pub fn set_hash_seed(&self) -> u64 {
         split_seed(self.seed, 0x5E8)
     }
 
@@ -90,6 +105,7 @@ impl IbltSetProtocol {
     where
         I: IntoIterator<Item = &'a u64>,
     {
+        FULL_DIGEST_BUILDS.fetch_add(1, Ordering::Relaxed);
         let mut iblt = Iblt::with_expected_diff(d.max(1), &self.iblt_cfg);
         let mut count = 0u64;
         let mut elements = Vec::new();

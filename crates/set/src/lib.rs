@@ -47,7 +47,7 @@ pub mod sharded;
 
 pub use charpoly_protocol::{CharPolyDigest, CharPolyProtocol};
 pub use diff::SetDiff;
-pub use iblt_protocol::{IbltSetProtocol, SetDigest};
+pub use iblt_protocol::{full_digest_builds, IbltSetProtocol, SetDigest};
 pub use multiset::{Multiset, MultisetProtocol};
 pub use protocol::{
     reconcile_known, reconcile_known_charpoly, reconcile_unknown, ReconcileOutcome,

@@ -1,0 +1,276 @@
+//! Durable byte-blob storage behind the [`SketchStore`](crate::SketchStore).
+//!
+//! The store needs exactly four primitives — read a named blob, replace it
+//! atomically, append to it, delete it — plus enumeration for recovery. Both
+//! implementations expose the same observable behavior (pinned by the
+//! backend-parity test), so everything above this trait is storage-agnostic.
+
+use recon_base::ReconError;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Maximum length of a blob name.
+pub const MAX_NAME_LEN: usize = 128;
+
+/// Reject names that could escape the backing directory or collide with the
+/// temp files used for atomic replacement. Shared by both backends so the
+/// in-memory one faithfully mirrors the on-disk one's failure surface.
+pub fn validate_name(name: &str) -> Result<(), ReconError> {
+    let ok = !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && !name.starts_with('.')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(ReconError::InvalidInput(format!("invalid blob name {name:?}")))
+    }
+}
+
+/// A named-blob storage backend. Implementations must be `Send` so a store can
+/// live behind the daemon's worker threads.
+pub trait StorageBackend: Send {
+    /// Read the full contents of `name`, or `None` if it does not exist.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, ReconError>;
+
+    /// Replace `name` with `bytes` atomically: a crash mid-write must leave
+    /// either the old contents or the new, never a torn mixture.
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), ReconError>;
+
+    /// Append `bytes` to `name`, creating it if absent. Appends are *not*
+    /// atomic — a crash may leave a torn tail, which the WAL record format is
+    /// built to detect and drop.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), ReconError>;
+
+    /// Delete `name`; deleting a missing blob is a no-op.
+    fn remove(&mut self, name: &str) -> Result<(), ReconError>;
+
+    /// All blob names, sorted.
+    fn list(&self) -> Result<Vec<String>, ReconError>;
+}
+
+impl<B: StorageBackend + ?Sized> StorageBackend for Box<B> {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, ReconError> {
+        (**self).read(name)
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), ReconError> {
+        (**self).write_atomic(name, bytes)
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), ReconError> {
+        (**self).append(name, bytes)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), ReconError> {
+        (**self).remove(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, ReconError> {
+        (**self).list()
+    }
+}
+
+/// A heap-backed [`StorageBackend`] for tests and ephemeral daemons.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryBackend {
+    blobs: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemoryBackend {
+    /// An empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, ReconError> {
+        validate_name(name)?;
+        Ok(self.blobs.get(name).cloned())
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), ReconError> {
+        validate_name(name)?;
+        self.blobs.insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), ReconError> {
+        validate_name(name)?;
+        self.blobs.entry(name.to_string()).or_default().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), ReconError> {
+        validate_name(name)?;
+        self.blobs.remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, ReconError> {
+        Ok(self.blobs.keys().cloned().collect())
+    }
+}
+
+/// A local-directory [`StorageBackend`]: one file per blob.
+///
+/// Atomic replacement goes through a dot-prefixed temp file (invisible to
+/// [`StorageBackend::list`], which only reports valid blob names) followed by
+/// a rename, and the replacement is fsynced before the rename so a crash
+/// cannot promote an unwritten file.
+#[derive(Debug)]
+pub struct DirBackend {
+    root: PathBuf,
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> ReconError {
+    ReconError::Transport(format!("{context} {}: {e}", path.display()))
+}
+
+impl DirBackend {
+    /// Open (creating if needed) the directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ReconError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| io_err("create dir", &root, e))?;
+        Ok(Self { root })
+    }
+
+    /// The backing directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl StorageBackend for DirBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, ReconError> {
+        validate_name(name)?;
+        let path = self.path_of(name);
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", &path, e)),
+        }
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), ReconError> {
+        validate_name(name)?;
+        let path = self.path_of(name);
+        let tmp = self.root.join(format!(".{name}.tmp"));
+        {
+            let mut file =
+                std::fs::File::create(&tmp).map_err(|e| io_err("create temp", &tmp, e))?;
+            file.write_all(bytes).map_err(|e| io_err("write temp", &tmp, e))?;
+            file.sync_all().map_err(|e| io_err("sync temp", &tmp, e))?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| io_err("rename", &path, e))
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), ReconError> {
+        validate_name(name)?;
+        let path = self.path_of(name);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("open append", &path, e))?;
+        file.write_all(bytes).map_err(|e| io_err("append", &path, e))
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), ReconError> {
+        validate_name(name)?;
+        let path = self.path_of(name);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", &path, e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, ReconError> {
+        let mut names = Vec::new();
+        let entries =
+            std::fs::read_dir(&self.root).map_err(|e| io_err("read dir", &self.root, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read dir entry", &self.root, e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if validate_name(name).is_ok() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("recon-store-backend-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn exercise(backend: &mut dyn StorageBackend) {
+        assert_eq!(backend.read("a.snap").unwrap(), None);
+        backend.write_atomic("a.snap", b"one").unwrap();
+        backend.append("a.wal", b"xy").unwrap();
+        backend.append("a.wal", b"z").unwrap();
+        assert_eq!(backend.read("a.snap").unwrap().unwrap(), b"one");
+        assert_eq!(backend.read("a.wal").unwrap().unwrap(), b"xyz");
+        backend.write_atomic("a.snap", b"two").unwrap();
+        assert_eq!(backend.read("a.snap").unwrap().unwrap(), b"two");
+        assert_eq!(backend.list().unwrap(), vec!["a.snap".to_string(), "a.wal".to_string()]);
+        backend.remove("a.wal").unwrap();
+        backend.remove("a.wal").unwrap(); // idempotent
+        assert_eq!(backend.list().unwrap(), vec!["a.snap".to_string()]);
+        assert!(backend.read("../escape").is_err());
+        assert!(backend.write_atomic("", b"x").is_err());
+        assert!(backend.append(".hidden", b"x").is_err());
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        exercise(&mut MemoryBackend::new());
+    }
+
+    #[test]
+    fn dir_backend_contract() {
+        let dir = temp_dir("contract");
+        exercise(&mut DirBackend::open(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_backend_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut b = DirBackend::open(&dir).unwrap();
+            b.write_atomic("r.snap", b"snapshot").unwrap();
+            b.append("r.wal", b"records").unwrap();
+        }
+        let b = DirBackend::open(&dir).unwrap();
+        assert_eq!(b.read("r.snap").unwrap().unwrap(), b"snapshot");
+        assert_eq!(b.read("r.wal").unwrap().unwrap(), b"records");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_files_are_invisible_to_list() {
+        let dir = temp_dir("tmpvis");
+        let mut b = DirBackend::open(&dir).unwrap();
+        b.write_atomic("x.snap", b"data").unwrap();
+        std::fs::write(dir.join(".y.tmp"), b"torn").unwrap();
+        assert_eq!(b.list().unwrap(), vec!["x.snap".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,110 @@
+//! Backend parity: the same mutation script driven through a [`MemoryBackend`]
+//! store and a [`DirBackend`] store must leave byte-identical durable state
+//! (snapshots, WALs) and serve observationally identical reconciliation
+//! (recovered sets, digests, `CommStats`).
+
+use recon_base::wire::Encode;
+use recon_store::{
+    DirBackend, MemoryBackend, SketchStore, StorageBackend, StoreClient, StoreConfig, StoreDaemon,
+};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+fn config() -> StoreConfig {
+    StoreConfig::default().with_seed(0xBAC0).with_ladder(vec![8, 32, 128])
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("recon-store-parity-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drive the same script over any backend; returns the store for inspection.
+fn run_script<B: StorageBackend>(backend: B) -> SketchStore<B> {
+    let mut store = SketchStore::open(backend, config()).unwrap();
+    store.open_replica("alpha").unwrap();
+    store.open_replica("beta").unwrap();
+    store.insert("alpha", &(0..400u64).map(|i| i * 7).collect::<Vec<_>>()).unwrap();
+    store.delete("alpha", &[0, 7, 14, 21]).unwrap();
+    store.insert("beta", &[1, 2, 3]).unwrap();
+    store.snapshot("alpha").unwrap();
+    // Post-snapshot churn lands in the WAL.
+    store.insert("alpha", &(400..450u64).map(|i| i * 7).collect::<Vec<_>>()).unwrap();
+    store.delete("alpha", &[28, 999_999]).unwrap();
+    store
+}
+
+#[test]
+fn memory_and_dir_backends_hold_identical_state() {
+    let dir = temp_dir("state");
+    let mem_store = run_script(MemoryBackend::new());
+    let dir_store = run_script(DirBackend::open(&dir).unwrap());
+
+    // Same live sketches: every rung's digest serializes to the same bytes.
+    for d in [4usize, 20, 100] {
+        let (mem_d, mem_digest) = mem_store.digest("alpha", d).unwrap();
+        let (dir_d, dir_digest) = dir_store.digest("alpha", d).unwrap();
+        assert_eq!(mem_d, dir_d);
+        assert_eq!(mem_digest.to_bytes(), dir_digest.to_bytes(), "digest at d={d}");
+    }
+    assert_eq!(mem_store.stat("alpha").unwrap(), dir_store.stat("alpha").unwrap());
+    assert_eq!(mem_store.stat("beta").unwrap(), dir_store.stat("beta").unwrap());
+
+    // Same durable bytes: snapshots and WALs are byte-identical across
+    // backends, blob for blob.
+    let mem_backend = mem_store.into_backend();
+    let dir_backend = dir_store.into_backend();
+    let names = mem_backend.list().unwrap();
+    assert_eq!(names, dir_backend.list().unwrap());
+    assert!(names.contains(&"alpha.snap".to_string()));
+    assert!(names.contains(&"alpha.wal".to_string()));
+    for name in &names {
+        assert_eq!(
+            mem_backend.read(name).unwrap().unwrap(),
+            dir_backend.read(name).unwrap().unwrap(),
+            "blob {name}"
+        );
+    }
+
+    // And both recover to the same state.
+    let mem_store = SketchStore::open(mem_backend, config()).unwrap();
+    let dir_store = SketchStore::open(dir_backend, config()).unwrap();
+    let (_, mem_digest) = mem_store.digest("alpha", 16).unwrap();
+    let (_, dir_digest) = dir_store.digest("alpha", 16).unwrap();
+    assert_eq!(mem_digest.to_bytes(), dir_digest.to_bytes());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn daemons_over_either_backend_serve_identical_sessions() {
+    let dir = temp_dir("serve");
+    let local: HashSet<u64> = (0..400u64).map(|i| i * 7).filter(|k| k % 5 != 0).skip(3).collect();
+    let mut outcomes = Vec::new();
+    let mut serve = |store: SketchStore<_>| {
+        let daemon = StoreDaemon::bind("127.0.0.1:0", store, 1).unwrap();
+        let mut client = StoreClient::connect(daemon.local_addr()).unwrap();
+        let known = client.reconcile("alpha", &local, Some(120)).unwrap();
+        let estimated = client.reconcile("alpha", &local, None).unwrap();
+        client.close().unwrap();
+        daemon.shutdown();
+        outcomes.push((known.recovered, known.stats, known.d, estimated.stats, estimated.d));
+    };
+    // DirBackend goes through boxing to give both closures one store type.
+    let boxed_mem: Box<dyn StorageBackend> = Box::new(MemoryBackend::new());
+    let boxed_dir: Box<dyn StorageBackend> = Box::new(DirBackend::open(&dir).unwrap());
+    serve(run_script_boxed(boxed_mem));
+    serve(run_script_boxed(boxed_dir));
+
+    let (mem, dir_outcome) = (outcomes.remove(0), outcomes.remove(0));
+    assert_eq!(mem.0, dir_outcome.0, "recovered sets differ across backends");
+    assert_eq!(mem.1, dir_outcome.1, "known-d CommStats differ across backends");
+    assert_eq!(mem.2, dir_outcome.2);
+    assert_eq!(mem.3, dir_outcome.3, "estimated CommStats differ across backends");
+    assert_eq!(mem.4, dir_outcome.4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn run_script_boxed(backend: Box<dyn StorageBackend>) -> SketchStore<Box<dyn StorageBackend>> {
+    run_script(backend)
+}
