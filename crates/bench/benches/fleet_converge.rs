@@ -1,0 +1,93 @@
+//! N-party convergence cost vs fleet size, star vs gossip. One iteration is
+//! one whole fleet lifetime: build the replicas, run rounds to provable
+//! convergence (equal set hashes everywhere), tear down.
+//!
+//! Besides wall-clock time, each configuration prints its wire economics
+//! once — rounds to converge, total bytes, and the heaviest replica's share —
+//! since those, not CPU time, are what the topologies trade against each
+//! other: the star pays O(1) rounds but concentrates every byte on the hub;
+//! gossip pays O(log n) rounds and spreads the load to a small multiple of
+//! the mean.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_fleet::{FleetRunner, FleetStats, GossipConfig, GossipRunner, StarConfig, StarFleet};
+use recon_store::{MemoryBackend, SketchStore, StoreConfig};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+const SHARED: u64 = 512;
+const MAX_ROUNDS: usize = 16;
+
+/// Spread keys so the strata estimators see uniform bits.
+fn key(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Every replica holds a shared core plus two private keys: a union of
+/// `SHARED + 2n` keys, with per-pair differences small and uniform.
+fn replica_sets(n: u64) -> Vec<HashSet<u64>> {
+    (0..n)
+        .map(|m| {
+            let mut set: HashSet<u64> = (0..SHARED).map(key).collect();
+            set.insert(key(1_000_000 + 2 * m));
+            set.insert(key(1_000_001 + 2 * m));
+            set
+        })
+        .collect()
+}
+
+fn run_star(n: u64) -> FleetStats {
+    let store = SketchStore::open(
+        MemoryBackend::new(),
+        StoreConfig::default().with_seed(0xF1EE7 ^ n).with_ladder(vec![64, 256, 1024]),
+    )
+    .expect("open store");
+    let config = StarConfig {
+        d_bound: Some(256.min(4 * n + 8)), // covers the worst round-1 diff of 2n keys
+        spoke_threads: 4,
+        ..StarConfig::default()
+    };
+    let hub: Vec<u64> = (0..SHARED).map(key).collect();
+    let mut fleet = StarFleet::launch(store, config, hub, replica_sets(n)).expect("launch");
+    let stats = fleet.run_to_convergence(MAX_ROUNDS).expect("converge");
+    let (_, server, _) = fleet.shutdown();
+    assert_eq!(server.failed, 0, "{server:?}");
+    stats
+}
+
+fn run_gossip(n: u64) -> FleetStats {
+    let config =
+        GossipConfig { seed: 0x6055 ^ n, ladder: vec![16, 64, 256], ..GossipConfig::default() };
+    let mut fleet = GossipRunner::new(config, replica_sets(n)).expect("build");
+    fleet.run_to_convergence(MAX_ROUNDS).expect("converge")
+}
+
+fn report(topology: &str, n: u64, stats: &FleetStats) {
+    println!(
+        "fleet_converge/{topology}/{n}: {} rounds, {} sessions, {} B total, \
+         heaviest replica {} B",
+        stats.rounds,
+        stats.sessions,
+        stats.total_bytes,
+        stats.max_replica_bytes()
+    );
+}
+
+fn bench_fleet_converge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_converge");
+    for n in [16u64, 64] {
+        report("star", n, &run_star(n));
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |bencher, &n| {
+            bencher.iter(|| black_box(run_star(n).total_bytes))
+        });
+
+        report("gossip", n, &run_gossip(n));
+        group.bench_with_input(BenchmarkId::new("gossip", n), &n, |bencher, &n| {
+            bencher.iter(|| black_box(run_gossip(n).total_bytes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_converge);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! One fleet member: a [`Replica`] (cached per-rung IBLT banks, A-side
+//! strata, incremental set hash) plus the **B-side** strata estimator a peer
+//! needs to size a session against us.
+//!
+//! The store's [`Replica`] maintains an A-side [`StrataEstimator`] so it can
+//! size sessions *it serves*. In a symmetric fleet every member is also a
+//! client, and [`Replica::estimate_bound`] merges an A-side with a **B-side**
+//! estimator — merging two A-sides would cancel the common elements with the
+//! wrong sign and estimate garbage. So a [`Member`] maintains both sides over
+//! the same key set, each updated in `O(k)` per mutation.
+
+use recon_base::ReconError;
+use recon_estimator::{Side, StrataEstimator};
+use recon_protocol::{AmplifiedSender, Envelope, Party};
+use recon_set::session::{iblt_known_bob, TAG_DIGEST};
+use recon_set::SetDigest;
+use recon_store::{Replica, ReplicaParams};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// A fleet member: one replica plus its client-side estimator. See the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct Member {
+    replica: Replica,
+    /// B-side mirror of the replica's key set, for peers sizing sessions
+    /// against us via [`Replica::estimate_bound`].
+    strata_b: StrataEstimator,
+}
+
+impl Member {
+    /// An empty member with the given (fleet-shared) parameters.
+    pub fn new(params: ReplicaParams) -> Result<Self, ReconError> {
+        let strata_b = StrataEstimator::new(&params.strata_config());
+        Ok(Self { replica: Replica::new(params)?, strata_b })
+    }
+
+    /// A member seeded with `keys`.
+    pub fn from_keys(
+        params: ReplicaParams,
+        keys: impl IntoIterator<Item = u64>,
+    ) -> Result<Self, ReconError> {
+        let mut member = Self::new(params)?;
+        member.absorb(keys);
+        Ok(member)
+    }
+
+    /// The member's (fleet-shared) parameters.
+    pub fn params(&self) -> &ReplicaParams {
+        self.replica.params()
+    }
+
+    /// The current key set.
+    pub fn keys(&self) -> &HashSet<u64> {
+        self.replica.keys()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.replica.len()
+    }
+
+    /// `true` if the member holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.replica.is_empty()
+    }
+
+    /// The incremental whole-set hash — equal hashes across the fleet (all
+    /// members share one seed) is the convergence criterion.
+    pub fn set_hash(&self) -> u64 {
+        self.replica.set_hash()
+    }
+
+    /// Insert `key` into the set and every maintained sketch; `false` if
+    /// already present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        if !self.replica.insert(key) {
+            return false;
+        }
+        self.strata_b.update(key, Side::B);
+        true
+    }
+
+    /// Remove `key`; `false` if absent.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if !self.replica.remove(key) {
+            return false;
+        }
+        self.strata_b.remove(key, Side::B);
+        true
+    }
+
+    /// Union `keys` into the set; returns how many were new.
+    pub fn absorb(&mut self, keys: impl IntoIterator<Item = u64>) -> usize {
+        keys.into_iter().filter(|&key| self.insert(key)).count()
+    }
+
+    /// The B-side estimator over the current keys.
+    pub fn strata_b(&self) -> &StrataEstimator {
+        &self.strata_b
+    }
+
+    /// Estimate the symmetric difference against `peer` and pick the ladder
+    /// rung that covers it (with the standard 2× headroom): our A-side
+    /// merged with the peer's B-side. Symmetric in the pair, so one call
+    /// sizes both directions of an exchange.
+    pub fn estimate_bound(&self, peer: &Member) -> Result<(usize, usize), ReconError> {
+        self.replica.estimate_bound(peer.strata_b())
+    }
+
+    /// Serve the cached digest covering difference bound `d` (the attempt-0
+    /// fast path: one bank clone, `O(d)`, no rebuild).
+    pub(crate) fn digest(&self, d: usize) -> Option<(usize, SetDigest)> {
+        self.replica.digest(d)
+    }
+
+    /// Build a retry digest from scratch (the rare amplification path).
+    pub(crate) fn rebuild_digest(&self, d: usize, attempt: u64) -> SetDigest {
+        self.replica.rebuild_digest(d, attempt)
+    }
+
+    /// Bob's side of a pairwise session: a completely ordinary
+    /// [`iblt_known_bob`] over the current keys, so fleet sessions stay
+    /// byte-identical to cold two-party sessions.
+    pub fn bob_party(&self) -> impl Party<Output = HashSet<u64>> + Send + 'static {
+        iblt_known_bob(self.keys(), &self.params().session_config())
+    }
+}
+
+/// Alice's side of a pairwise session, served from `member`'s **cached**
+/// bank: attempt 0 clones the maintained rung (never counted by
+/// [`recon_set::full_digest_builds`]). Retries rebuild from scratch under
+/// fresh hash functions — and since a rebuild is not confined to the ladder,
+/// each one **doubles** the bound (like
+/// [`unknown_alice`](recon_set::session::unknown_alice)), so a strata
+/// underestimate costs extra attempts instead of failing the session. The
+/// member is locked only while an envelope is built, so a shared member can
+/// serve many sessions.
+pub(crate) fn cached_alice(
+    member: &Arc<Mutex<Member>>,
+    d: usize,
+) -> Result<impl Party<Output = ()> + Send + 'static, ReconError> {
+    let max_attempts = member.lock().expect("member lock").params().max_attempts;
+    let member = Arc::clone(member);
+    AmplifiedSender::new(max_attempts, move |attempt| {
+        let member = member.lock().expect("member lock");
+        if attempt == 0 {
+            let (_, digest) = member.digest(d).ok_or_else(|| {
+                ReconError::InvalidInput(format!(
+                    "difference bound {d} exceeds the ladder {:?}",
+                    member.params().ladder
+                ))
+            })?;
+            Ok(Envelope::round(TAG_DIGEST, "set digest (IBLT)", &digest))
+        } else {
+            let digest = member.rebuild_digest(d << attempt, attempt);
+            Ok(Envelope::round(TAG_DIGEST, "set digest (replica)", &digest))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ReplicaParams {
+        ReplicaParams { seed: 0xF1EE7, ladder: vec![8, 32, 128], max_attempts: 4 }
+    }
+
+    #[test]
+    fn b_side_strata_tracks_the_key_set() {
+        let mut member = Member::from_keys(params(), 0..300).unwrap();
+        member.remove(5);
+        member.remove(6);
+        member.insert(1000);
+        let mut fresh = StrataEstimator::new(&params().strata_config());
+        for &key in member.keys() {
+            fresh.update(key, Side::B);
+        }
+        assert_eq!(member.strata_b(), &fresh);
+    }
+
+    #[test]
+    fn estimate_bound_is_symmetric_and_covers_the_difference() {
+        let a = Member::from_keys(params(), 0..500).unwrap();
+        let b = Member::from_keys(params(), 10..505).unwrap(); // diff = 15
+        let (est_ab, rung_ab) = a.estimate_bound(&b).unwrap();
+        let (est_ba, rung_ba) = b.estimate_bound(&a).unwrap();
+        assert_eq!(est_ab, est_ba, "strata merge is symmetric");
+        assert_eq!(rung_ab, rung_ba);
+        assert!(params().ladder.contains(&rung_ab));
+    }
+
+    #[test]
+    fn absorb_counts_only_new_keys() {
+        let mut member = Member::from_keys(params(), 0..10).unwrap();
+        assert_eq!(member.absorb(5..15), 5);
+        assert_eq!(member.len(), 15);
+    }
+
+    #[test]
+    fn equal_sets_have_equal_hashes_regardless_of_history() {
+        let a = Member::from_keys(params(), 0..100).unwrap();
+        let mut b = Member::from_keys(params(), 50..150).unwrap();
+        for key in 0..50 {
+            b.insert(key);
+        }
+        for key in 100..150 {
+            b.remove(key);
+        }
+        assert_eq!(a.set_hash(), b.set_hash());
+        assert_ne!(Member::from_keys(params(), 0..99).unwrap().set_hash(), a.set_hash());
+    }
+}

@@ -1,0 +1,139 @@
+//! Fleet-wide wire accounting, aggregated from per-session [`CommStats`].
+//!
+//! Every reconciliation session a fleet runs is already metered by the
+//! protocol layer ([`CommStats`] charges round envelopes in both directions
+//! and exempts control traffic). This module only *sums*: a session's
+//! `total_bytes()` is attributed to the round it ran in and to **both** of
+//! its participants — each end sent or received every charged byte — so
+//! `max_replica_bytes()` exposes exactly the load imbalance that separates a
+//! star (the hub touches every byte) from gossip (bytes spread evenly).
+
+use recon_base::comm::CommStats;
+
+/// Wire accounting for one fleet round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Which round this was (0-based).
+    pub round: usize,
+    /// Reconciliation sessions the round ran.
+    pub sessions: u64,
+    /// Charged wire bytes across those sessions (both directions).
+    pub bytes: u64,
+}
+
+/// Cumulative wire accounting for a whole fleet run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Rounds completed.
+    pub rounds: usize,
+    /// Reconciliation sessions completed (control traffic is uncharged and
+    /// not counted).
+    pub sessions: u64,
+    /// Total charged wire bytes; always equals the sum of `total_bytes()`
+    /// over every session's [`CommStats`] (pinned by tests).
+    pub total_bytes: u64,
+    /// Charged bytes attributed per replica (both ends of a session are
+    /// charged its full total). In a star fleet the hub is the last entry.
+    pub per_replica_bytes: Vec<u64>,
+    /// Per-round breakdown, in round order.
+    pub per_round: Vec<RoundStats>,
+}
+
+impl FleetStats {
+    /// The heaviest replica's attributed bytes — the hub-concentration /
+    /// gossip-dispersion signal.
+    pub fn max_replica_bytes(&self) -> u64 {
+        self.per_replica_bytes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Mutable aggregation state: [`FleetStats`] plus the currently-open round.
+#[derive(Debug)]
+pub(crate) struct Ledger {
+    stats: FleetStats,
+    current: RoundStats,
+}
+
+impl Ledger {
+    pub(crate) fn new(replicas: usize) -> Self {
+        let stats = FleetStats { per_replica_bytes: vec![0; replicas], ..FleetStats::default() };
+        Self { stats, current: RoundStats::default() }
+    }
+
+    /// Charge one session to the open round and to both participants.
+    pub(crate) fn record(&mut self, participants: [usize; 2], session: &CommStats) {
+        let bytes = session.total_bytes() as u64;
+        self.current.sessions += 1;
+        self.current.bytes += bytes;
+        self.stats.sessions += 1;
+        self.stats.total_bytes += bytes;
+        for replica in participants {
+            self.stats.per_replica_bytes[replica] += bytes;
+        }
+    }
+
+    /// Close the open round, returning its accounting.
+    pub(crate) fn end_round(&mut self) -> RoundStats {
+        let round = RoundStats { round: self.stats.rounds, ..self.current };
+        self.stats.per_round.push(round);
+        self.stats.rounds += 1;
+        self.current = RoundStats::default();
+        round
+    }
+
+    /// Rounds completed so far.
+    pub(crate) fn rounds(&self) -> usize {
+        self.stats.rounds
+    }
+
+    pub(crate) fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(bytes_a: usize, bytes_b: usize) -> CommStats {
+        CommStats {
+            rounds: 1,
+            messages: 2,
+            bytes_alice_to_bob: bytes_a,
+            bytes_bob_to_alice: bytes_b,
+        }
+    }
+
+    #[test]
+    fn ledger_sums_sessions_and_attributes_both_ends() {
+        let mut ledger = Ledger::new(3);
+        ledger.record([0, 1], &session(100, 10));
+        ledger.record([1, 2], &session(200, 20));
+        let round = ledger.end_round();
+        assert_eq!(round, RoundStats { round: 0, sessions: 2, bytes: 330 });
+
+        ledger.record([0, 2], &session(5, 5));
+        let round = ledger.end_round();
+        assert_eq!(round, RoundStats { round: 1, sessions: 1, bytes: 10 });
+
+        let stats = ledger.stats();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.sessions, 3);
+        assert_eq!(stats.total_bytes, 340);
+        assert_eq!(stats.per_replica_bytes, vec![120, 330, 230]);
+        assert_eq!(stats.max_replica_bytes(), 330);
+        assert_eq!(stats.per_round.len(), 2);
+        assert_eq!(
+            stats.per_round.iter().map(|r| r.bytes).sum::<u64>(),
+            stats.total_bytes,
+            "round breakdown must tile the total"
+        );
+    }
+
+    #[test]
+    fn empty_ledger_is_all_zero() {
+        let ledger = Ledger::new(2);
+        assert_eq!(ledger.stats().total_bytes, 0);
+        assert_eq!(ledger.stats().max_replica_bytes(), 0);
+    }
+}

@@ -7,7 +7,10 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use recon_base::wire::{Decode, Encode};
 use recon_base::ReconError;
-use recon_protocol::{Envelope, Frame, FrameBody, FrameDecoder, Meter, NESTED_TAG_BIT};
+use recon_protocol::{
+    ControlFrame, Envelope, Frame, FrameBody, FrameDecoder, Meter, NESTED_TAG_BIT,
+    TAG_CONTROL_REQUEST, TAG_CONTROL_RESPONSE,
+};
 
 const LABELS: [&str; 5] = ["outer IBLT", "difference estimator", "NACK (double d)", "労働", ""];
 
@@ -113,6 +116,48 @@ proptest! {
         prop_assert_eq!(decoded, frames);
         prop_assert_eq!(decoder.buffered(), 0);
         prop_assert_eq!(decoder.next_frame().expect("drained"), None);
+    }
+
+    /// [`ControlFrame`] encode → decode is the identity, direct and through
+    /// both envelope directions — and the carrying envelope is always
+    /// uncharged, whatever the opcode (including service error codes).
+    #[test]
+    fn control_frames_roundtrip(
+        request_id in any::<u64>(),
+        op in any::<u16>(),
+        payload in vec(any::<u8>(), 0..96),
+        label_index in any::<usize>(),
+        as_response in any::<bool>(),
+    ) {
+        let frame = ControlFrame { request_id, op, payload };
+        prop_assert_eq!(frame.to_bytes().len(), frame.encoded_len());
+        prop_assert_eq!(&ControlFrame::from_bytes(&frame.to_bytes()).expect("roundtrip"), &frame);
+
+        let label = LABELS[label_index % LABELS.len()];
+        let envelope = if as_response {
+            frame.response_envelope(label)
+        } else {
+            frame.request_envelope(label)
+        };
+        prop_assert_eq!(envelope.charged_bytes(), 0, "control traffic is uncharged");
+        let over_wire = Envelope::from_bytes(&envelope.to_bytes()).expect("envelope roundtrip");
+        let expected_tag = if as_response { TAG_CONTROL_RESPONSE } else { TAG_CONTROL_REQUEST };
+        prop_assert_eq!(over_wire.tag, expected_tag);
+        prop_assert_eq!(ControlFrame::from_envelope(&over_wire).expect("extract"), frame);
+    }
+
+    /// Every strict prefix of a [`ControlFrame`] encoding fails to decode.
+    #[test]
+    fn truncated_control_frames_error_out(
+        request_id in any::<u64>(),
+        op in any::<u16>(),
+        payload in vec(any::<u8>(), 0..48),
+        cut in any::<usize>(),
+    ) {
+        let frame = ControlFrame { request_id, op, payload };
+        let bytes = frame.to_bytes();
+        let cut = cut % bytes.len();
+        prop_assert!(ControlFrame::from_bytes(&bytes[..cut]).is_err());
     }
 
     /// A frame whose length prefix claims more than the body holds never

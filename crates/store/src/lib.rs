@@ -23,7 +23,7 @@
 //! * [`StoreDaemon`] / [`StoreClient`] — the store wired into the reactor
 //!   [`Server`](recon_runtime::Server) as a long-lived TCP daemon speaking a
 //!   small framed control protocol (`Open`/`Insert`/`Delete`/`Reconcile`/
-//!   `Snapshot`/`Stat`/`Close`), serving reconciliation sessions straight from
+//!   `Snapshot`/`Stat`/`List`/`Close`), serving reconciliation sessions straight from
 //!   the cached sketches: `O(d)` per session, never `O(n)`.
 //!
 //! Daemon-served sessions reproduce the byte-exact envelopes, outcomes and
@@ -47,5 +47,5 @@ pub use backend::{DirBackend, MemoryBackend, StorageBackend};
 pub use client::{ReconcileReport, StoreClient};
 pub use daemon::{StoreDaemon, StoreService};
 pub use replica::{Replica, ReplicaParams};
-pub use store::{SketchStore, StoreConfig, StoreStat};
+pub use store::{ReplicaInfo, SketchStore, StoreConfig, StoreStat};
 pub use wal::WalOp;

@@ -105,6 +105,14 @@ fn daemon_survives_bad_requests_and_serves_many_clients() {
     let stat = setup.stat("shared").unwrap();
     assert_eq!(stat.cardinality, 800);
     assert_eq!(stat.wal_records, 800);
+
+    // Discovery over the wire: ListReplicas names the replica with its
+    // cardinality and set hash instead of making clients guess.
+    let infos = setup.list().unwrap();
+    assert_eq!(infos.len(), 1);
+    assert_eq!(infos[0].name, "shared");
+    assert_eq!(infos[0].cardinality, 800);
+    assert_eq!(infos[0].set_hash, stat.set_hash);
     setup.close().unwrap();
 
     // Concurrent clients reconcile against the same cached sketches.
