@@ -2,7 +2,8 @@
 //!
 //! The in-repo criterion shim writes a small JSON report per bench binary
 //! (`--json <path>`: schema version, smoke/full mode, and one `{id, mean_ns,
-//! iters}` record per measurement). This module parses those reports and
+//! iters}` record per measurement, optionally carrying `p50_ns`/`p99_ns`
+//! latency percentiles for distribution-measuring benches). This module parses those reports and
 //! compares a fresh run against a committed baseline with a noise threshold —
 //! the logic behind the `bench-check` binary that CI runs. The parser covers
 //! exactly the JSON subset the shim emits (objects, arrays, strings with
@@ -20,6 +21,11 @@ pub struct BenchEntry {
     pub mean_ns: f64,
     /// Number of measured iterations.
     pub iters: u64,
+    /// Median latency in nanoseconds, when the bench measured a distribution
+    /// (load generators) rather than a homogeneous `iter` loop.
+    pub p50_ns: Option<f64>,
+    /// 99th-percentile latency in nanoseconds, same provenance as `p50_ns`.
+    pub p99_ns: Option<f64>,
 }
 
 /// A parsed bench report.
@@ -234,7 +240,16 @@ pub fn parse_report(text: &str) -> Result<BenchReport, String> {
             Some(Json::Number(v)) if *v >= 0.0 => *v as u64,
             _ => return Err(format!("bench '{id}' is missing a valid \"iters\"")),
         };
-        benches.push(BenchEntry { id, mean_ns, iters });
+        let percentile = |key: &str| -> Result<Option<f64>, String> {
+            match fields.get(key) {
+                None => Ok(None),
+                Some(Json::Number(v)) if *v >= 0.0 => Ok(Some(*v)),
+                _ => Err(format!("bench '{id}' has an invalid \"{key}\"")),
+            }
+        };
+        let p50_ns = percentile("p50_ns")?;
+        let p99_ns = percentile("p99_ns")?;
+        benches.push(BenchEntry { id, mean_ns, iters, p50_ns, p99_ns });
     }
     Ok(BenchReport { mode, benches })
 }
@@ -260,11 +275,20 @@ pub fn render_report(mode: &str, benches: &[BenchEntry]) -> String {
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"benches\": [\n");
     for (i, entry) in benches.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}}}{}\n",
+        let mut fields = format!(
+            "\"id\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}",
             escape(&entry.id),
             entry.mean_ns,
             entry.iters,
+        );
+        if let Some(p50) = entry.p50_ns {
+            fields.push_str(&format!(", \"p50_ns\": {p50:.3}"));
+        }
+        if let Some(p99) = entry.p99_ns {
+            fields.push_str(&format!(", \"p99_ns\": {p99:.3}"));
+        }
+        out.push_str(&format!(
+            "    {{{fields}}}{}\n",
             if i + 1 == benches.len() { "" } else { "," }
         ));
     }
@@ -287,6 +311,8 @@ pub struct Delta {
     pub current_ns: f64,
     /// `current / baseline` (`> 1` is slower).
     pub ratio: f64,
+    /// `current p99 / baseline p99`, when both runs reported a p99.
+    pub p99_ratio: Option<f64>,
 }
 
 impl fmt::Display for Delta {
@@ -298,7 +324,11 @@ impl fmt::Display for Delta {
             self.baseline_ns,
             self.current_ns,
             (self.ratio - 1.0) * 100.0
-        )
+        )?;
+        if let Some(p99_ratio) = self.p99_ratio {
+            write!(f, "  [p99 {:+.1}%]", (p99_ratio - 1.0) * 100.0)?;
+        }
+        Ok(())
     }
 }
 
@@ -316,9 +346,12 @@ pub struct Comparison {
 }
 
 /// Compare `current` against `baseline`: a benchmark regresses when its mean
-/// exceeds `threshold ×` the baseline mean. The threshold is deliberately
-/// generous (CI default 1.5×) because the shim's short windows are noisy and CI
-/// machines differ from the machine that recorded the baseline.
+/// exceeds `threshold ×` the baseline mean — or, when both runs reported a
+/// p99 latency, when the p99 exceeds `threshold ×` the baseline p99 (a tail
+/// blow-up is a regression even at an unchanged mean). The threshold is
+/// deliberately generous (CI default 1.5×) because the shim's short windows
+/// are noisy and CI machines differ from the machine that recorded the
+/// baseline.
 pub fn compare(baseline: &[BenchEntry], current: &[BenchEntry], threshold: f64) -> Comparison {
     assert!(threshold > 0.0, "threshold must be positive");
     let current_by_id: BTreeMap<&str, &BenchEntry> =
@@ -332,13 +365,18 @@ pub fn compare(baseline: &[BenchEntry], current: &[BenchEntry], threshold: f64) 
             Some(entry) => {
                 // A zero-mean baseline (sub-ns bench) cannot regress meaningfully.
                 let ratio = if base.mean_ns > 0.0 { entry.mean_ns / base.mean_ns } else { 1.0 };
+                let p99_ratio = match (base.p99_ns, entry.p99_ns) {
+                    (Some(base_p99), Some(p99)) if base_p99 > 0.0 => Some(p99 / base_p99),
+                    _ => None,
+                };
                 let delta = Delta {
                     id: base.id.clone(),
                     baseline_ns: base.mean_ns,
                     current_ns: entry.mean_ns,
                     ratio,
+                    p99_ratio,
                 };
-                if ratio > threshold {
+                if ratio > threshold || p99_ratio.is_some_and(|r| r > threshold) {
                     comparison.regressions.push(delta);
                 } else {
                     comparison.within.push(delta);
@@ -359,7 +397,11 @@ mod tests {
     use super::*;
 
     fn entry(id: &str, mean_ns: f64) -> BenchEntry {
-        BenchEntry { id: id.to_string(), mean_ns, iters: 10 }
+        BenchEntry { id: id.to_string(), mean_ns, iters: 10, p50_ns: None, p99_ns: None }
+    }
+
+    fn entry_p99(id: &str, mean_ns: f64, p99_ns: f64) -> BenchEntry {
+        BenchEntry { id: id.to_string(), mean_ns, iters: 10, p50_ns: None, p99_ns: Some(p99_ns) }
     }
 
     #[test]
@@ -383,7 +425,17 @@ mod tests {
 
     #[test]
     fn report_roundtrips_through_render() {
-        let benches = vec![entry("a/1", 100.125), entry("b \"x\"/2", 7.0)];
+        let benches = vec![
+            entry("a/1", 100.125),
+            entry("b \"x\"/2", 7.0),
+            BenchEntry {
+                id: "load/1024".into(),
+                mean_ns: 5e6,
+                iters: 2048,
+                p50_ns: Some(4.5e6),
+                p99_ns: Some(9.25e6),
+            },
+        ];
         let rendered = render_report("full", &benches);
         let parsed = parse_report(&rendered).unwrap();
         assert_eq!(parsed.mode, "full");
@@ -412,6 +464,27 @@ mod tests {
         assert_eq!(comparison.within[0].id, "fast");
         assert_eq!(comparison.new_benches, vec!["added".to_string()]);
         assert_eq!(comparison.missing, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn p99_blowup_regresses_even_at_flat_mean() {
+        let baseline = vec![entry_p99("load", 100.0, 200.0)];
+        let flat_mean_fat_tail = vec![entry_p99("load", 100.0, 320.0)];
+        let comparison = compare(&baseline, &flat_mean_fat_tail, 1.5);
+        assert_eq!(comparison.regressions.len(), 1);
+        assert_eq!(comparison.regressions[0].p99_ratio, Some(1.6));
+        assert!(comparison.regressions[0].to_string().contains("[p99 +60.0%]"));
+
+        // Within threshold on both axes: fine.
+        let healthy = vec![entry_p99("load", 120.0, 240.0)];
+        assert!(compare(&baseline, &healthy, 1.5).regressions.is_empty());
+
+        // A side that never measured p99 (old baseline, iter-loop bench)
+        // still gates on the mean alone.
+        let meanless = vec![entry("load", 400.0)];
+        let comparison = compare(&baseline, &meanless, 1.5);
+        assert_eq!(comparison.regressions.len(), 1);
+        assert_eq!(comparison.regressions[0].p99_ratio, None);
     }
 
     #[test]

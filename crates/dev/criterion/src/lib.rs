@@ -54,6 +54,11 @@ struct JsonRecord {
     id: String,
     mean_ns: f64,
     iterations: u64,
+    /// Median latency, for benches that measure a distribution (load
+    /// generators) rather than a homogeneous `iter` loop.
+    p50_ns: Option<f64>,
+    /// 99th-percentile latency, same provenance as `p50_ns`.
+    p99_ns: Option<f64>,
 }
 
 fn json_records() -> &'static Mutex<Vec<JsonRecord>> {
@@ -82,11 +87,20 @@ fn render_json(records: &[JsonRecord], smoke: bool) -> String {
     out.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
     out.push_str("  \"benches\": [\n");
     for (i, record) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}}}{}\n",
+        let mut fields = format!(
+            "\"id\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}",
             escape_json(&record.id),
             record.mean_ns,
             record.iterations,
+        );
+        if let Some(p50) = record.p50_ns {
+            fields.push_str(&format!(", \"p50_ns\": {p50:.3}"));
+        }
+        if let Some(p99) = record.p99_ns {
+            fields.push_str(&format!(", \"p99_ns\": {p99:.3}"));
+        }
+        out.push_str(&format!(
+            "    {{{fields}}}{}\n",
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -107,6 +121,41 @@ pub fn write_json_report() {
         std::process::exit(2);
     }
     println!("wrote {} bench measurements to {path}", records.len());
+}
+
+/// Record an externally measured result into the report, alongside the
+/// `iter`-driven measurements.
+///
+/// Benchmarks that drive their own measurement loop — a load generator timing
+/// thousands of concurrent sessions, say — compute a latency *distribution*
+/// that a mean alone misrepresents. They call this with the mean plus optional
+/// p50/p99 nanosecond latencies; the percentiles flow into the `--json` report
+/// as optional fields and through the `bench-check` baseline comparison.
+pub fn record_measurement(
+    id: &str,
+    mean_ns: f64,
+    iterations: u64,
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
+) {
+    let tail = match (p50_ns, p99_ns) {
+        (Some(p50), Some(p99)) => format!("  p50 {:.2?} p99 {:.2?}", ns(p50), ns(p99)),
+        (Some(p50), None) => format!("  p50 {:.2?}", ns(p50)),
+        (None, Some(p99)) => format!("  p99 {:.2?}", ns(p99)),
+        (None, None) => String::new(),
+    };
+    println!("{id:<60} {:>12.2?} / iter  ({iterations} iters){tail}", ns(mean_ns));
+    json_records().lock().expect("bench report lock").push(JsonRecord {
+        id: id.to_string(),
+        mean_ns,
+        iterations,
+        p50_ns,
+        p99_ns,
+    });
+}
+
+fn ns(nanos: f64) -> Duration {
+    Duration::from_nanos(nanos.max(0.0) as u64)
 }
 
 /// Identifier of one benchmark within a group.
@@ -181,6 +230,8 @@ fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
                 id: label.to_string(),
                 mean_ns: mean.as_secs_f64() * 1e9,
                 iterations: bencher.iterations,
+                p50_ns: None,
+                p99_ns: None,
             });
         }
         None => println!("{label:<60} (no measurement: closure never called iter)"),
@@ -288,14 +339,29 @@ mod tests {
     #[test]
     fn json_report_shape_is_stable() {
         let records = vec![
-            JsonRecord { id: "group/8".into(), mean_ns: 1234.5678, iterations: 42 },
-            JsonRecord { id: "quo\"te".into(), mean_ns: 0.25, iterations: 1 },
+            JsonRecord {
+                id: "group/8".into(),
+                mean_ns: 1234.5678,
+                iterations: 42,
+                p50_ns: None,
+                p99_ns: None,
+            },
+            JsonRecord {
+                id: "quo\"te".into(),
+                mean_ns: 0.25,
+                iterations: 1,
+                p50_ns: Some(0.2),
+                p99_ns: Some(1.75),
+            },
         ];
         let body = render_json(&records, true);
         assert!(body.contains("\"schema\": 1"));
         assert!(body.contains("\"mode\": \"smoke\""));
         assert!(body.contains("{\"id\": \"group/8\", \"mean_ns\": 1234.568, \"iters\": 42},"));
-        assert!(body.contains("\"quo\\\"te\""));
+        assert!(body.contains(
+            "{\"id\": \"quo\\\"te\", \"mean_ns\": 0.250, \"iters\": 1, \
+             \"p50_ns\": 0.200, \"p99_ns\": 1.750}"
+        ));
         assert!(body.ends_with("  ]\n}\n"));
         let empty = render_json(&[], false);
         assert!(empty.contains("\"mode\": \"full\""));

@@ -149,7 +149,7 @@ impl<T: Transport> Endpoint<T> {
     /// finish and treat a no-progress iteration as "waiting on the peer".
     pub fn poll(&mut self) -> Result<bool, ReconError> {
         let mut progressed = self.pump_sends()?;
-        while let Some(frame) = self.transport.recv()? {
+        while let Some(frame) = self.transport.fill_vectored()? {
             progressed = true;
             self.dispatch(frame)?;
         }
@@ -172,10 +172,10 @@ impl<T: Transport> Endpoint<T> {
     pub fn poll_ready(&mut self, readable: bool, writable: bool) -> Result<bool, ReconError> {
         let mut progressed = false;
         if writable {
-            self.transport.flush()?;
+            self.transport.drain_vectored()?;
         }
         if readable {
-            while let Some(frame) = self.transport.recv()? {
+            while let Some(frame) = self.transport.fill_vectored()? {
                 progressed = true;
                 self.dispatch(frame)?;
             }
@@ -205,7 +205,7 @@ impl<T: Transport> Endpoint<T> {
                 self.transport.send(&Frame::fin(id))?;
             }
         }
-        self.transport.flush()?;
+        self.transport.drain_vectored()?;
         Ok(progressed)
     }
 

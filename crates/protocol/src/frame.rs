@@ -99,6 +99,11 @@ impl Decode for Frame {
 /// buffer bytes forever while waiting for a frame that will never complete.
 pub const MAX_FRAME_BYTES: usize = 1 << 28; // 256 MiB
 
+/// Capacity (bytes) a drained [`FrameDecoder`] keeps by default. Generous for
+/// the workspace's steady-state envelopes, small enough that one oversized
+/// frame does not pin megabytes per connection forever.
+pub const DECODER_RETAIN_CAP: usize = 64 * 1024;
+
 /// Incremental decoder reassembling [`Frame`]s from a chopped byte stream.
 ///
 /// Feed raw bytes in with [`FrameDecoder::extend`] as they arrive from the
@@ -107,16 +112,56 @@ pub const MAX_FRAME_BYTES: usize = 1 << 28; // 256 MiB
 /// an invalid frame body, trailing garbage inside a frame's length prefix, a
 /// length prefix beyond [`MAX_FRAME_BYTES`]) is a hard
 /// [`ReconError::Transport`]: a byte stream that lost sync cannot recover.
-#[derive(Debug, Default)]
+///
+/// Decoding an oversized frame grows the internal buffer; once every buffered
+/// byte has been consumed the buffer is shrunk back to the retain cap
+/// ([`DECODER_RETAIN_CAP`] by default, [`FrameDecoder::set_retain_cap`] to
+/// tune) so a single outlier frame does not pin its peak capacity for the
+/// connection's lifetime.
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     pos: usize,
+    retain_cap: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self { buf: Vec::new(), pos: 0, retain_cap: DECODER_RETAIN_CAP }
+    }
 }
 
 impl FrameDecoder {
     /// A decoder with an empty buffer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A decoder reusing `buf` as its backing storage (cleared), e.g. one
+    /// checked out of a [`BufferPool`](crate::BufferPool).
+    pub fn from_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf, pos: 0, retain_cap: DECODER_RETAIN_CAP }
+    }
+
+    /// Take the backing buffer out (for return to a pool), leaving the decoder
+    /// empty. Any unconsumed bytes are discarded — only call once the
+    /// connection is done.
+    pub fn take_buffer(&mut self) -> Vec<u8> {
+        self.pos = 0;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Cap the capacity retained after the buffer fully drains. Oversized
+    /// frames still decode (growth is unconditional up to
+    /// [`MAX_FRAME_BYTES`]); this only bounds what outlives them.
+    pub fn set_retain_cap(&mut self, cap: usize) {
+        self.retain_cap = cap;
+    }
+
+    /// Current capacity of the internal buffer (test/diagnostic hook).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Append raw bytes received from the transport.
@@ -157,6 +202,13 @@ impl FrameDecoder {
         let frame = Frame::from_bytes(&cursor[..body_len])
             .map_err(|e| ReconError::Transport(format!("malformed frame body: {e}")))?;
         self.pos = self.buf.len() - (cursor.len() - body_len);
+        if self.pos == self.buf.len() {
+            // Fully drained: reset cheaply, and give back the capacity an
+            // oversized frame grew (`shrink_to` is a no-op below the cap).
+            self.buf.clear();
+            self.pos = 0;
+            self.buf.shrink_to(self.retain_cap);
+        }
         Ok(Some(frame))
     }
 }
@@ -240,6 +292,53 @@ mod tests {
         let mut decoder = FrameDecoder::new();
         decoder.extend(&wire);
         assert!(matches!(decoder.next_frame(), Err(ReconError::Transport(_))));
+    }
+
+    #[test]
+    fn decoder_releases_peak_capacity_after_an_oversized_frame() {
+        // Regression: the buffer used to keep whatever capacity an outlier
+        // frame forced, forever. One ~1 MiB frame must not pin ~1 MiB.
+        let big = Frame::envelope(1, Envelope::round(1, "bulk", &vec![0xAB_u64; 128 * 1024]));
+        let wire = big.to_wire();
+        assert!(wire.len() > 1024 * 1024);
+
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&wire);
+        assert!(decoder.capacity() >= wire.len());
+        assert_eq!(decoder.next_frame().unwrap(), Some(big.clone()));
+        assert_eq!(decoder.buffered(), 0);
+        assert!(
+            decoder.capacity() <= DECODER_RETAIN_CAP,
+            "drained decoder retains {} bytes, cap is {DECODER_RETAIN_CAP}",
+            decoder.capacity()
+        );
+
+        // The cap is configurable, and a shrunk decoder still decodes.
+        let mut tight = FrameDecoder::new();
+        tight.set_retain_cap(1024);
+        tight.extend(&wire);
+        assert_eq!(tight.next_frame().unwrap(), Some(big));
+        assert!(tight.capacity() <= 1024);
+        let small = Frame::fin(4);
+        tight.extend(&small.to_wire());
+        assert_eq!(tight.next_frame().unwrap(), Some(small));
+    }
+
+    #[test]
+    fn decoder_buffer_roundtrips_through_a_pool_checkout() {
+        let frame = Frame::envelope(9, Envelope::round(1, "m", &vec![5u64; 32]));
+        let mut first = FrameDecoder::new();
+        first.extend(&frame.to_wire());
+        assert_eq!(first.next_frame().unwrap(), Some(frame.clone()));
+        let recycled = first.take_buffer();
+        let cap = recycled.capacity();
+        assert!(cap > 0);
+
+        let mut second = FrameDecoder::from_buffer(recycled);
+        assert_eq!(second.capacity(), cap, "from_buffer keeps the capacity");
+        assert_eq!(second.buffered(), 0, "from_buffer clears stale contents");
+        second.extend(&frame.to_wire());
+        assert_eq!(second.next_frame().unwrap(), Some(frame));
     }
 
     #[test]

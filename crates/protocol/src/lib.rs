@@ -51,6 +51,7 @@ pub mod frame;
 pub mod link;
 pub mod nested;
 pub mod party;
+pub mod pool;
 pub mod session;
 pub mod transport;
 
@@ -62,7 +63,11 @@ pub use frame::{Frame, FrameBody, FrameDecoder, SessionId};
 pub use link::{Link, MemoryLink};
 pub use nested::Nested;
 pub use party::{Party, Step};
+pub use pool::{buffer_pool_stats, BufferPool, BufferPoolStats, ConnBuffers};
 pub use session::{Amplification, Outcome, Session, SessionBuilder, SessionConfig, SessionCore};
 #[cfg(unix)]
 pub use transport::Pollable;
-pub use transport::{MemoryTransport, PipeTransport, StreamTransport, Transport};
+pub use transport::{
+    active_io_path, force_sequential_io, sequential_io_forced, MemoryTransport, PipeTransport,
+    StreamTransport, Transport,
+};

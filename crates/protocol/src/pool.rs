@@ -1,0 +1,171 @@
+//! Reusable per-connection buffer sets, pooled per reactor.
+//!
+//! Every [`StreamTransport`](crate::StreamTransport) owns three growable
+//! buffers: the frame-decoder backing store, the outbound byte queue, and an
+//! encode scratch. Allocating them fresh per connection is invisible at small
+//! scale but dominates the allocator profile when a server churns thousands of
+//! short sessions. A [`BufferPool`] keeps the buffer sets of retired
+//! connections and hands them to new ones, so steady-state serving performs
+//! zero buffer allocations — pinned by tests through the process-wide
+//! [`buffer_pool_stats`] counters (same idiom as
+//! `recon_set::full_digest_builds`).
+//!
+//! The pool is deliberately not a global: each reactor (each server worker)
+//! owns one, so checkouts are unsynchronized and buffers stay on the thread
+//! that warmed them. Only the observability counters are process-wide.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+static POOL_RETURNS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide pool counters; see [`buffer_pool_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Checkouts served from a pooled buffer set (no allocation).
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer set.
+    pub misses: u64,
+    /// Buffer sets returned to a pool on connection retire.
+    pub returned: u64,
+}
+
+impl BufferPoolStats {
+    /// Buffer sets currently checked out (or dropped without return).
+    pub fn outstanding(&self) -> u64 {
+        (self.hits + self.misses).saturating_sub(self.returned)
+    }
+}
+
+/// Cumulative checkout/return counters across every [`BufferPool`] in the
+/// process. Tests snapshot this around a serving burst to pin "zero new
+/// allocations at steady state": after warm-up, `misses` must not move.
+pub fn buffer_pool_stats() -> BufferPoolStats {
+    BufferPoolStats {
+        hits: POOL_HITS.load(Ordering::Relaxed),
+        misses: POOL_MISSES.load(Ordering::Relaxed),
+        returned: POOL_RETURNS.load(Ordering::Relaxed),
+    }
+}
+
+/// The reusable buffer set behind one connection's transport: frame-decoder
+/// backing store, outbound byte queue, and encode scratch.
+#[derive(Debug, Default)]
+pub struct ConnBuffers {
+    pub(crate) decoder: Vec<u8>,
+    pub(crate) out: VecDeque<u8>,
+    pub(crate) scratch: Vec<u8>,
+}
+
+impl ConnBuffers {
+    /// An empty buffer set (what a pool miss allocates).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear(&mut self) {
+        self.decoder.clear();
+        self.out.clear();
+        self.scratch.clear();
+    }
+}
+
+/// An unsynchronized free list of [`ConnBuffers`], one per reactor.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<ConnBuffers>,
+    max_idle: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// Idle buffer sets kept by default — above any per-worker connection
+    /// count the serving benches reach, so steady state never re-allocates.
+    pub const DEFAULT_MAX_IDLE: usize = 1024;
+
+    /// An empty pool retaining up to [`BufferPool::DEFAULT_MAX_IDLE`] sets.
+    pub fn new() -> Self {
+        Self::with_max_idle(Self::DEFAULT_MAX_IDLE)
+    }
+
+    /// An empty pool retaining at most `max_idle` buffer sets; returns beyond
+    /// that are dropped (the pool sheds capacity after a burst).
+    pub fn with_max_idle(max_idle: usize) -> Self {
+        Self { free: Vec::new(), max_idle }
+    }
+
+    /// Buffer sets currently idle in this pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Take a buffer set, reusing a retired one when available.
+    pub fn checkout(&mut self) -> ConnBuffers {
+        match self.free.pop() {
+            Some(buffers) => {
+                POOL_HITS.fetch_add(1, Ordering::Relaxed);
+                buffers
+            }
+            None => {
+                POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+                ConnBuffers::new()
+            }
+        }
+    }
+
+    /// Return a buffer set for reuse. Contents are cleared; capacity is kept
+    /// (the frame decoder already shrank itself to its retain cap on drain).
+    pub fn put_back(&mut self, mut buffers: ConnBuffers) {
+        POOL_RETURNS.fetch_add(1, Ordering::Relaxed);
+        if self.free.len() >= self.max_idle {
+            return;
+        }
+        buffers.clear();
+        self.free.push(buffers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_capacity_and_counts() {
+        let before = buffer_pool_stats();
+        let mut pool = BufferPool::with_max_idle(2);
+
+        let mut first = pool.checkout();
+        first.decoder.extend_from_slice(&[1, 2, 3]);
+        first.out.extend([4, 5]);
+        first.scratch.extend_from_slice(&[6]);
+        let cap = first.decoder.capacity();
+        assert!(cap >= 3);
+        pool.put_back(first);
+        assert_eq!(pool.idle(), 1);
+
+        let second = pool.checkout();
+        assert_eq!(second.decoder.capacity(), cap, "capacity survives the pool");
+        assert!(second.decoder.is_empty() && second.out.is_empty() && second.scratch.is_empty());
+
+        let after = buffer_pool_stats();
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.misses - before.misses, 1);
+        assert_eq!(after.returned - before.returned, 1);
+    }
+
+    #[test]
+    fn pool_sheds_returns_beyond_max_idle() {
+        let mut pool = BufferPool::with_max_idle(1);
+        let (a, b) = (pool.checkout(), pool.checkout());
+        pool.put_back(a);
+        pool.put_back(b);
+        assert_eq!(pool.idle(), 1, "second return is dropped, not hoarded");
+    }
+}

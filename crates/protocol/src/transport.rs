@@ -19,12 +19,49 @@
 //!   thread into a channel, preserving the non-blocking `recv` contract.
 
 use crate::frame::{Frame, FrameDecoder};
+use crate::pool::ConnBuffers;
+use recon_base::wire::Encode;
 use recon_base::ReconError;
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, IoSliceMut, Read, Write};
 use std::rc::Rc;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, OnceLock};
+
+static FORCE_SEQ_IO: AtomicBool = AtomicBool::new(false);
+
+fn env_forces_sequential_io() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RECON_PROTOCOL_FORCE_SEQ_IO")
+            .map(|v| !matches!(v.as_str(), "" | "0" | "false"))
+            .unwrap_or(false)
+    })
+}
+
+/// Force every [`StreamTransport`] onto the sequential (one buffer per
+/// syscall) I/O path, process-wide. The `RECON_PROTOCOL_FORCE_SEQ_IO`
+/// environment variable does the same without code changes (mirroring
+/// `RECON_IBLT_FORCE_SCALAR`), so CI can exercise the fallback.
+pub fn force_sequential_io(force: bool) {
+    FORCE_SEQ_IO.store(force, Ordering::Relaxed);
+}
+
+/// `true` when vectored I/O is disabled via [`force_sequential_io`] or the
+/// `RECON_PROTOCOL_FORCE_SEQ_IO` environment variable.
+pub fn sequential_io_forced() -> bool {
+    FORCE_SEQ_IO.load(Ordering::Relaxed) || env_forces_sequential_io()
+}
+
+/// Which stream I/O path new transports take: `"vectored"` or `"sequential"`.
+pub fn active_io_path() -> &'static str {
+    if sequential_io_forced() {
+        "sequential"
+    } else {
+        "vectored"
+    }
+}
 
 /// A bidirectional, non-blocking carrier of [`Frame`]s.
 pub trait Transport {
@@ -39,6 +76,22 @@ pub trait Transport {
     /// unbuffered sends may keep the default no-op.
     fn flush(&mut self) -> Result<(), ReconError> {
         Ok(())
+    }
+
+    /// Like [`Transport::recv`], but implementations backed by an OS stream may
+    /// gather into multiple buffers per syscall (`readv`). Byte-identical to
+    /// `recv` in every observable way — frames, stats, errors — so drivers can
+    /// call either; the default simply delegates.
+    fn fill_vectored(&mut self) -> Result<Option<Frame>, ReconError> {
+        self.recv()
+    }
+
+    /// Like [`Transport::flush`], but implementations backed by an OS stream
+    /// may scatter the staged output in one syscall (`writev`) instead of one
+    /// `write` per contiguous run. Byte-identical to `flush`; the default
+    /// delegates.
+    fn drain_vectored(&mut self) -> Result<(), ReconError> {
+        self.flush()
     }
 
     /// `true` once the peer can no longer deliver frames (stream closed). A
@@ -187,6 +240,8 @@ pub struct StreamTransport<R, W> {
     writer: W,
     decoder: FrameDecoder,
     out_buf: VecDeque<u8>,
+    scratch: Vec<u8>,
+    sequential_io: bool,
     closed: bool,
     bytes_out: u64,
     bytes_in: u64,
@@ -196,21 +251,54 @@ impl<R: Read, W: Write> StreamTransport<R, W> {
     /// A transport reading frames from `reader` and writing them to `writer`.
     /// For a `TcpStream`, pass `try_clone()` of the stream as one half.
     pub fn new(reader: R, writer: W) -> Self {
+        Self::with_buffers(reader, writer, ConnBuffers::new())
+    }
+
+    /// Like [`StreamTransport::new`], but reusing `buffers` — typically a
+    /// [`BufferPool`](crate::BufferPool) checkout — as the internal decoder,
+    /// output, and scratch storage. Contents are cleared; capacity is reused.
+    pub fn with_buffers(reader: R, writer: W, buffers: ConnBuffers) -> Self {
+        let ConnBuffers { decoder, mut out, mut scratch } = buffers;
+        out.clear();
+        scratch.clear();
         Self {
             reader,
             writer,
-            decoder: FrameDecoder::new(),
-            out_buf: VecDeque::new(),
+            decoder: FrameDecoder::from_buffer(decoder),
+            out_buf: out,
+            scratch,
+            sequential_io: false,
             closed: false,
             bytes_out: 0,
             bytes_in: 0,
         }
     }
 
+    /// Extract the internal buffers for return to a pool, leaving this
+    /// transport empty. Call once the connection has retired.
+    pub fn take_buffers(&mut self) -> ConnBuffers {
+        ConnBuffers {
+            decoder: self.decoder.take_buffer(),
+            out: std::mem::take(&mut self.out_buf),
+            scratch: std::mem::take(&mut self.scratch),
+        }
+    }
+
+    /// Pin *this* transport to the sequential I/O path regardless of the
+    /// process-wide [`force_sequential_io`] setting (used by the differential
+    /// tests to run one side vectored and the other sequential).
+    pub fn set_sequential_io(&mut self, sequential: bool) {
+        self.sequential_io = sequential;
+    }
+
     /// Number of staged outgoing bytes the stream has not yet accepted — the
     /// buffered-output state a readiness poller re-arms write interest on.
     pub fn pending_out(&self) -> usize {
         self.out_buf.len()
+    }
+
+    fn use_sequential(&self) -> bool {
+        self.sequential_io || sequential_io_forced()
     }
 }
 
@@ -220,9 +308,29 @@ fn io_error(context: &str, e: std::io::Error) -> ReconError {
 
 impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
     fn send(&mut self, frame: &Frame) -> Result<(), ReconError> {
-        let wire = frame.to_wire();
-        self.bytes_out += wire.len() as u64;
-        self.out_buf.extend(wire);
+        // Encode into the reused scratch instead of `to_wire()`'s fresh Vec:
+        // at steady state a pooled connection sends without allocating.
+        self.scratch.clear();
+        frame.encode(&mut self.scratch);
+        // LEB128 length prefix on the stack (low 7 bits first, 0x80
+        // continuation — the `write_uvarint` encoding).
+        let mut prefix = [0u8; 10];
+        let mut value = self.scratch.len() as u64;
+        let mut len = 0;
+        loop {
+            let low = (value & 0x7F) as u8;
+            value >>= 7;
+            if value == 0 {
+                prefix[len] = low;
+                len += 1;
+                break;
+            }
+            prefix[len] = low | 0x80;
+            len += 1;
+        }
+        self.bytes_out += (len + self.scratch.len()) as u64;
+        self.out_buf.extend(&prefix[..len]);
+        self.out_buf.extend(&self.scratch);
         Ok(())
     }
 
@@ -261,6 +369,61 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
             }
         }
         self.decoder.next_frame()
+    }
+
+    /// Gather reads: both 8 KiB scratch segments are offered to one
+    /// `read_vectored` call, which is a true `readv` for `TcpStream` and the
+    /// runtime's raw-fd wrappers (plain `Read` impls fall back to their
+    /// `read`, degrading gracefully to the sequential behaviour).
+    fn fill_vectored(&mut self) -> Result<Option<Frame>, ReconError> {
+        if self.use_sequential() {
+            return self.recv();
+        }
+        let mut a = [0u8; 8192];
+        let mut b = [0u8; 8192];
+        while !self.closed {
+            let mut bufs = [IoSliceMut::new(&mut a), IoSliceMut::new(&mut b)];
+            match self.reader.read_vectored(&mut bufs) {
+                Ok(0) => self.closed = true,
+                Ok(n) => {
+                    self.bytes_in += n as u64;
+                    let first = n.min(a.len());
+                    self.decoder.extend(&a[..first]);
+                    self.decoder.extend(&b[..n - first]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_error("stream read", e)),
+            }
+        }
+        self.decoder.next_frame()
+    }
+
+    /// Scatter writes: the output queue's two contiguous runs (a `VecDeque`
+    /// wraps) go down in one `write_vectored` call instead of one `write` per
+    /// run.
+    fn drain_vectored(&mut self) -> Result<(), ReconError> {
+        if self.use_sequential() {
+            return self.flush();
+        }
+        while !self.out_buf.is_empty() {
+            let (front, back) = self.out_buf.as_slices();
+            let bufs = [IoSlice::new(front), IoSlice::new(back)];
+            match self.writer.write_vectored(&bufs) {
+                Ok(0) => return Err(ReconError::Transport("stream closed while writing".into())),
+                Ok(n) => {
+                    self.out_buf.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_error("stream write", e)),
+            }
+        }
+        match self.writer.flush() {
+            Ok(()) => Ok(()),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) => Ok(()),
+            Err(e) => Err(io_error("stream flush", e)),
+        }
     }
 
     fn is_closed(&self) -> bool {

@@ -5,20 +5,26 @@
 //! principle into served traffic. Built entirely on raw OS readiness APIs —
 //! this workspace compiles with no external crates — it provides, bottom up:
 //!
-//! * [`sys`] — `extern "C"` bindings for `epoll`, `poll(2)`, `O_NONBLOCK` and
-//!   raw-fd I/O; the crate's only `unsafe` module, mirroring
-//!   `crates/iblt/src/kernels.rs`.
+//! * [`sys`] — `extern "C"` bindings for `epoll`, `poll(2)`, `O_NONBLOCK`,
+//!   `readv`/`writev` and `SO_REUSEPORT` listeners; the crate's only `unsafe`
+//!   module, mirroring `crates/iblt/src/kernels.rs`.
 //! * [`Poller`] — one blocking wait over many descriptors, with an epoll
-//!   backend on Linux and a portable `poll(2)` fallback selected at runtime
+//!   backend on Linux (level- or edge-triggered via [`Trigger`]) and a
+//!   portable `poll(2)` fallback selected at runtime
 //!   (`RECON_RUNTIME_FORCE_POLL`, or [`Poller::with_backend`] in code).
 //! * [`TimerWheel`] — hashed-wheel deadlines for sessions that stall.
 //! * [`Reactor`] — many multiplexed [`Endpoint`]s over [`Pollable`] stream
 //!   transports, pumped only on readiness ([`Endpoint::poll_ready`]), with
 //!   precise write-interest re-arming ([`Endpoint::is_write_blocked`]),
-//!   per-session deadlines, and graceful `Fin` draining. [`drive_endpoint`]
+//!   per-session deadlines, and graceful `Fin` draining. Edge-triggered by
+//!   default: the transports drain to `WouldBlock` on every event anyway, so
+//!   the kernel skips re-scanning still-ready descriptors. [`drive_endpoint`]
 //!   is the single-connection client-side loop on the same machinery.
-//! * [`Server`] — a non-blocking TCP listener fanning accepted connections
-//!   across N worker reactors with two-choice least-loaded balancing.
+//! * [`Server`] — N worker reactors serving TCP, accepting either on
+//!   per-worker `SO_REUSEPORT` listeners (sharded, the Linux default) or via
+//!   a central listener with two-choice least-loaded balancing
+//!   ([`AcceptMode`]), each worker recycling connection buffers through a
+//!   `BufferPool`.
 //!
 //! What stays out: protocol logic (the parties, sessions and accounting live
 //! in `recon-protocol` and the family crates, unchanged), and any form of
@@ -42,10 +48,13 @@ pub mod server;
 pub mod sys;
 pub mod timer;
 
-pub use poller::{Backend, Event, Interest, Poller};
+pub use poller::{Backend, Event, Interest, Poller, Trigger};
 pub use reactor::{drive_endpoint, ConnId, Finished, Reactor, ReactorConfig, Waker};
 pub use server::{
-    connect_endpoint, Server, ServerConfig, ServerStats, TcpEndpoint, TcpService, TcpTransport,
+    connect_endpoint, AcceptMode, Server, ServerConfig, ServerStats, TcpEndpoint, TcpService,
+    TcpTransport,
 };
+#[cfg(target_os = "linux")]
+pub use sys::reuseport_listener;
 pub use sys::{set_nonblocking, RawFdIo};
 pub use timer::TimerWheel;

@@ -15,10 +15,17 @@
 //! everywhere else. [`Poller::with_backend`] pins a backend explicitly so
 //! differential tests can run both without touching the environment.
 //!
-//! Both backends are level-triggered: an event repeats on every wait until the
-//! condition is consumed (read to `WouldBlock`, buffered output flushed). That
-//! is exactly the contract [`Endpoint::poll_ready`] was built for — and why
-//! write interest must only be armed while output is actually buffered.
+//! Delivery is governed by [`Trigger`]. **Level-triggered** (the `poll(2)`
+//! semantics, and epoll's default): an event repeats on every wait until the
+//! condition is consumed (read to `WouldBlock`, buffered output flushed).
+//! **Edge-triggered** ([`Trigger::Edge`], epoll only): each readiness
+//! *transition* is reported once, so the kernel skips re-scanning descriptors
+//! whose condition merely persists — but the consumer must drain to
+//! `WouldBlock` on every event or the descriptor goes silent. The reactor's
+//! transports already drain fully (that is the [`Endpoint::poll_ready`]
+//! contract), so both modes serve the same traffic; `poll(2)` silently stays
+//! level-triggered behind the same API, which is exactly what the differential
+//! tests exercise.
 //!
 //! [`Endpoint::poll_ready`]: recon_protocol::Endpoint::poll_ready
 
@@ -71,6 +78,26 @@ pub enum Backend {
     Poll,
 }
 
+/// How readiness events are delivered; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Trigger {
+    /// Re-report a condition on every wait until it is consumed.
+    #[default]
+    Level,
+    /// Report each readiness transition once (`EPOLLET`); epoll only — the
+    /// `poll(2)` backend stays level-triggered behind the same API.
+    Edge,
+}
+
+fn default_backend() -> Backend {
+    #[cfg(target_os = "linux")]
+    if !env_forces_poll() {
+        return Backend::Epoll;
+    }
+    let _ = env_forces_poll; // referenced on every target
+    Backend::Poll
+}
+
 fn env_forces_poll() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| {
@@ -107,21 +134,28 @@ enum Imp {
 impl Poller {
     /// A poller on the default backend: epoll on Linux (unless
     /// `RECON_RUNTIME_FORCE_POLL` is set), `poll(2)` otherwise.
+    /// Level-triggered; use [`Poller::with_config`] for edge-triggered epoll.
     pub fn new() -> io::Result<Self> {
-        #[cfg(target_os = "linux")]
-        if !env_forces_poll() {
-            return Ok(Self { imp: Imp::Epoll(EpollPoller::new()?) });
-        }
-        let _ = env_forces_poll; // referenced on every target
-        Ok(Self { imp: Imp::Poll(PollPoller::new()) })
+        Self::with_config(None, Trigger::Level)
     }
 
     /// A poller pinned to `backend`. Requesting [`Backend::Epoll`] off Linux is
     /// an error.
     pub fn with_backend(backend: Backend) -> io::Result<Self> {
-        match backend {
+        Self::with_config(Some(backend), Trigger::Level)
+    }
+
+    /// A poller with an explicit backend (or the [`Poller::new`] default when
+    /// `None`) and delivery mode. [`Trigger::Edge`] only takes effect on the
+    /// epoll backend; `poll(2)` has no edge mode and stays level-triggered —
+    /// by design, so the same config can run on either backend and the
+    /// differential tests can diff their behaviour.
+    pub fn with_config(backend: Option<Backend>, trigger: Trigger) -> io::Result<Self> {
+        match backend.unwrap_or_else(default_backend) {
             #[cfg(target_os = "linux")]
-            Backend::Epoll => Ok(Self { imp: Imp::Epoll(EpollPoller::new()?) }),
+            Backend::Epoll => {
+                Ok(Self { imp: Imp::Epoll(EpollPoller::new(trigger == Trigger::Edge)?) })
+            }
             #[cfg(not(target_os = "linux"))]
             Backend::Epoll => {
                 Err(io::Error::new(io::ErrorKind::Unsupported, "epoll backend requires Linux"))
@@ -136,6 +170,16 @@ impl Poller {
             #[cfg(target_os = "linux")]
             Imp::Epoll(_) => Backend::Epoll,
             Imp::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// The *effective* delivery mode: [`Trigger::Edge`] only when this poller
+    /// is epoll and was configured edge-triggered.
+    pub fn trigger(&self) -> Trigger {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(ep) if ep.edge => Trigger::Edge,
+            _ => Trigger::Level,
         }
     }
 
@@ -187,18 +231,20 @@ impl Poller {
 struct EpollPoller {
     ep: sys::OwnedSysFd,
     scratch: Vec<sys::EpollEvent>,
+    edge: bool,
 }
 
 #[cfg(target_os = "linux")]
 impl EpollPoller {
-    fn new() -> io::Result<Self> {
+    fn new(edge: bool) -> io::Result<Self> {
         Ok(Self {
             ep: sys::epoll_create()?,
             scratch: vec![sys::EpollEvent { events: 0, data: 0 }; 256],
+            edge,
         })
     }
 
-    fn mask(interest: Interest) -> u32 {
+    fn mask(&self, interest: Interest) -> u32 {
         let mut mask = sys::EPOLLRDHUP;
         if interest.readable {
             mask |= sys::EPOLLIN;
@@ -206,15 +252,20 @@ impl EpollPoller {
         if interest.writable {
             mask |= sys::EPOLLOUT;
         }
+        if self.edge {
+            // EPOLL_CTL_MOD re-arms an edge registration and redelivers if the
+            // condition holds, so interest changes stay race-free under ET.
+            mask |= sys::EPOLLET;
+        }
         mask
     }
 
     fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
-        sys::epoll_add(&self.ep, fd, Self::mask(interest), token)
+        sys::epoll_add(&self.ep, fd, self.mask(interest), token)
     }
 
     fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
-        sys::epoll_modify(&self.ep, fd, Self::mask(interest), token)
+        sys::epoll_modify(&self.ep, fd, self.mask(interest), token)
     }
 
     fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
@@ -393,6 +444,56 @@ mod tests {
         assert!(poller.register(reader.as_raw_fd(), 2, Interest::READ).is_err());
         assert!(poller.modify(9999, 1, Interest::READ).is_err());
         assert!(poller.deregister(9999).is_err());
+    }
+
+    #[test]
+    fn trigger_is_edge_only_on_epoll() {
+        let poll = Poller::with_config(Some(Backend::Poll), Trigger::Edge).unwrap();
+        assert_eq!(poll.trigger(), Trigger::Level, "poll(2) has no edge mode");
+        #[cfg(target_os = "linux")]
+        {
+            let ep = Poller::with_config(Some(Backend::Epoll), Trigger::Edge).unwrap();
+            assert_eq!(ep.trigger(), Trigger::Edge);
+            let lt = Poller::with_config(Some(Backend::Epoll), Trigger::Level).unwrap();
+            assert_eq!(lt.trigger(), Trigger::Level);
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn edge_triggered_reports_transitions_once_level_repeats() {
+        use std::io::Read as _;
+
+        for (trigger, repeats) in [(Trigger::Level, true), (Trigger::Edge, false)] {
+            let mut poller = Poller::with_config(Some(Backend::Epoll), trigger).unwrap();
+            let (mut reader, mut writer) = std::io::pipe().expect("os pipe");
+            crate::sys::set_nonblocking(reader.as_raw_fd()).unwrap();
+            poller.register(reader.as_raw_fd(), 1, Interest::READ).unwrap();
+
+            writer.write_all(&[1, 2, 3]).unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(events.len(), 1, "{trigger:?}: first wait sees the data");
+
+            // Without consuming the data, wait again: level re-reports, edge
+            // stays silent until the next transition.
+            poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+            assert_eq!(!events.is_empty(), repeats, "{trigger:?}: repeat semantics");
+
+            // After draining to WouldBlock, new data is a fresh transition and
+            // must fire under both modes.
+            let mut buf = [0u8; 16];
+            assert_eq!(reader.read(&mut buf).unwrap(), 3);
+            writer.write_all(&[4]).unwrap();
+            poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(events.len(), 1, "{trigger:?}: new data is a new edge");
+
+            // EPOLL_CTL_MOD re-arms: data still unread + re-arm => redelivery
+            // even under ET (this is what makes interest flips safe).
+            poller.modify(reader.as_raw_fd(), 1, Interest::READ).unwrap();
+            poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(events.len(), 1, "{trigger:?}: MOD redelivers pending readiness");
+        }
     }
 
     #[test]

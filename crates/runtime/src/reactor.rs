@@ -24,14 +24,14 @@
 //! machines — and scales across cores by running one reactor per worker
 //! thread; see [`Server`](crate::Server) for the accept-and-balance layer.
 
-use crate::poller::{Backend, Event, Interest, Poller};
+use crate::poller::{Backend, Event, Interest, Poller, Trigger};
 use crate::sys;
 use crate::timer::TimerWheel;
 use recon_base::ReconError;
 use recon_protocol::{Endpoint, Pollable, SessionId, Transport};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
-use std::os::fd::AsRawFd;
+use std::os::fd::{AsRawFd, RawFd};
 use std::time::{Duration, Instant};
 
 /// Identifier of one connection within a reactor (never reused).
@@ -39,6 +39,9 @@ pub type ConnId = u64;
 
 /// Token reserved for the reactor's own waker pipe.
 const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Token reserved for the auxiliary descriptor ([`Reactor::watch_aux`]).
+const AUX_TOKEN: u64 = u64::MAX - 1;
 
 /// Tuning for a [`Reactor`].
 #[derive(Debug, Clone)]
@@ -50,6 +53,12 @@ pub struct ReactorConfig {
     /// Pin the poller backend; `None` uses [`Poller::new`]'s default
     /// (epoll on Linux unless `RECON_RUNTIME_FORCE_POLL` is set).
     pub backend: Option<Backend>,
+    /// Readiness delivery mode. Defaults to [`Trigger::Edge`]: the transports
+    /// drain to `WouldBlock` on every event (the `poll_ready` contract), which
+    /// is exactly what edge-triggered epoll requires, and ET skips the
+    /// kernel's per-wait rescan of still-ready descriptors. Ignored (stays
+    /// level-triggered) on the `poll(2)` backend.
+    pub trigger: Trigger,
     /// First [`ConnId`] this reactor hands out. A multi-reactor server gives
     /// each worker a disjoint base so connection ids are process-unique.
     pub first_conn_id: ConnId,
@@ -57,7 +66,12 @@ pub struct ReactorConfig {
 
 impl Default for ReactorConfig {
     fn default() -> Self {
-        Self { session_deadline: Some(Duration::from_secs(30)), backend: None, first_conn_id: 0 }
+        Self {
+            session_deadline: Some(Duration::from_secs(30)),
+            backend: None,
+            trigger: Trigger::Edge,
+            first_conn_id: 0,
+        }
     }
 }
 
@@ -113,6 +127,8 @@ pub struct Reactor<T: Transport + Pollable> {
     next_conn: ConnId,
     waker_rx: std::io::PipeReader,
     waker: Waker,
+    aux_fd: Option<RawFd>,
+    aux_ready: bool,
     config: ReactorConfig,
 }
 
@@ -123,11 +139,8 @@ fn io_err(context: &str, e: std::io::Error) -> ReconError {
 impl<T: Transport + Pollable> Reactor<T> {
     /// A reactor with no connections yet.
     pub fn new(config: ReactorConfig) -> Result<Self, ReconError> {
-        let mut poller = match config.backend {
-            Some(backend) => Poller::with_backend(backend),
-            None => Poller::new(),
-        }
-        .map_err(|e| io_err("create poller", e))?;
+        let mut poller = Poller::with_config(config.backend, config.trigger)
+            .map_err(|e| io_err("create poller", e))?;
         let (waker_rx, waker_tx) = std::io::pipe().map_err(|e| io_err("create waker pipe", e))?;
         sys::set_nonblocking(waker_rx.as_raw_fd()).map_err(|e| io_err("waker nonblock", e))?;
         sys::set_nonblocking(waker_tx.as_raw_fd()).map_err(|e| io_err("waker nonblock", e))?;
@@ -144,6 +157,8 @@ impl<T: Transport + Pollable> Reactor<T> {
             next_conn: config.first_conn_id,
             waker_rx,
             waker: Waker { pipe: waker_tx },
+            aux_fd: None,
+            aux_ready: false,
             config,
         })
     }
@@ -151,6 +166,49 @@ impl<T: Transport + Pollable> Reactor<T> {
     /// The backend the underlying poller runs on.
     pub fn backend(&self) -> Backend {
         self.poller.backend()
+    }
+
+    /// The effective delivery mode ([`Trigger::Edge`] only on epoll).
+    pub fn trigger(&self) -> Trigger {
+        self.poller.trigger()
+    }
+
+    /// Watch one auxiliary readable descriptor (a worker's own listener)
+    /// alongside the connections. Readiness is latched sticky and handed out
+    /// through [`Reactor::take_aux_ready`]; the flag starts set so the caller
+    /// drains any backlog that predates the registration — required under
+    /// edge-triggered delivery, where that backlog will never fire an event.
+    pub fn watch_aux(&mut self, fd: RawFd) -> Result<(), ReconError> {
+        if let Some(old) = self.aux_fd.take() {
+            let _ = self.poller.deregister(old);
+        }
+        self.poller.register(fd, AUX_TOKEN, Interest::READ).map_err(|e| io_err("watch aux", e))?;
+        self.aux_fd = Some(fd);
+        self.aux_ready = true;
+        Ok(())
+    }
+
+    /// Stop watching the auxiliary descriptor.
+    pub fn unwatch_aux(&mut self) {
+        if let Some(fd) = self.aux_fd.take() {
+            let _ = self.poller.deregister(fd);
+        }
+        self.aux_ready = false;
+    }
+
+    /// Consume the auxiliary-readiness latch. The caller must then drain the
+    /// descriptor to `WouldBlock`; if draining is cut short (e.g. transient
+    /// fd exhaustion while accepting), call [`Reactor::mark_aux_ready`] so the
+    /// next turn retries even without a fresh edge.
+    pub fn take_aux_ready(&mut self) -> bool {
+        std::mem::take(&mut self.aux_ready)
+    }
+
+    /// Re-latch auxiliary readiness manually; see [`Reactor::take_aux_ready`].
+    pub fn mark_aux_ready(&mut self) {
+        if self.aux_fd.is_some() {
+            self.aux_ready = true;
+        }
     }
 
     /// A handle other threads use to interrupt [`Reactor::turn`].
@@ -236,6 +294,10 @@ impl<T: Transport + Pollable> Reactor<T> {
             if event.token == WAKE_TOKEN {
                 let mut drain = [0u8; 64];
                 while matches!(self.waker_rx.read(&mut drain), Ok(n) if n > 0) {}
+                continue;
+            }
+            if event.token == AUX_TOKEN {
+                self.aux_ready = true;
                 continue;
             }
             let conn = event.token >> 1;
@@ -375,11 +437,8 @@ pub fn drive_endpoint<T: Transport + Pollable>(
     config: &ReactorConfig,
     mut until: impl FnMut(&mut Endpoint<T>) -> Result<bool, ReconError>,
 ) -> Result<(), ReconError> {
-    let mut poller = match config.backend {
-        Some(backend) => Poller::with_backend(backend),
-        None => Poller::new(),
-    }
-    .map_err(|e| io_err("create poller", e))?;
+    let mut poller = Poller::with_config(config.backend, config.trigger)
+        .map_err(|e| io_err("create poller", e))?;
     let started = Instant::now();
     let read_fd = endpoint.transport().read_fd();
     let write_fd = endpoint.transport().write_fd();
@@ -490,6 +549,12 @@ mod tests {
     }
 
     fn run_with_backend(backend: Backend) {
+        for trigger in [Trigger::Level, Trigger::Edge] {
+            run_with_trigger(backend, trigger);
+        }
+    }
+
+    fn run_with_trigger(backend: Backend, trigger: Trigger) {
         let (mut server_end, mut client_end) = tcp_endpoint_pair();
         let (alice, bob) = chatty_pair(40, 2);
         server_end.register(0, Role::Alice, alice).unwrap();
@@ -498,10 +563,16 @@ mod tests {
         let config = ReactorConfig {
             session_deadline: Some(Duration::from_secs(10)),
             backend: Some(backend),
+            trigger,
             ..ReactorConfig::default()
         };
         let mut reactor = Reactor::new(config.clone()).unwrap();
         assert_eq!(reactor.backend(), backend);
+        if backend == Backend::Epoll {
+            assert_eq!(reactor.trigger(), trigger);
+        } else {
+            assert_eq!(reactor.trigger(), Trigger::Level);
+        }
         let conn = reactor.insert(server_end).unwrap();
         assert_eq!(reactor.len(), 1);
 
@@ -654,6 +725,31 @@ mod tests {
         }
         // Fail-fast means an error now, not a 30s deadline (or a spin) later.
         assert!(started.elapsed() < Duration::from_secs(5), "did not fail fast");
+    }
+
+    #[test]
+    fn aux_watch_latches_readiness_until_taken() {
+        let mut reactor: Reactor<StreamTransport<TcpStream, TcpStream>> =
+            Reactor::new(ReactorConfig { session_deadline: None, ..ReactorConfig::default() })
+                .unwrap();
+        let (reader, mut writer) = std::io::pipe().expect("os pipe");
+        sys::set_nonblocking(reader.as_raw_fd()).unwrap();
+        reactor.watch_aux(reader.as_raw_fd()).unwrap();
+        // Sticky start: backlog that predates the watch must not be missed.
+        assert!(reactor.take_aux_ready());
+        assert!(!reactor.take_aux_ready(), "take consumes the latch");
+
+        writer.write_all(&[1]).unwrap();
+        reactor.turn(Some(Duration::from_secs(2)), |_, _| {}).unwrap();
+        assert!(reactor.take_aux_ready(), "aux readability latches through turn");
+
+        // A caller that could not finish draining re-latches manually.
+        reactor.mark_aux_ready();
+        assert!(reactor.take_aux_ready());
+
+        reactor.unwatch_aux();
+        reactor.mark_aux_ready();
+        assert!(!reactor.take_aux_ready(), "unwatched aux never reports ready");
     }
 
     #[test]

@@ -1,38 +1,39 @@
-//! The multi-reactor [`Server`]: a non-blocking TCP listener fanning accepted
-//! connections out across worker [`Reactor`]s.
+//! The multi-reactor [`Server`]: accepted TCP connections fanned out across
+//! worker [`Reactor`]s, with two accept topologies.
+//!
+//! **Sharded** ([`AcceptMode::Sharded`], the Linux default): every worker
+//! binds its *own* `SO_REUSEPORT` listener on the shared port and accepts
+//! directly inside its reactor loop — the kernel hashes incoming 4-tuples
+//! across the listeners, there is no acceptor thread, no cross-thread stream
+//! hand-off, and no intake lock on the hot path.
 //!
 //! ```text
-//!            TcpListener (non-blocking, its own mini event loop)
-//!                │ accept
-//!                ▼
-//!     two-choice least-loaded balancer        (sample 2 workers, pick the
-//!                │                             one with fewer live conns)
-//!      ┌─────────┴─────────┐
-//!      ▼                   ▼
-//!  worker reactor 0 …  worker reactor N-1     (one thread + epoll set each)
-//!      │                   │
-//!      └── Endpoint per connection, sessions multiplexed inside
+//!        port P ── kernel SO_REUSEPORT hash ──┬──────────────┐
+//!                                             ▼              ▼
+//!                                      listener 0   …  listener N-1
+//!                                             │              │
+//!                                      worker reactor 0 … reactor N-1
 //! ```
 //!
-//! The balancer is the "power of two choices" policy: sampling two reactors
-//! and picking the less loaded one keeps the maximum load within
-//! `O(log log n)` of the mean — exponentially better than one random choice —
-//! while touching only two counters per accept. (See Walzer's *"What if we
-//! tried Less Power?"* in PAPERS.md for the surrounding theory; the same
-//! imbalance-vs-probes trade-off the workspace's sharded IBLTs lean on.)
+//! **Balanced** ([`AcceptMode::Balanced`], the portable fallback): one central
+//! non-blocking listener on its own acceptor thread pushes each stream to the
+//! less loaded of two sampled workers ("power of two choices": max load within
+//! `O(log log n)` of the mean — see Walzer's *"What if we tried Less Power?"*
+//! in PAPERS.md) through a mutex-guarded intake plus a reactor
+//! [`Waker`](crate::Waker).
 //!
-//! Each worker owns one single-threaded [`Reactor`] plus one [`TcpService`]
-//! instance (built by the factory passed to [`Server::bind`]); accepted
-//! streams are handed over through a mutex-guarded intake and a reactor
-//! [`Waker`](crate::Waker). Sessions therefore never cross threads after
+//! Each worker owns one single-threaded [`Reactor`], one [`TcpService`]
+//! instance (built by the factory passed to [`Server::bind`]), and one
+//! [`BufferPool`] recycling connection buffers so steady-state serving
+//! allocates nothing per session. Sessions never cross threads after
 //! registration, which is what lets the endpoint layer stay `!Send`.
 
-use crate::poller::{Backend, Interest, Poller};
+use crate::poller::{Backend, Interest, Poller, Trigger};
 use crate::reactor::{ConnId, Reactor, ReactorConfig};
 use crate::sys;
 use recon_base::rng::Xoshiro256;
 use recon_base::ReconError;
-use recon_protocol::{Endpoint, StreamTransport};
+use recon_protocol::{BufferPool, Endpoint, StreamTransport};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
@@ -78,6 +79,28 @@ pub trait TcpService: Send + 'static {
     }
 }
 
+/// How a [`Server`] distributes incoming connections to its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptMode {
+    /// One `SO_REUSEPORT` listener per worker, accepted inside each worker's
+    /// reactor loop (Linux). Falls back to [`AcceptMode::Balanced`] where the
+    /// socket option is unavailable.
+    Sharded,
+    /// One central listener on an acceptor thread, two-choice least-loaded
+    /// balancing to worker intakes. Portable.
+    Balanced,
+}
+
+impl Default for AcceptMode {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            AcceptMode::Sharded
+        } else {
+            AcceptMode::Balanced
+        }
+    }
+}
+
 /// Tuning for a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -87,7 +110,12 @@ pub struct ServerConfig {
     pub session_deadline: Option<Duration>,
     /// Pin the poller backend for the acceptor and all workers.
     pub backend: Option<Backend>,
-    /// Seed for the balancer's two random worker choices.
+    /// Readiness delivery mode for the worker reactors (edge-triggered by
+    /// default; see [`ReactorConfig::trigger`]).
+    pub trigger: Trigger,
+    /// Accept topology; defaults to sharded on Linux, balanced elsewhere.
+    pub accept_mode: AcceptMode,
+    /// Seed for the balancer's two random worker choices (balanced mode).
     pub accept_seed: u64,
 }
 
@@ -97,6 +125,8 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4),
             session_deadline: Some(Duration::from_secs(30)),
             backend: None,
+            trigger: Trigger::Edge,
+            accept_mode: AcceptMode::default(),
             accept_seed: 0x2C01CE5,
         }
     }
@@ -107,6 +137,10 @@ impl Default for ServerConfig {
 pub struct ServerStats {
     /// Connections each worker retired cleanly, in worker order.
     pub served_per_worker: Vec<u64>,
+    /// Connections each worker took in, in worker order: direct accepts in
+    /// sharded mode, intake adoptions in balanced mode. Shows how evenly the
+    /// kernel (or the balancer) spread the load.
+    pub accepted_per_worker: Vec<u64>,
     /// Connections that retired with an error (including registration
     /// failures), across all workers.
     pub failed: u64,
@@ -140,6 +174,7 @@ impl Drop for AliveGuard<'_> {
 
 struct WorkerReport {
     served: u64,
+    accepted: u64,
     failed: u64,
 }
 
@@ -188,13 +223,40 @@ impl Server {
         config: ServerConfig,
         mut factory: impl FnMut(usize) -> S,
     ) -> Result<Server, ReconError> {
-        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
-        listener.set_nonblocking(true).map_err(|e| io_err("listener nonblock", e))?;
-        let local_addr = listener.local_addr().map_err(|e| io_err("local addr", e))?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accepting_done = Arc::new(AtomicBool::new(false));
+        let addrs: Vec<SocketAddr> =
+            addr.to_socket_addrs().map_err(|e| io_err("resolve addr", e))?.collect();
+        if addrs.is_empty() {
+            return Err(ReconError::Transport("bind: address resolved to nothing".into()));
+        }
         let workers_n = config.workers.max(1);
 
+        // Sharded accept: one SO_REUSEPORT listener per worker; the central
+        // listener and acceptor thread disappear entirely. Any setup failure
+        // (non-Linux, exotic socket restrictions) falls back to balanced mode.
+        let mut shard_listeners: Option<Vec<TcpListener>> = None;
+        if config.accept_mode == AcceptMode::Sharded {
+            for &candidate in &addrs {
+                if let Ok(listeners) = sharded_listeners(candidate, workers_n) {
+                    shard_listeners = Some(listeners);
+                    break;
+                }
+            }
+        }
+        let (listener, local_addr) = match &shard_listeners {
+            Some(listeners) => {
+                (None, listeners[0].local_addr().map_err(|e| io_err("local addr", e))?)
+            }
+            None => {
+                let listener = TcpListener::bind(&addrs[..]).map_err(|e| io_err("bind", e))?;
+                listener.set_nonblocking(true).map_err(|e| io_err("listener nonblock", e))?;
+                let local_addr = listener.local_addr().map_err(|e| io_err("local addr", e))?;
+                (Some(listener), local_addr)
+            }
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepting_done = Arc::new(AtomicBool::new(false));
+
+        let mut shard_listeners = shard_listeners.map(Vec::into_iter);
         let mut shared = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
         let (waker_tx, waker_rx) = mpsc::channel();
@@ -208,15 +270,25 @@ impl Server {
             let reactor_config = ReactorConfig {
                 session_deadline: config.session_deadline,
                 backend: config.backend,
+                trigger: config.trigger,
                 // Disjoint id ranges so connection ids are process-unique.
                 first_conn_id: (worker as ConnId) << 48,
             };
+            let shard = shard_listeners.as_mut().and_then(Iterator::next);
             let service = factory(worker);
             let stop = Arc::clone(&stop);
             let accepting_done = Arc::clone(&accepting_done);
             let waker_tx = waker_tx.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(reactor_config, worker_shared, service, stop, accepting_done, waker_tx)
+                worker_loop(
+                    reactor_config,
+                    shard,
+                    worker_shared,
+                    service,
+                    stop,
+                    accepting_done,
+                    waker_tx,
+                )
             }));
         }
         drop(waker_tx);
@@ -242,7 +314,8 @@ impl Server {
             abort_workers(&stop, &accepting_done, &worker_wakers, workers);
             return Err(io_err("acceptor wake nonblock", e));
         }
-        let acceptor = {
+        // Sharded mode has no acceptor thread — workers accept for themselves.
+        let acceptor = listener.map(|listener| {
             let stop = Arc::clone(&stop);
             let shared = shared.clone();
             let wakers = worker_wakers.clone();
@@ -251,14 +324,14 @@ impl Server {
             std::thread::spawn(move || {
                 accept_loop(listener, accept_wake_rx, stop, shared, wakers, backend, seed)
             })
-        };
+        });
 
         Ok(Server {
             local_addr,
             stop,
             accepting_done,
             accept_wake,
-            acceptor: Some(acceptor),
+            acceptor,
             workers,
             worker_wakers,
             shared,
@@ -290,15 +363,21 @@ impl Server {
         for waker in &self.worker_wakers {
             waker.wake();
         }
-        let mut stats = ServerStats { served_per_worker: Vec::new(), failed: 0 };
+        let mut stats = ServerStats {
+            served_per_worker: Vec::new(),
+            accepted_per_worker: Vec::new(),
+            failed: 0,
+        };
         for handle in self.workers.drain(..) {
             match handle.join() {
                 Ok(report) => {
                     stats.served_per_worker.push(report.served);
+                    stats.accepted_per_worker.push(report.accepted);
                     stats.failed += report.failed;
                 }
                 Err(_) => {
                     stats.served_per_worker.push(0);
+                    stats.accepted_per_worker.push(0);
                     stats.failed += 1;
                 }
             }
@@ -307,9 +386,34 @@ impl Server {
     }
 }
 
-/// One worker: a reactor, its service, and the intake handshake.
+/// Per-worker SO_REUSEPORT listeners sharing one port: the first may bind
+/// port 0; the rest bind the resolved concrete address.
+fn sharded_listeners(addr: SocketAddr, workers: usize) -> std::io::Result<Vec<TcpListener>> {
+    #[cfg(target_os = "linux")]
+    {
+        let first = sys::reuseport_listener(addr)?;
+        let concrete = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..workers {
+            listeners.push(sys::reuseport_listener(concrete)?);
+        }
+        Ok(listeners)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (addr, workers);
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "SO_REUSEPORT accept sharding requires Linux",
+        ))
+    }
+}
+
+/// One worker: a reactor, its service, its buffer pool, and either its own
+/// sharded listener or the balanced intake handshake.
 fn worker_loop<S: TcpService>(
     config: ReactorConfig,
+    mut listener: Option<TcpListener>,
     shared: Arc<WorkerShared>,
     mut service: S,
     stop: Arc<AtomicBool>,
@@ -320,22 +424,70 @@ fn worker_loop<S: TcpService>(
     // stop routing connections here.
     let _alive = AliveGuard(&shared.alive);
     let worker = (config.first_conn_id >> 48) as usize;
-    let mut report = WorkerReport { served: 0, failed: 0 };
+    let mut report = WorkerReport { served: 0, accepted: 0, failed: 0 };
     let Ok(mut reactor) = Reactor::<TcpTransport>::new(config) else {
         // Dropping the sender makes bind() fail loudly.
         return report;
     };
+    if let Some(shard) = &listener {
+        // Watched alongside the connections; readiness latches sticky, so a
+        // backlog predating this registration is still drained.
+        if reactor.watch_aux(shard.as_raw_fd()).is_err() {
+            return report;
+        }
+    }
     if waker_tx.send((worker, reactor.waker())).is_err() {
         return report;
     }
     drop(waker_tx);
+    let mut pool = BufferPool::new();
 
     loop {
-        // Adopt whatever the acceptor queued.
+        // Stop accepting the moment shutdown starts: deregister and close our
+        // shard so new connections get a reset, then drain what's in flight.
+        if stop.load(Ordering::SeqCst) && listener.is_some() {
+            reactor.unwatch_aux();
+            listener = None;
+        }
+
+        // Sharded mode: accept straight off our own listener. Must drain to
+        // WouldBlock — under edge-triggered delivery no event repeats for a
+        // backlog we leave behind.
+        if let Some(shard) = &listener {
+            if reactor.take_aux_ready() {
+                loop {
+                    match shard.accept() {
+                        Ok((stream, peer)) => {
+                            shared.load.fetch_add(1, Ordering::SeqCst);
+                            report.accepted += 1;
+                            match adopt(&mut reactor, &mut service, &mut pool, stream, peer) {
+                                Ok(conn) => service.on_accepted(conn, peer),
+                                Err(_) => {
+                                    shared.load.fetch_sub(1, Ordering::SeqCst);
+                                    report.failed += 1;
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        // Transient accept failure (aborted handshake, EMFILE):
+                        // re-latch so the next turn (≤200ms away) retries even
+                        // without a fresh readiness edge.
+                        Err(_) => {
+                            reactor.mark_aux_ready();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Balanced mode: adopt whatever the acceptor queued.
         let streams: Vec<(TcpStream, SocketAddr)> =
             std::mem::take(&mut *shared.intake.lock().expect("intake lock"));
         for (stream, peer) in streams {
-            match adopt(&mut reactor, &mut service, stream, peer) {
+            report.accepted += 1;
+            match adopt(&mut reactor, &mut service, &mut pool, stream, peer) {
                 Ok(conn) => service.on_accepted(conn, peer),
                 Err(_) => {
                     shared.load.fetch_sub(1, Ordering::SeqCst);
@@ -344,18 +496,20 @@ fn worker_loop<S: TcpService>(
             }
         }
 
-        // Hand back retired connections.
-        for finished in reactor.take_finished() {
+        // Hand back retired connections, recycling their buffers.
+        for mut finished in reactor.take_finished() {
             shared.load.fetch_sub(1, Ordering::SeqCst);
             service.on_closed(finished.conn, &finished.endpoint, &finished.result);
+            pool.put_back(finished.endpoint.transport_mut().take_buffers());
             match finished.result {
                 Ok(()) => report.served += 1,
                 Err(_) => report.failed += 1,
             }
         }
 
-        // Exit only once the acceptor is gone for good: until then a fresh
-        // connection could still land in this worker's intake.
+        // Exit only once accepting is over for good: in balanced mode the
+        // acceptor must be gone (a fresh connection could still land in our
+        // intake until then); in sharded mode our listener is already closed.
         if stop.load(Ordering::SeqCst)
             && accepting_done.load(Ordering::SeqCst)
             && reactor.is_empty()
@@ -382,6 +536,7 @@ fn worker_loop<S: TcpService>(
 fn adopt<S: TcpService>(
     reactor: &mut Reactor<TcpTransport>,
     service: &mut S,
+    pool: &mut BufferPool,
     stream: TcpStream,
     peer: SocketAddr,
 ) -> Result<ConnId, ReconError> {
@@ -390,8 +545,12 @@ fn adopt<S: TcpService>(
     // Nagle batch them against delayed ACKs costs tens of ms per exchange.
     stream.set_nodelay(true).map_err(|e| io_err("conn nodelay", e))?;
     let reader = stream.try_clone().map_err(|e| io_err("clone stream", e))?;
-    let mut endpoint = Endpoint::new(StreamTransport::new(reader, stream));
-    service.register(peer, &mut endpoint)?;
+    let mut endpoint =
+        Endpoint::new(StreamTransport::with_buffers(reader, stream, pool.checkout()));
+    if let Err(e) = service.register(peer, &mut endpoint) {
+        pool.put_back(endpoint.transport_mut().take_buffers());
+        return Err(e);
+    }
     reactor.insert(endpoint)
 }
 
@@ -551,13 +710,13 @@ mod tests {
         recovered.expect("recovered")
     }
 
-    #[test]
-    fn two_worker_server_serves_concurrent_clients() {
+    fn serve_eight_clients(mode: AcceptMode) -> ServerStats {
         let config = ServerConfig {
             workers: 2,
             session_deadline: Some(Duration::from_secs(15)),
-            backend: None,
+            accept_mode: mode,
             accept_seed: 7,
+            ..ServerConfig::default()
         };
         let server = Server::bind("127.0.0.1:0", config, |_| EchoNumbers).expect("bind");
         let addr = server.local_addr();
@@ -568,10 +727,27 @@ mod tests {
             let recovered = client.join().expect("client thread");
             assert_eq!(recovered, 1000 + (i as u64 % 3));
         }
-        let stats = server.shutdown();
+        server.shutdown()
+    }
+
+    #[test]
+    fn two_worker_server_serves_concurrent_clients() {
+        let stats = serve_eight_clients(AcceptMode::Balanced);
         assert_eq!(stats.served(), 8, "{stats:?}");
         assert_eq!(stats.failed, 0, "{stats:?}");
         assert_eq!(stats.served_per_worker.len(), 2);
+        assert_eq!(stats.accepted_per_worker.iter().sum::<u64>(), 8, "{stats:?}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sharded_accept_serves_the_same_traffic_without_an_acceptor() {
+        let stats = serve_eight_clients(AcceptMode::Sharded);
+        assert_eq!(stats.served(), 8, "{stats:?}");
+        assert_eq!(stats.failed, 0, "{stats:?}");
+        // The kernel spreads by 4-tuple hash; totals must add up regardless
+        // of how even the split came out.
+        assert_eq!(stats.accepted_per_worker.iter().sum::<u64>(), 8, "{stats:?}");
     }
 
     fn worker(load: u64, alive: bool) -> Arc<WorkerShared> {

@@ -69,6 +69,11 @@ pub const EPOLLHUP: u32 = 0x010;
 /// Peer closed its writing half — reading will drain then return EOF.
 #[cfg(target_os = "linux")]
 pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery: report each readiness transition once instead of
+/// re-reporting while the condition holds. A consumer must drain the
+/// descriptor to `WouldBlock` on every event or risk never hearing again.
+#[cfg(target_os = "linux")]
+pub const EPOLLET: u32 = 1 << 31;
 
 #[cfg(target_os = "linux")]
 const EPOLL_CTL_ADD: c_int = 1;
@@ -86,12 +91,22 @@ const O_NONBLOCK: c_int = 0o4000;
 #[cfg(not(target_os = "linux"))]
 const O_NONBLOCK: c_int = 0x0004;
 
+/// `struct iovec` from `<sys/uio.h>`: one scatter/gather segment.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct IoVec {
+    base: *mut c_void,
+    len: usize,
+}
+
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
     fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn readv(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+    fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
 
     #[cfg(target_os = "linux")]
     fn epoll_create1(flags: c_int) -> c_int;
@@ -99,6 +114,15 @@ extern "C" {
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
     #[cfg(target_os = "linux")]
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+
+    #[cfg(target_os = "linux")]
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    #[cfg(target_os = "linux")]
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_void, len: u32) -> c_int;
+    #[cfg(target_os = "linux")]
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    #[cfg(target_os = "linux")]
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
 }
 
 fn cvt(res: c_int) -> io::Result<c_int> {
@@ -195,6 +219,134 @@ pub fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
     }
 }
 
+/// How many scatter/gather segments [`readv_fd`] / [`writev_fd`] pass to the
+/// kernel per call. The runtime's transports coalesce into at most two
+/// segments (a ring buffer's two slices); anything beyond the cap is simply
+/// not submitted this call, which the `Read`/`Write` contracts already allow.
+const IOV_STACK: usize = 8;
+
+/// Scatter-read into `bufs` with one `readv` syscall. Returns the total bytes
+/// read across segments (0 is EOF); `WouldBlock` surfaces like `read`.
+pub fn readv_fd(fd: RawFd, bufs: &mut [io::IoSliceMut<'_>]) -> io::Result<usize> {
+    let n = bufs.len().min(IOV_STACK);
+    let mut iov = [IoVec { base: std::ptr::null_mut(), len: 0 }; IOV_STACK];
+    for (slot, buf) in iov.iter_mut().zip(bufs[..n].iter_mut()) {
+        slot.base = buf.as_mut_ptr().cast::<c_void>();
+        slot.len = buf.len();
+    }
+    let res = unsafe { readv(fd, iov.as_ptr(), n as c_int) };
+    if res < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(res as usize)
+    }
+}
+
+/// Gather-write from `bufs` with one `writev` syscall. Returns the total bytes
+/// the kernel accepted across segments; `WouldBlock` surfaces like `write`.
+pub fn writev_fd(fd: RawFd, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+    let n = bufs.len().min(IOV_STACK);
+    let mut iov = [IoVec { base: std::ptr::null_mut(), len: 0 }; IOV_STACK];
+    for (slot, buf) in iov.iter_mut().zip(&bufs[..n]) {
+        slot.base = buf.as_ptr() as *mut c_void;
+        slot.len = buf.len();
+    }
+    let res = unsafe { writev(fd, iov.as_ptr(), n as c_int) };
+    if res < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(res as usize)
+    }
+}
+
+/// `struct sockaddr_in` from `<netinet/in.h>`; port and address are stored as
+/// network-order byte arrays so no host/network conversion can be missed.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port: [u8; 2],
+    addr: [u8; 4],
+    zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6` from `<netinet/in.h>`.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    port: [u8; 2],
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+/// Build a non-blocking TCP listener with `SO_REUSEPORT` set *before* `bind`,
+/// so several listeners — one per server worker — can share one port and let
+/// the kernel spread incoming connections across them. Returned as a std
+/// [`std::net::TcpListener`] so the ordinary `accept` path applies.
+#[cfg(target_os = "linux")]
+pub fn reuseport_listener(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    const AF_INET: c_int = 2;
+    const AF_INET6: c_int = 10;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOCK_NONBLOCK: c_int = 0o4000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const SO_REUSEPORT: c_int = 15;
+
+    let family = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+    let fd = cvt(unsafe { socket(family, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0) })?;
+    // Owned wrapper so every early return below closes the descriptor.
+    let fd = OwnedSysFd(fd);
+    let one: c_int = 1;
+    let optlen = std::mem::size_of::<c_int>() as u32;
+    for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+        cvt(unsafe {
+            setsockopt(fd.raw(), SOL_SOCKET, opt, (&one as *const c_int).cast::<c_void>(), optlen)
+        })?;
+    }
+    match addr {
+        std::net::SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be_bytes(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            cvt(unsafe {
+                bind(
+                    fd.raw(),
+                    (&sa as *const SockAddrIn).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            })?;
+        }
+        std::net::SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be_bytes(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            cvt(unsafe {
+                bind(
+                    fd.raw(),
+                    (&sa as *const SockAddrIn6).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            })?;
+        }
+    }
+    cvt(unsafe { listen(fd.raw(), 1024) })?;
+    let raw = fd.raw();
+    // Ownership moves into the TcpListener; OwnedSysFd must not double-close.
+    std::mem::forget(fd);
+    Ok(unsafe { <std::net::TcpListener as std::os::fd::FromRawFd>::from_raw_fd(raw) })
+}
+
 /// Switch `fd` to non-blocking mode (`O_NONBLOCK`), preserving its other flags.
 pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
     let flags = cvt(unsafe { fcntl(fd, F_GETFL) })?;
@@ -249,6 +401,12 @@ impl io::Read for RawFdIo {
             Ok(n as usize)
         }
     }
+
+    // std's default would read into only the first buffer; go through readv so
+    // the transport's vectored fill stays one syscall on raw descriptors too.
+    fn read_vectored(&mut self, bufs: &mut [io::IoSliceMut<'_>]) -> io::Result<usize> {
+        readv_fd(self.0, bufs)
+    }
 }
 
 impl io::Write for RawFdIo {
@@ -259,6 +417,12 @@ impl io::Write for RawFdIo {
         } else {
             Ok(n as usize)
         }
+    }
+
+    // std's default would write only the first non-empty buffer; writev sends
+    // every queued segment in one syscall.
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        writev_fd(self.0, bufs)
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -326,5 +490,72 @@ mod tests {
 
         epoll_remove(&ep, reader.as_raw_fd()).unwrap();
         assert_eq!(epoll_wait_events(&ep, &mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn vectored_pipe_roundtrip_crosses_segment_boundaries() {
+        let (reader, writer) = std::io::pipe().expect("os pipe");
+        let mut w = RawFdIo::new(writer.as_raw_fd());
+        let segs = [
+            io::IoSlice::new(b"alpha"),
+            io::IoSlice::new(b""),
+            io::IoSlice::new(b"beta"),
+            io::IoSlice::new(b"gamma!"),
+        ];
+        assert_eq!(w.write_vectored(&segs).unwrap(), 15);
+
+        let mut r = RawFdIo::new(reader.as_raw_fd());
+        let (mut a, mut b, mut c) = ([0u8; 7], [0u8; 0], [0u8; 12]);
+        let mut out =
+            [io::IoSliceMut::new(&mut a), io::IoSliceMut::new(&mut b), io::IoSliceMut::new(&mut c)];
+        assert_eq!(r.read_vectored(&mut out).unwrap(), 15);
+        assert_eq!(&a, b"alphabe");
+        assert_eq!(&c[..8], b"tagamma!");
+    }
+
+    #[test]
+    fn vectored_with_more_than_stack_segments_still_makes_progress() {
+        let (reader, writer) = std::io::pipe().expect("os pipe");
+        let mut w = RawFdIo::new(writer.as_raw_fd());
+        let payload: Vec<[u8; 1]> = (0u8..12).map(|i| [i]).collect();
+        let segs: Vec<io::IoSlice<'_>> = payload.iter().map(|s| io::IoSlice::new(s)).collect();
+        // Only the first IOV_STACK segments go down in one call; callers loop.
+        let n = w.write_vectored(&segs).unwrap();
+        assert_eq!(n, IOV_STACK);
+        let mut r = RawFdIo::new(reader.as_raw_fd());
+        let mut buf = [0u8; 16];
+        assert_eq!(r.read(&mut buf).unwrap(), IOV_STACK);
+        assert_eq!(&buf[..IOV_STACK], &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_listeners_share_a_port() {
+        use std::net::{SocketAddr, TcpStream};
+
+        let first = reuseport_listener("127.0.0.1:0".parse::<SocketAddr>().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        // A second listener on the very same concrete port must succeed.
+        let second = reuseport_listener(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap().port(), addr.port());
+
+        // The kernel hashes connections across both; a connect lands on one.
+        let client = TcpStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match first.accept() {
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("accept on first listener: {e}"),
+            }
+            match second.accept() {
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("accept on second listener: {e}"),
+            }
+            assert!(std::time::Instant::now() < deadline, "no listener saw the connection");
+            std::thread::yield_now();
+        }
+        drop(client);
     }
 }

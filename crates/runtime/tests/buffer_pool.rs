@@ -1,0 +1,103 @@
+//! Pins the tentpole allocation claim: once a server worker's buffer pool is
+//! warm, serving more sessions checks buffers out of the pool instead of
+//! allocating fresh ones — `buffer_pool_stats().misses` must not move.
+//!
+//! This is deliberately the *only* test in this file: the pool counters are
+//! process-wide, and integration-test files run as their own process, so no
+//! parallel test can perturb the deltas measured here.
+
+#![cfg(unix)]
+
+use recon_base::ReconError;
+use recon_protocol::amplify::{AmplifiedReceiver, AmplifiedSender, Exhaust};
+use recon_protocol::{buffer_pool_stats, Envelope, Role};
+use recon_runtime::{
+    connect_endpoint, drive_endpoint, ReactorConfig, Server, ServerConfig, TcpEndpoint, TcpService,
+};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+struct OneSender;
+
+impl TcpService for OneSender {
+    fn register(
+        &mut self,
+        _peer: SocketAddr,
+        endpoint: &mut TcpEndpoint,
+    ) -> Result<(), ReconError> {
+        let alice =
+            AmplifiedSender::new(4, |attempt| Ok(Envelope::round(1, "digest", &(500 + attempt))))
+                .expect("sender");
+        endpoint.register(0, Role::Alice, alice)
+    }
+}
+
+fn run_client(addr: SocketAddr) {
+    let mut endpoint = connect_endpoint(addr).expect("connect");
+    let bob = AmplifiedReceiver::new(
+        4,
+        |_, env: Envelope| env.decode_payload::<u64>(),
+        |_| true,
+        |_| Envelope::control(2, "retry", &()),
+        Exhaust::LastError,
+    );
+    endpoint.register(0, Role::Bob, bob).expect("register");
+    let mut recovered = None;
+    drive_endpoint(&mut endpoint, &ReactorConfig::default(), |endpoint| {
+        match endpoint.take_outcome::<u64>(0) {
+            Some(outcome) => {
+                recovered = Some(outcome?.recovered);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    })
+    .expect("client drive");
+    assert_eq!(recovered, Some(500));
+}
+
+#[test]
+fn steady_state_serving_allocates_no_new_connection_buffers() {
+    let config = ServerConfig {
+        workers: 1,
+        session_deadline: Some(Duration::from_secs(15)),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config, |_| OneSender).expect("bind");
+    let addr = server.local_addr();
+
+    // Warm-up: sequential sessions populate the worker's pool up to the peak
+    // concurrency this loop ever reaches (connection retire can lag the
+    // client's close slightly, so the peak may exceed 1, but it is small and
+    // reached here, not later).
+    for _ in 0..6 {
+        run_client(addr);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let warm = buffer_pool_stats();
+    assert!(warm.misses >= 1, "warm-up must have allocated at least once: {warm:?}");
+
+    // Steady state: every further session must be served from recycled
+    // buffers. A single new allocation here is the regression this test pins.
+    for _ in 0..12 {
+        run_client(addr);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let steady = buffer_pool_stats();
+    assert_eq!(
+        steady.misses, warm.misses,
+        "steady-state serving allocated fresh connection buffers: {warm:?} -> {steady:?}"
+    );
+    assert!(
+        steady.hits >= warm.hits + 12,
+        "12 steady-state sessions must all be pool hits: {warm:?} -> {steady:?}"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served(), 18, "{stats:?}");
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    let end = buffer_pool_stats();
+    assert_eq!(end.outstanding(), 0, "all buffers returned after shutdown: {end:?}");
+}

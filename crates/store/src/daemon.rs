@@ -294,6 +294,7 @@ impl<B: StorageBackend + 'static> StoreDaemon<B> {
             session_deadline: None,
             backend: None,
             accept_seed: 0x5709ED,
+            ..ServerConfig::default()
         };
         let server = {
             let store = Arc::clone(&store);
