@@ -1,0 +1,178 @@
+//! Typed, process-wide runtime options for the `recon` workspace.
+//!
+//! Historically each crate grew its own environment-variable escape hatch
+//! (`RECON_IBLT_FORCE_SCALAR`, `RECON_RUNTIME_FORCE_POLL`,
+//! `RECON_PROTOCOL_FORCE_SEQ_IO`) with a private `AtomicBool` + `OnceLock`
+//! parse. This module replaces those three copies with one typed [`Options`]
+//! struct:
+//!
+//! * **programmatic override is the first-class path** — [`set`] /
+//!   [`Options::apply`] from code, or the per-flag setters like
+//!   [`set_force_scalar_kernels`];
+//! * the environment is read **once**, lazily, as a thin compat shim
+//!   ([`Options::from_env`] documents the variables), so existing CI legs and
+//!   shell workflows keep working unchanged;
+//! * consumers ask for the *effective* value ([`scalar_kernels_forced`] etc.),
+//!   which is the programmatic setting OR the environment shim.
+//!
+//! The flags are process-global because what they select is process-global:
+//! which CPU kernel dispatch table, which poller syscall, which stream I/O
+//! path. They exist so differential tests and CI can pin the fallback paths;
+//! every path is bit-identical, so these options change performance only.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// The workspace's runtime options, as one plain value.
+///
+/// `Options` is a snapshot type: build one (from [`Options::default`] or
+/// [`Options::from_env`]), tweak fields, and [`Options::apply`] it. Reading
+/// back the effective state goes through [`current`] or the per-flag getters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Options {
+    /// Pin every IBLT bank kernel to the scalar fallback path (no AVX2), as
+    /// `RECON_IBLT_FORCE_SCALAR` used to.
+    pub force_scalar_kernels: bool,
+    /// Pin the runtime's readiness poller to `poll(2)` instead of epoll, as
+    /// `RECON_RUNTIME_FORCE_POLL` used to.
+    pub force_poll_backend: bool,
+    /// Pin stream transports to sequential (one buffer per syscall) I/O
+    /// instead of `readv`/`writev`, as `RECON_PROTOCOL_FORCE_SEQ_IO` used to.
+    pub force_sequential_io: bool,
+}
+
+impl Options {
+    /// The options the environment requests, read fresh from the process
+    /// environment. The recognized variables (any value other than empty,
+    /// `0`, or `false` enables the flag):
+    ///
+    /// | variable | field |
+    /// |---|---|
+    /// | `RECON_IBLT_FORCE_SCALAR` | [`Options::force_scalar_kernels`] |
+    /// | `RECON_RUNTIME_FORCE_POLL` | [`Options::force_poll_backend`] |
+    /// | `RECON_PROTOCOL_FORCE_SEQ_IO` | [`Options::force_sequential_io`] |
+    pub fn from_env() -> Self {
+        Self {
+            force_scalar_kernels: env_flag("RECON_IBLT_FORCE_SCALAR"),
+            force_poll_backend: env_flag("RECON_RUNTIME_FORCE_POLL"),
+            force_sequential_io: env_flag("RECON_PROTOCOL_FORCE_SEQ_IO"),
+        }
+    }
+
+    /// Install these options as the process-wide programmatic setting.
+    /// Equivalent to [`set`]`(self)`.
+    pub fn apply(self) {
+        set(self);
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| !matches!(v.as_str(), "" | "0" | "false")).unwrap_or(false)
+}
+
+/// The environment shim, parsed exactly once on first use so every consumer
+/// sees one consistent snapshot for the life of the process.
+fn env_options() -> Options {
+    static ENV: OnceLock<Options> = OnceLock::new();
+    *ENV.get_or_init(Options::from_env)
+}
+
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+static FORCE_POLL: AtomicBool = AtomicBool::new(false);
+static FORCE_SEQ_IO: AtomicBool = AtomicBool::new(false);
+
+/// Install `options` as the process-wide programmatic setting, replacing any
+/// previous programmatic setting. The environment shim stays in effect: an
+/// env-enabled flag cannot be programmatically disabled (the shim exists so
+/// CI can pin fallback paths from outside the process, and a library
+/// clearing it would defeat that).
+pub fn set(options: Options) {
+    FORCE_SCALAR.store(options.force_scalar_kernels, Ordering::Relaxed);
+    FORCE_POLL.store(options.force_poll_backend, Ordering::Relaxed);
+    FORCE_SEQ_IO.store(options.force_sequential_io, Ordering::Relaxed);
+}
+
+/// The effective options: the programmatic setting OR'd with the environment
+/// shim, flag by flag.
+pub fn current() -> Options {
+    let env = env_options();
+    Options {
+        force_scalar_kernels: FORCE_SCALAR.load(Ordering::Relaxed) || env.force_scalar_kernels,
+        force_poll_backend: FORCE_POLL.load(Ordering::Relaxed) || env.force_poll_backend,
+        force_sequential_io: FORCE_SEQ_IO.load(Ordering::Relaxed) || env.force_sequential_io,
+    }
+}
+
+/// Programmatically force (or release) the scalar IBLT kernel path.
+pub fn set_force_scalar_kernels(force: bool) {
+    FORCE_SCALAR.store(force, Ordering::Relaxed);
+}
+
+/// Programmatically force (or release) the `poll(2)` poller backend.
+pub fn set_force_poll_backend(force: bool) {
+    FORCE_POLL.store(force, Ordering::Relaxed);
+}
+
+/// Programmatically force (or release) sequential stream I/O.
+pub fn set_force_sequential_io(force: bool) {
+    FORCE_SEQ_IO.store(force, Ordering::Relaxed);
+}
+
+/// Effective value of [`Options::force_scalar_kernels`].
+pub fn scalar_kernels_forced() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed) || env_options().force_scalar_kernels
+}
+
+/// Effective value of [`Options::force_poll_backend`].
+pub fn poll_backend_forced() -> bool {
+    FORCE_POLL.load(Ordering::Relaxed) || env_options().force_poll_backend
+}
+
+/// Effective value of [`Options::force_sequential_io`].
+pub fn sequential_io_forced() -> bool {
+    FORCE_SEQ_IO.load(Ordering::Relaxed) || env_options().force_sequential_io
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The three flags are process-global, and tests in one binary run
+    // concurrently — exercise them in a single test so set/restore can't race
+    // another test's reads. (The env shim path is covered by the CI legs that
+    // run the whole suite under each RECON_* variable.)
+    #[test]
+    fn programmatic_overrides_round_trip() {
+        let baseline = current();
+
+        set(Options {
+            force_scalar_kernels: true,
+            force_poll_backend: true,
+            force_sequential_io: true,
+        });
+        assert!(scalar_kernels_forced());
+        assert!(poll_backend_forced());
+        assert!(sequential_io_forced());
+        let all_on = current();
+        assert!(
+            all_on.force_scalar_kernels && all_on.force_poll_backend && all_on.force_sequential_io
+        );
+
+        // Per-flag setters agree with the bulk setter.
+        set_force_scalar_kernels(false);
+        assert_eq!(scalar_kernels_forced(), env_options().force_scalar_kernels);
+
+        set(Options::default());
+        assert_eq!(current(), baseline);
+    }
+
+    #[test]
+    fn env_parsing_treats_empty_zero_and_false_as_off() {
+        // from_env reads the real environment; with no RECON_* variables set
+        // every flag is off, and under a CI leg exactly that leg's flag is on.
+        let opts = Options::from_env();
+        assert_eq!(opts.force_scalar_kernels, env_flag("RECON_IBLT_FORCE_SCALAR"));
+        assert_eq!(opts.force_poll_backend, env_flag("RECON_RUNTIME_FORCE_POLL"));
+        assert_eq!(opts.force_sequential_io, env_flag("RECON_PROTOCOL_FORCE_SEQ_IO"));
+    }
+}

@@ -19,7 +19,13 @@
 //!   recording the direction, size and label of every message and the number of
 //!   protocol rounds, mirroring how the paper states its communication bounds,
 //! * [`error`] — the shared [`error::ReconError`] type naming every failure mode the
-//!   paper discusses (peeling failures, checksum failures, failed matchings, …).
+//!   paper discusses (peeling failures, checksum failures, failed matchings, …) plus
+//!   the transport-level failures a lossy network adds, with
+//!   [`error::ReconError::is_retryable`] classifying which are worth a fresh attempt,
+//! * [`retry`] — the [`retry::RetryPolicy`] recovery driver re-running whole
+//!   sessions after retryable transport failures,
+//! * [`config`] — the typed, process-wide [`config::Options`] (kernel/poller/I/O
+//!   path pins) with the legacy `RECON_*` environment variables as a compat shim.
 //!
 //! All higher-level crates (`recon-iblt`, `recon-set`, `recon-sos`, `recon-graph`,
 //! `recon-apps`) build on these primitives and never use ambient randomness: given the
@@ -29,13 +35,17 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod config;
 pub mod error;
 pub mod hash;
+pub mod retry;
 pub mod rng;
 pub mod wire;
 
 pub use comm::{CommStats, Direction, MessageStat, Transcript};
+pub use config::Options;
 pub use error::ReconError;
 pub use hash::{hash64, hash_bytes, PairwiseHash};
+pub use retry::{run_with_retry, RetryPolicy};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use wire::{Decode, Encode, WireError};

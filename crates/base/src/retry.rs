@@ -1,0 +1,167 @@
+//! Recovery policy for reconciliation over hostile transports.
+//!
+//! The protocol layer already retries *inside* a session (the amplification
+//! combinators re-send replicas under fresh hash functions). This module is
+//! the layer above: when a whole session dies of a transport-level failure —
+//! a timeout, a corrupted frame, a peer that vanished — the session state
+//! machines are consumed and cannot be re-driven, so recovery means *running
+//! a fresh attempt*: reconnect, re-register fresh parties, re-run.
+//!
+//! A [`RetryPolicy`] says how many attempts to make, how long to back off
+//! between them, and how long each attempt may take; [`run_with_retry`] is
+//! the generic driver. Which errors are worth another attempt is decided by
+//! [`ReconError::is_retryable`] — a *structural* property of the error, never
+//! a string match: transport-level failures are retryable (a fresh attempt
+//! sees a fresh network), data-level failures are not (the same inputs will
+//! fail the same way).
+
+use crate::error::ReconError;
+use std::time::Duration;
+
+/// How (and whether) failed attempts are re-run; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included. `1` disables retrying.
+    pub max_attempts: u32,
+    /// Sleep before attempt `n+1` is `backoff << n`, capped at
+    /// [`RetryPolicy::max_backoff`]. `Duration::ZERO` disables sleeping
+    /// (in-process transports have nothing to wait out).
+    pub backoff: Duration,
+    /// Upper bound on one exponential-backoff sleep.
+    pub max_backoff: Duration,
+    /// Time budget for each individual attempt. Drivers with their own timer
+    /// plumbing (the reactor's `session_deadline`, `drive_endpoint`'s whole-
+    /// call deadline) apply this per attempt; `None` leaves their defaults.
+    pub attempt_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 50 ms base backoff capped at 1 s, attempt deadline
+    /// left to the driver.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            attempt_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry policy: one attempt, failures are final.
+    pub fn none() -> Self {
+        Self { max_attempts: 1, ..Self::default() }
+    }
+
+    /// A policy making up to `max_attempts` attempts with the default backoff.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        Self { max_attempts: max_attempts.max(1), ..Self::default() }
+    }
+
+    /// Builder-style: set the base backoff.
+    pub fn backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Builder-style: set the per-attempt deadline.
+    pub fn attempt_deadline(mut self, deadline: Duration) -> Self {
+        self.attempt_deadline = Some(deadline);
+        self
+    }
+
+    /// The sleep inserted after failed attempt `attempt` (0-based):
+    /// exponential from [`RetryPolicy::backoff`], capped.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let exp = attempt.min(16); // 2^16 * anything is already past any cap
+        self.backoff.saturating_mul(1u32 << exp).min(self.max_backoff)
+    }
+}
+
+/// Run `attempt` (called with the 0-based attempt number) until it succeeds,
+/// fails with a non-retryable error, or the policy's attempts are exhausted —
+/// in which case the *last* error is returned, its context intact.
+///
+/// Retry decisions go through [`ReconError::is_retryable`] exclusively. The
+/// closure owns reconnecting / re-creating parties: by the time an attempt
+/// fails, its session state machines are consumed.
+pub fn run_with_retry<T>(
+    policy: &RetryPolicy,
+    mut attempt: impl FnMut(u32) -> Result<T, ReconError>,
+) -> Result<T, ReconError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut n = 0;
+    loop {
+        match attempt(n) {
+            Ok(value) => return Ok(value),
+            Err(error) => {
+                if !error.is_retryable() || n + 1 >= attempts {
+                    return Err(error);
+                }
+                let backoff = policy.backoff_after(n);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                n += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_retryable_errors_up_to_the_budget() {
+        let policy = RetryPolicy { backoff: Duration::ZERO, ..RetryPolicy::with_attempts(4) };
+        let mut calls = 0;
+        let result = run_with_retry(&policy, |attempt| {
+            assert_eq!(attempt, calls);
+            calls += 1;
+            if attempt < 2 {
+                Err(ReconError::Timeout { waited_ms: 10 })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result.unwrap(), 2);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_immediately() {
+        let policy = RetryPolicy { backoff: Duration::ZERO, ..RetryPolicy::with_attempts(5) };
+        let mut calls = 0;
+        let result: Result<(), _> = run_with_retry(&policy, |_| {
+            calls += 1;
+            Err(ReconError::InvalidInput("bad".into()))
+        });
+        assert!(matches!(result, Err(ReconError::InvalidInput(_))));
+        assert_eq!(calls, 1, "data-level failures must not burn retry budget");
+    }
+
+    #[test]
+    fn exhaustion_returns_the_last_error_with_context() {
+        let policy = RetryPolicy { backoff: Duration::ZERO, ..RetryPolicy::with_attempts(3) };
+        let result: Result<(), _> = run_with_retry(&policy, |attempt| {
+            Err(ReconError::Timeout { waited_ms: 100 + u64::from(attempt) })
+        });
+        assert_eq!(result.unwrap_err(), ReconError::Timeout { waited_ms: 102 });
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_after(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff_after(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff_after(2), Duration::from_millis(35));
+        assert_eq!(policy.backoff_after(30), Duration::from_millis(35));
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+}

@@ -94,11 +94,8 @@ fn bench_cached_reconcile(c: &mut Criterion) {
         let (stats, _) = daemon.shutdown();
         assert_eq!(stats.failed, 0, "daemon leg must close cleanly: {stats:?}");
 
-        let server_config = ServerConfig {
-            workers: 1,
-            session_deadline: Some(Duration::from_secs(30)),
-            ..ServerConfig::default()
-        };
+        let server_config =
+            ServerConfig::new().workers(1).session_deadline(Some(Duration::from_secs(30)));
         let cold_keys = authority.clone();
         let cold_session = session_config.clone();
         let server = Server::bind("127.0.0.1:0", server_config, move |_| ColdService {

@@ -92,11 +92,8 @@ fn bench_reactor_serve(c: &mut Criterion) {
     let (alice_set, bob_set) = dataset();
     let mut group = c.benchmark_group("reactor_serve");
     for workers in [1usize, 2, 4] {
-        let server_config = ServerConfig {
-            workers,
-            session_deadline: Some(Duration::from_secs(30)),
-            ..ServerConfig::default()
-        };
+        let server_config =
+            ServerConfig::new().workers(workers).session_deadline(Some(Duration::from_secs(30)));
         let alice_set = alice_set.clone();
         let server = Server::bind("127.0.0.1:0", server_config, move |_| OneSession {
             alice_set: alice_set.clone(),

@@ -114,11 +114,7 @@ fn load_child(addr: SocketAddr, conns: usize) {
 /// Returns `(mean_ns_per_session, p50_ns, p99_ns, sessions)`.
 fn run_load(children: usize, conns_per_child: usize) -> (f64, f64, f64, u64) {
     let (alice_set, _) = dataset();
-    let server_config = ServerConfig {
-        workers: WORKERS,
-        session_deadline: Some(DEADLINE),
-        ..ServerConfig::default()
-    };
+    let server_config = ServerConfig::new().workers(WORKERS).session_deadline(Some(DEADLINE));
     let server = Server::bind("127.0.0.1:0", server_config, move |_| OneSession {
         alice_set: alice_set.clone(),
     })

@@ -26,7 +26,7 @@
 // the runtime AVX2 check and operating strictly in-bounds.
 #![allow(unsafe_code)]
 
-use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(target_arch = "x86_64")]
 use std::sync::OnceLock;
 
 /// 64-bit lanes per chunk; one 256-bit vector.
@@ -34,28 +34,15 @@ const LANES: usize = 4;
 /// Bytes per chunk in the byte-bank kernels.
 const BYTE_LANES: usize = 32;
 
-static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
-
-// Only consulted on x86_64: everywhere else the scalar path is the only path,
-// so the override (and this env read) would be dead code.
-#[cfg(target_arch = "x86_64")]
-fn env_forces_scalar() -> bool {
-    static ENV: OnceLock<bool> = OnceLock::new();
-    *ENV.get_or_init(|| {
-        std::env::var("RECON_IBLT_FORCE_SCALAR")
-            .map(|v| !matches!(v.as_str(), "" | "0" | "false"))
-            .unwrap_or(false)
-    })
-}
-
 /// Force every bank kernel onto the scalar fallback path (process-global).
 ///
 /// The kernels are bit-identical across paths, so this changes performance only;
 /// it exists so differential tests and benchmarks can pin the fallback explicitly.
-/// The `RECON_IBLT_FORCE_SCALAR` environment variable has the same effect without
+/// A thin alias for [`recon_base::config::set_force_scalar_kernels`]; the
+/// `RECON_IBLT_FORCE_SCALAR` environment variable has the same effect without
 /// recompiling.
 pub fn force_scalar_kernels(force: bool) {
-    FORCE_SCALAR.store(force, Ordering::Relaxed);
+    recon_base::config::set_force_scalar_kernels(force);
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -68,7 +55,7 @@ fn avx2_detected() -> bool {
 fn use_avx2() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        avx2_detected() && !FORCE_SCALAR.load(Ordering::Relaxed) && !env_forces_scalar()
+        avx2_detected() && !recon_base::config::scalar_kernels_forced()
     }
     #[cfg(not(target_arch = "x86_64"))]
     {

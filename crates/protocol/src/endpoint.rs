@@ -111,12 +111,45 @@ pub struct Endpoint<T: Transport> {
     transport: T,
     sessions: BTreeMap<SessionId, Slot>,
     frames_dispatched: usize,
+    integrity: Option<u64>,
+    hello_pending: bool,
+    max_sessions: Option<usize>,
 }
 
 impl<T: Transport> Endpoint<T> {
     /// An endpoint speaking over `transport`, with no sessions yet.
     pub fn new(transport: T) -> Self {
-        Self { transport, sessions: BTreeMap::new(), frames_dispatched: 0 }
+        Self {
+            transport,
+            sessions: BTreeMap::new(),
+            frames_dispatched: 0,
+            integrity: None,
+            hello_pending: false,
+            max_sessions: None,
+        }
+    }
+
+    /// Offer checked frames (keyed checksum trailers) to the peer, keyed by
+    /// `key` — a value both sides derived out of band, like every public coin
+    /// in this workspace.
+    ///
+    /// The decoder accepts checked incoming frames immediately (the peer's
+    /// offer may already be in flight), and a [`FrameBody::Hello`] goes out
+    /// ahead of any session frame. Outgoing frames start carrying trailers
+    /// once the peer's own Hello arrives; against a peer that never offers,
+    /// the connection simply proceeds unchecked, byte-identical to a
+    /// connection with no offer at all.
+    pub fn offer_integrity(&mut self, key: u64) {
+        self.integrity = Some(key);
+        self.transport.set_integrity_key(Some(key));
+        self.hello_pending = true;
+    }
+
+    /// Cap how many sessions may be registered at once; registrations past
+    /// the cap fail with [`ReconError::ResourceExhausted`]. Servers set this
+    /// so one connection cannot open sessions until memory runs out.
+    pub fn set_max_sessions(&mut self, max: usize) {
+        self.max_sessions = Some(max);
     }
 
     /// Register the local half of session `id`. The peer endpoint must register
@@ -128,6 +161,14 @@ impl<T: Transport> Endpoint<T> {
     {
         if self.sessions.contains_key(&id) {
             return Err(ReconError::InvalidInput(format!("session id {id} already registered")));
+        }
+        if let Some(max) = self.max_sessions {
+            if self.sessions.len() >= max {
+                return Err(ReconError::ResourceExhausted {
+                    what: "sessions per connection",
+                    limit: max,
+                });
+            }
         }
         self.sessions.insert(
             id,
@@ -193,6 +234,11 @@ impl<T: Transport> Endpoint<T> {
 
     fn pump_sends(&mut self) -> Result<bool, ReconError> {
         let mut progressed = false;
+        if self.hello_pending {
+            self.hello_pending = false;
+            progressed = true;
+            self.transport.send(&Frame::hello(true))?;
+        }
         for (&id, slot) in self.sessions.iter_mut() {
             while let Some(envelope) = slot.session.poll_send() {
                 progressed = true;
@@ -211,18 +257,29 @@ impl<T: Transport> Endpoint<T> {
 
     fn dispatch(&mut self, frame: Frame) -> Result<(), ReconError> {
         self.frames_dispatched += 1;
+        if let FrameBody::Hello { checksums } = frame.body {
+            // Connection-level, never routed to a session. The peer wants
+            // checked frames; oblige if we offered too (one-sided offers
+            // degrade to an unchecked connection).
+            if checksums {
+                if let Some(key) = self.integrity {
+                    self.transport.set_checked_out(Some(key));
+                }
+            }
+            return Ok(());
+        }
         let Some(slot) = self.sessions.get_mut(&frame.session_id) else {
             return match frame.body {
                 // A Fin for an already-closed session is normal shutdown skew.
                 FrameBody::Fin => Ok(()),
-                FrameBody::Envelope(_) => Err(ReconError::Transport(format!(
+                _ => Err(ReconError::Transport(format!(
                     "envelope for unknown session {}",
                     frame.session_id
                 ))),
             };
         };
         match frame.body {
-            FrameBody::Fin => slot.peer_finished = true,
+            FrameBody::Fin | FrameBody::Hello { .. } => slot.peer_finished = true,
             FrameBody::Envelope(envelope) => {
                 if slot.finished() {
                     // Late frame after local completion/failure; drop it, like
@@ -354,8 +411,8 @@ impl<T: Transport> Endpoint<T> {
 /// Deadlock guard: a round where neither endpoint dispatched a frame, moved a
 /// single byte through its transport, sent an envelope, or retired a session
 /// cannot unblock itself — an in-process pair has no genuine "waiting on the
-/// network" state — so the driver returns a descriptive
-/// [`ReconError::Transport`] naming the stuck sessions instead of looping
+/// network" state — so the driver returns a structured
+/// [`ReconError::SessionStuck`] naming the stuck sessions instead of looping
 /// forever on a stalled peer. Byte-level movement counts as progress on
 /// purpose, and the guard waits for a *second* consecutive idle round before
 /// declaring deadlock: a transport that delivers one byte then `WouldBlock`
@@ -393,22 +450,21 @@ pub fn drive_pair<TA: Transport, TB: Transport>(
             idle_rounds += 1;
         }
         if idle_rounds >= 2 {
-            return Err(ReconError::Transport(format!(
-                "endpoint pair deadlocked: no frame dispatched, byte moved, or session \
-                 finished in a full round ({} frames dispatched so far; waiting sessions \
-                 a={:?} b={:?})",
-                a.frames_dispatched() + b.frames_dispatched(),
-                a.sessions
+            // BTreeMap iteration gives the ids ascending, as documented.
+            return Err(ReconError::SessionStuck {
+                waiting_a: a
+                    .sessions
                     .iter()
                     .filter(|(_, s)| !s.finished())
                     .map(|(id, _)| *id)
-                    .collect::<Vec<_>>(),
-                b.sessions
+                    .collect(),
+                waiting_b: b
+                    .sessions
                     .iter()
                     .filter(|(_, s)| !s.finished())
                     .map(|(id, _)| *id)
-                    .collect::<Vec<_>>(),
-            )));
+                    .collect(),
+            });
         }
         before = after;
     }
@@ -768,12 +824,68 @@ mod tests {
         let (_, bob) = counting_pair(1, 0);
         bob_end.register(3, Role::Bob, bob).unwrap();
         match drive_pair(&mut alice_end, &mut bob_end) {
-            Err(ReconError::Transport(why)) => {
-                assert!(why.contains("deadlocked"), "{why}");
-                assert!(why.contains("b=[3]"), "{why}");
+            Err(ReconError::SessionStuck { waiting_a, waiting_b }) => {
+                assert_eq!(waiting_a, Vec::<SessionId>::new());
+                assert_eq!(waiting_b, vec![3]);
             }
-            other => panic!("expected a descriptive Transport error, got {other:?}"),
+            other => panic!("expected SessionStuck naming the session, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn mutual_integrity_offers_turn_checksums_on() {
+        let (ta, tb) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(ta);
+        let mut bob_end = Endpoint::new(tb);
+        let key = 0xC0FFEE_u64;
+        alice_end.offer_integrity(key);
+        bob_end.offer_integrity(key);
+        let (alice, bob) = counting_pair(42, 1);
+        alice_end.register(0, Role::Alice, alice).unwrap();
+        bob_end.register(0, Role::Bob, bob).unwrap();
+        drive_pair(&mut alice_end, &mut bob_end).unwrap();
+        let outcome = bob_end.take_outcome::<u64>(0).unwrap().unwrap();
+        assert_eq!(outcome.recovered, 43);
+        // Stats are metered on envelopes, so trailers don't distort the
+        // paper's accounting; only the framed byte counters grow.
+        let (alice, bob) = counting_pair(42, 1);
+        let solo = crate::session::SessionBuilder::new(0).run(alice, bob).unwrap();
+        assert_eq!(outcome.stats, solo.stats);
+    }
+
+    #[test]
+    fn one_sided_integrity_offer_degrades_to_unchecked() {
+        let (ta, tb) = MemoryTransport::pair();
+        let mut alice_end = Endpoint::new(ta);
+        let mut bob_end = Endpoint::new(tb);
+        alice_end.offer_integrity(5);
+        let (alice, bob) = counting_pair(7, 0);
+        alice_end.register(0, Role::Alice, alice).unwrap();
+        bob_end.register(0, Role::Bob, bob).unwrap();
+        drive_pair(&mut alice_end, &mut bob_end).unwrap();
+        assert_eq!(bob_end.take_outcome::<u64>(0).unwrap().unwrap().recovered, 7);
+    }
+
+    #[test]
+    fn session_cap_rejects_registration_with_a_structured_error() {
+        let (ta, _tb) = MemoryTransport::pair();
+        let mut end = Endpoint::new(ta);
+        end.set_max_sessions(2);
+        for id in 0..2 {
+            let (alice, _) = counting_pair(id, 0);
+            end.register(id, Role::Alice, alice).unwrap();
+        }
+        let (alice, _) = counting_pair(9, 0);
+        match end.register(9, Role::Alice, alice) {
+            Err(ReconError::ResourceExhausted { what, limit: 2 }) => {
+                assert_eq!(what, "sessions per connection");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // Retiring a session frees its slot.
+        end.close(0).unwrap();
+        let (alice, _) = counting_pair(9, 0);
+        end.register(9, Role::Alice, alice).unwrap();
     }
 
     #[test]

@@ -13,8 +13,22 @@
 //! [`recon_base::wire`]. The [`FrameDecoder`] reassembles frames incrementally
 //! from arbitrarily chopped byte chunks, distinguishing "need more bytes"
 //! (truncation mid-frame) from genuinely malformed input.
+//!
+//! ## Checked frames
+//!
+//! A frame may optionally carry a keyed checksum trailer: the kind byte gets
+//! the [`FRAME_CHECKED_BIT`] set and the body is followed by 8 little-endian
+//! bytes of [`recon_base::hash::hash_bytes`] over everything before the
+//! trailer (session id, flagged kind byte, payload), keyed by a value both
+//! endpoints agreed on out of band. A corrupted checked frame surfaces as a
+//! structured [`ReconError::ChecksumMismatch`] instead of silent garbage or a
+//! decode panic deeper in the stack. Checked frames are **off by default**
+//! and negotiated per connection via [`FrameBody::Hello`] (see
+//! [`Endpoint::offer_integrity`](crate::Endpoint::offer_integrity)), so the
+//! wire format is unchanged for endpoints that never opt in.
 
 use crate::envelope::Envelope;
+use recon_base::hash::hash_bytes;
 use recon_base::wire::{read_uvarint, uvarint_len, write_uvarint, Decode, Encode, WireError};
 use recon_base::ReconError;
 
@@ -33,6 +47,15 @@ pub enum FrameBody {
     ///
     /// [`Meter::Control`]: crate::Meter::Control
     Fin,
+    /// Connection-level handshake, sent (at most once, first) on session id 0.
+    /// `checksums: true` offers checked frames; a peer that also offered
+    /// enables the checksum trailer on its outgoing frames when it sees this.
+    /// Endpoints that never offer send no Hello at all, keeping the wire
+    /// byte-identical to pre-handshake versions.
+    Hello {
+        /// Whether the sender wants checked frames on this connection.
+        checksums: bool,
+    },
 }
 
 /// One unit of a multiplexed byte stream: a session id plus a body.
@@ -55,9 +78,37 @@ impl Frame {
         Self { session_id, body: FrameBody::Fin }
     }
 
+    /// A connection-level handshake frame (session id 0).
+    pub fn hello(checksums: bool) -> Self {
+        Self { session_id: 0, body: FrameBody::Hello { checksums } }
+    }
+
     /// Serialize with the outer length prefix, ready for a byte stream.
     pub fn to_wire(&self) -> Vec<u8> {
         let body = self.to_bytes();
+        let mut out = Vec::with_capacity(uvarint_len(body.len() as u64) + body.len());
+        write_uvarint(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Append the *checked* body encoding to `buf`: the normal encoding with
+    /// [`FRAME_CHECKED_BIT`] set on the kind byte, followed by the 8-byte
+    /// little-endian keyed checksum over everything appended before it.
+    pub fn encode_checked(&self, buf: &mut Vec<u8>, key: u64) {
+        let start = buf.len();
+        self.encode(buf);
+        let kind_at = start + uvarint_len(self.session_id);
+        buf[kind_at] |= FRAME_CHECKED_BIT;
+        let checksum = hash_bytes(&buf[start..], key);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+    }
+
+    /// Serialize the checked encoding with the outer length prefix (which
+    /// covers the trailer), ready for a byte stream.
+    pub fn to_wire_checked(&self, key: u64) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.encode_checked(&mut body, key);
         let mut out = Vec::with_capacity(uvarint_len(body.len() as u64) + body.len());
         write_uvarint(&mut out, body.len() as u64);
         out.extend_from_slice(&body);
@@ -67,6 +118,14 @@ impl Frame {
 
 const FRAME_KIND_ENVELOPE: u8 = 0;
 const FRAME_KIND_FIN: u8 = 1;
+const FRAME_KIND_HELLO: u8 = 2;
+
+/// Flag bit on the kind byte marking a frame body that ends with the 8-byte
+/// keyed checksum trailer.
+pub const FRAME_CHECKED_BIT: u8 = 0x80;
+
+/// Size of the keyed checksum trailer on a checked frame body.
+pub const CHECKSUM_TRAILER_BYTES: usize = 8;
 
 impl Encode for Frame {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -77,18 +136,32 @@ impl Encode for Frame {
                 envelope.encode(buf);
             }
             FrameBody::Fin => buf.push(FRAME_KIND_FIN),
+            FrameBody::Hello { checksums } => {
+                buf.push(FRAME_KIND_HELLO);
+                buf.push(u8::from(*checksums));
+            }
         }
     }
+}
+
+fn decode_frame_kind(kind: u8, buf: &mut &[u8]) -> Result<FrameBody, WireError> {
+    Ok(match kind {
+        FRAME_KIND_ENVELOPE => FrameBody::Envelope(Envelope::decode(buf)?),
+        FRAME_KIND_FIN => FrameBody::Fin,
+        FRAME_KIND_HELLO => match u8::decode(buf)? {
+            0 => FrameBody::Hello { checksums: false },
+            1 => FrameBody::Hello { checksums: true },
+            _ => return Err(WireError::Invalid("hello flag")),
+        },
+        _ => return Err(WireError::Invalid("frame kind")),
+    })
 }
 
 impl Decode for Frame {
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         let session_id = read_uvarint(buf)?;
-        let body = match u8::decode(buf)? {
-            FRAME_KIND_ENVELOPE => FrameBody::Envelope(Envelope::decode(buf)?),
-            FRAME_KIND_FIN => FrameBody::Fin,
-            _ => return Err(WireError::Invalid("frame kind")),
-        };
+        let kind = u8::decode(buf)?;
+        let body = decode_frame_kind(kind, buf)?;
         Ok(Frame { session_id, body })
     }
 }
@@ -109,9 +182,13 @@ pub const DECODER_RETAIN_CAP: usize = 64 * 1024;
 /// Feed raw bytes in with [`FrameDecoder::extend`] as they arrive from the
 /// transport; [`FrameDecoder::next_frame`] yields complete frames and returns
 /// `Ok(None)` while a frame is still truncated. Malformed input (a bad varint,
-/// an invalid frame body, trailing garbage inside a frame's length prefix, a
-/// length prefix beyond [`MAX_FRAME_BYTES`]) is a hard
-/// [`ReconError::Transport`]: a byte stream that lost sync cannot recover.
+/// an invalid frame body, trailing garbage inside a frame's length prefix) is
+/// a hard [`ReconError::Transport`]: a byte stream that lost sync cannot
+/// recover. A length prefix beyond the frame cap ([`MAX_FRAME_BYTES`] by
+/// default, [`FrameDecoder::set_max_frame`] to tighten per connection) is a
+/// structured [`ReconError::FrameTooLarge`], and a checked frame whose
+/// trailer does not match is a [`ReconError::ChecksumMismatch`] (checked
+/// frames require a key via [`FrameDecoder::set_integrity_key`]).
 ///
 /// Decoding an oversized frame grows the internal buffer; once every buffered
 /// byte has been consumed the buffer is shrunk back to the retain cap
@@ -123,11 +200,19 @@ pub struct FrameDecoder {
     buf: Vec<u8>,
     pos: usize,
     retain_cap: usize,
+    max_frame: usize,
+    integrity_key: Option<u64>,
 }
 
 impl Default for FrameDecoder {
     fn default() -> Self {
-        Self { buf: Vec::new(), pos: 0, retain_cap: DECODER_RETAIN_CAP }
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            retain_cap: DECODER_RETAIN_CAP,
+            max_frame: MAX_FRAME_BYTES,
+            integrity_key: None,
+        }
     }
 }
 
@@ -141,7 +226,7 @@ impl FrameDecoder {
     /// checked out of a [`BufferPool`](crate::BufferPool).
     pub fn from_buffer(mut buf: Vec<u8>) -> Self {
         buf.clear();
-        Self { buf, pos: 0, retain_cap: DECODER_RETAIN_CAP }
+        Self { buf, ..Self::default() }
     }
 
     /// Take the backing buffer out (for return to a pool), leaving the decoder
@@ -153,10 +238,27 @@ impl FrameDecoder {
     }
 
     /// Cap the capacity retained after the buffer fully drains. Oversized
-    /// frames still decode (growth is unconditional up to
-    /// [`MAX_FRAME_BYTES`]); this only bounds what outlives them.
+    /// frames still decode (growth is unconditional up to the frame cap);
+    /// this only bounds what outlives them.
     pub fn set_retain_cap(&mut self, cap: usize) {
         self.retain_cap = cap;
+    }
+
+    /// Tighten the per-frame body cap below [`MAX_FRAME_BYTES`]. A length
+    /// prefix beyond the cap fails the connection with
+    /// [`ReconError::FrameTooLarge`] *before* any bytes of the claimed body
+    /// are buffered — the lever that stops a hostile peer from making a
+    /// server allocate the frame it promises but never sends.
+    pub fn set_max_frame(&mut self, max: usize) {
+        self.max_frame = max.min(MAX_FRAME_BYTES);
+    }
+
+    /// Install (or clear) the key used to verify checked frames. Without a
+    /// key, receiving a checked frame is a hard transport error; with one,
+    /// unchecked frames are still accepted (negotiation is in flight when the
+    /// first checked frames arrive).
+    pub fn set_integrity_key(&mut self, key: Option<u64>) {
+        self.integrity_key = key;
     }
 
     /// Current capacity of the internal buffer (test/diagnostic hook).
@@ -190,17 +292,13 @@ impl FrameDecoder {
                 return Err(ReconError::Transport(format!("bad frame length prefix: {e}")));
             }
         };
-        if body_len > MAX_FRAME_BYTES {
-            return Err(ReconError::Transport(format!(
-                "frame length {body_len} exceeds the {MAX_FRAME_BYTES}-byte cap \
-                 (corrupt or desynced stream)"
-            )));
+        if body_len > self.max_frame {
+            return Err(ReconError::FrameTooLarge { len: body_len, max: self.max_frame });
         }
         if cursor.len() < body_len {
             return Ok(None);
         }
-        let frame = Frame::from_bytes(&cursor[..body_len])
-            .map_err(|e| ReconError::Transport(format!("malformed frame body: {e}")))?;
+        let frame = decode_body(&cursor[..body_len], self.integrity_key)?;
         self.pos = self.buf.len() - (cursor.len() - body_len);
         if self.pos == self.buf.len() {
             // Fully drained: reset cheaply, and give back the capacity an
@@ -211,6 +309,50 @@ impl FrameDecoder {
         }
         Ok(Some(frame))
     }
+}
+
+/// Decode one complete frame body, verifying the checksum trailer when the
+/// kind byte carries [`FRAME_CHECKED_BIT`].
+fn decode_body(full: &[u8], key: Option<u64>) -> Result<Frame, ReconError> {
+    let malformed = |e: WireError| ReconError::Transport(format!("malformed frame body: {e}"));
+    // Peek past the session id at the kind byte to see whether a trailer
+    // follows; the cheap unchecked path stays exactly what it was.
+    let mut peek = full;
+    read_uvarint(&mut peek).map_err(malformed)?;
+    let Some(&kind) = peek.first() else {
+        return Err(malformed(WireError::UnexpectedEnd));
+    };
+    if kind & FRAME_CHECKED_BIT == 0 {
+        return Frame::from_bytes(full).map_err(malformed);
+    }
+
+    let Some(key) = key else {
+        return Err(ReconError::Transport(
+            "checked frame received but frame integrity was not negotiated".into(),
+        ));
+    };
+    if full.len() < CHECKSUM_TRAILER_BYTES + 2 {
+        return Err(ReconError::Transport(
+            "checked frame too short for its checksum trailer".into(),
+        ));
+    }
+    let (payload, trailer) = full.split_at(full.len() - CHECKSUM_TRAILER_BYTES);
+    let mut got = [0u8; CHECKSUM_TRAILER_BYTES];
+    got.copy_from_slice(trailer);
+    let got = u64::from_le_bytes(got);
+    let expected = hash_bytes(payload, key);
+    if expected != got {
+        return Err(ReconError::ChecksumMismatch { expected, got });
+    }
+    // Verified: decode the payload with the checked bit masked off the kind.
+    let mut cursor = payload;
+    let session_id = read_uvarint(&mut cursor).map_err(malformed)?;
+    let kind = u8::decode(&mut cursor).map_err(malformed)? & !FRAME_CHECKED_BIT;
+    let body = decode_frame_kind(kind, &mut cursor).map_err(malformed)?;
+    if !cursor.is_empty() {
+        return Err(malformed(WireError::Invalid("trailing bytes in frame body")));
+    }
+    Ok(Frame { session_id, body })
 }
 
 #[cfg(test)]
@@ -262,7 +404,10 @@ mod tests {
         write_uvarint(&mut wire, (MAX_FRAME_BYTES as u64) + 1);
         let mut decoder = FrameDecoder::new();
         decoder.extend(&wire);
-        assert!(matches!(decoder.next_frame(), Err(ReconError::Transport(_))));
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(ReconError::FrameTooLarge { max: MAX_FRAME_BYTES, .. })
+        ));
     }
 
     #[test]
@@ -292,6 +437,94 @@ mod tests {
         let mut decoder = FrameDecoder::new();
         decoder.extend(&wire);
         assert!(matches!(decoder.next_frame(), Err(ReconError::Transport(_))));
+    }
+
+    #[test]
+    fn checked_frames_roundtrip_and_mix_with_unchecked() {
+        let key = 0xFEED_F00D_u64;
+        let frames = sample_frames();
+        let mut decoder = FrameDecoder::new();
+        decoder.set_integrity_key(Some(key));
+        // Interleave checked and unchecked encodings of the same frames: a
+        // keyed decoder accepts both (negotiation is racing the first data).
+        for (i, frame) in frames.iter().enumerate() {
+            if i % 2 == 0 {
+                decoder.extend(&frame.to_wire_checked(key));
+            } else {
+                decoder.extend(&frame.to_wire());
+            }
+        }
+        for expected in &frames {
+            assert_eq!(decoder.next_frame().unwrap().as_ref(), Some(expected));
+        }
+        assert_eq!(decoder.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn hello_frames_roundtrip() {
+        for checksums in [false, true] {
+            let frame = Frame::hello(checksums);
+            let mut decoder = FrameDecoder::new();
+            decoder.extend(&frame.to_wire());
+            assert_eq!(decoder.next_frame().unwrap(), Some(frame));
+        }
+    }
+
+    #[test]
+    fn corrupted_checked_frames_surface_as_checksum_mismatch() {
+        let key = 7u64;
+        let frame = Frame::envelope(3, Envelope::round(1, "m", &vec![9u64; 16]));
+        let wire = frame.to_wire_checked(key);
+
+        // Flip one bit in every body position (skip the length prefix, whose
+        // corruption is a different failure) — each must be *detected*.
+        let mut body = Vec::new();
+        frame.encode_checked(&mut body, key);
+        let prefix = wire.len() - body.len();
+        for i in prefix..wire.len() {
+            let mut corrupt = wire.clone();
+            corrupt[i] ^= 1 << (i % 8);
+            let mut decoder = FrameDecoder::new();
+            decoder.set_integrity_key(Some(key));
+            decoder.extend(&corrupt);
+            match decoder.next_frame() {
+                Err(ReconError::ChecksumMismatch { expected, got }) => assert_ne!(expected, got),
+                // Flipping the checked bit itself off routes to the unchecked
+                // decoder, which then rejects the trailer as garbage.
+                Err(ReconError::Transport(_)) => {}
+                other => panic!("corrupted byte {i} not detected: {other:?}"),
+            }
+        }
+
+        // The wrong key is also a mismatch.
+        let mut decoder = FrameDecoder::new();
+        decoder.set_integrity_key(Some(key ^ 1));
+        decoder.extend(&wire);
+        assert!(matches!(decoder.next_frame(), Err(ReconError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn checked_frames_without_a_key_are_rejected() {
+        let frame = Frame::fin(2);
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&frame.to_wire_checked(11));
+        match decoder.next_frame() {
+            Err(ReconError::Transport(why)) => assert!(why.contains("integrity")),
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tightened_frame_cap_is_a_structured_error() {
+        let frame = Frame::envelope(1, Envelope::round(1, "m", &vec![1u64; 64]));
+        let wire = frame.to_wire();
+        let mut decoder = FrameDecoder::new();
+        decoder.set_max_frame(16);
+        decoder.extend(&wire);
+        match decoder.next_frame() {
+            Err(ReconError::FrameTooLarge { len, max: 16 }) => assert!(len > 16),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
     }
 
     #[test]

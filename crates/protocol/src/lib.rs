@@ -47,6 +47,7 @@ pub mod amplify;
 pub mod control;
 pub mod endpoint;
 pub mod envelope;
+pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod nested;
@@ -59,6 +60,7 @@ pub use amplify::{AmplifiedReceiver, AmplifiedSender, Deferred, Exhaust, WithPre
 pub use control::{ControlFrame, CONTROL_SESSION, TAG_CONTROL_REQUEST, TAG_CONTROL_RESPONSE};
 pub use endpoint::{drive_pair, Endpoint, Role, ShardedOutcome, ShardedRunner};
 pub use envelope::{Envelope, Meter, NESTED_TAG_BIT};
+pub use fault::{FaultProfile, FaultStats, FaultyTransport};
 pub use frame::{Frame, FrameBody, FrameDecoder, SessionId};
 pub use link::{Link, MemoryLink};
 pub use nested::Nested;

@@ -26,32 +26,22 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, IoSlice, IoSliceMut, Read, Write};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, OnceLock};
-
-static FORCE_SEQ_IO: AtomicBool = AtomicBool::new(false);
-
-fn env_forces_sequential_io() -> bool {
-    static ENV: OnceLock<bool> = OnceLock::new();
-    *ENV.get_or_init(|| {
-        std::env::var("RECON_PROTOCOL_FORCE_SEQ_IO")
-            .map(|v| !matches!(v.as_str(), "" | "0" | "false"))
-            .unwrap_or(false)
-    })
-}
+use std::sync::mpsc;
 
 /// Force every [`StreamTransport`] onto the sequential (one buffer per
-/// syscall) I/O path, process-wide. The `RECON_PROTOCOL_FORCE_SEQ_IO`
-/// environment variable does the same without code changes (mirroring
-/// `RECON_IBLT_FORCE_SCALAR`), so CI can exercise the fallback.
+/// syscall) I/O path, process-wide. A thin alias for
+/// [`recon_base::config::set_force_sequential_io`]; the
+/// `RECON_PROTOCOL_FORCE_SEQ_IO` environment variable does the same without
+/// code changes, so CI can exercise the fallback.
 pub fn force_sequential_io(force: bool) {
-    FORCE_SEQ_IO.store(force, Ordering::Relaxed);
+    recon_base::config::set_force_sequential_io(force);
 }
 
-/// `true` when vectored I/O is disabled via [`force_sequential_io`] or the
-/// `RECON_PROTOCOL_FORCE_SEQ_IO` environment variable.
+/// `true` when vectored I/O is disabled via [`force_sequential_io`] /
+/// [`recon_base::config`] or the `RECON_PROTOCOL_FORCE_SEQ_IO` environment
+/// variable.
 pub fn sequential_io_forced() -> bool {
-    FORCE_SEQ_IO.load(Ordering::Relaxed) || env_forces_sequential_io()
+    recon_base::config::sequential_io_forced()
 }
 
 /// Which stream I/O path new transports take: `"vectored"` or `"sequential"`.
@@ -114,6 +104,28 @@ pub trait Transport {
 
     /// Total framed bytes received from the peer so far.
     fn bytes_framed_in(&self) -> u64;
+
+    /// Install (or clear) the key used to *verify* incoming checked frames
+    /// (see [`FrameDecoder::set_integrity_key`]). The default ignores the
+    /// call, matching transports with no decoder of their own.
+    fn set_integrity_key(&mut self, _key: Option<u64>) {}
+
+    /// Start (or stop) appending the keyed checksum trailer to *outgoing*
+    /// frames. Enabled by the endpoint once integrity negotiation completes;
+    /// the default ignores the call.
+    fn set_checked_out(&mut self, _key: Option<u64>) {}
+
+    /// Tighten the cap on a single incoming frame's body (see
+    /// [`FrameDecoder::set_max_frame`]). The default ignores the call.
+    fn set_max_frame(&mut self, _max: usize) {}
+
+    /// Queue raw, already-framed wire bytes verbatim — the escape hatch fault
+    /// injection uses to deliver deliberately corrupted frames (a corruption
+    /// applied *after* any checksum trailer, as a real network would). Honest
+    /// code paths never need this; the default declines.
+    fn send_wire(&mut self, _bytes: &[u8]) -> Result<(), ReconError> {
+        Err(ReconError::Transport("raw wire injection unsupported by this transport".into()))
+    }
 }
 
 /// Extension for transports backed by OS streams that a readiness poller
@@ -168,6 +180,7 @@ pub struct MemoryTransport {
     outgoing: SharedBytes,
     incoming: SharedBytes,
     decoder: FrameDecoder,
+    checked_key: Option<u64>,
     bytes_out: u64,
     bytes_in: u64,
 }
@@ -181,6 +194,7 @@ impl MemoryTransport {
             outgoing: Rc::clone(&a_to_b),
             incoming: Rc::clone(&b_to_a),
             decoder: FrameDecoder::new(),
+            checked_key: None,
             bytes_out: 0,
             bytes_in: 0,
         };
@@ -188,6 +202,7 @@ impl MemoryTransport {
             outgoing: b_to_a,
             incoming: a_to_b,
             decoder: FrameDecoder::new(),
+            checked_key: None,
             bytes_out: 0,
             bytes_in: 0,
         };
@@ -197,7 +212,10 @@ impl MemoryTransport {
 
 impl Transport for MemoryTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), ReconError> {
-        let wire = frame.to_wire();
+        let wire = match self.checked_key {
+            Some(key) => frame.to_wire_checked(key),
+            None => frame.to_wire(),
+        };
         self.bytes_out += wire.len() as u64;
         self.outgoing.borrow_mut().extend(wire);
         Ok(())
@@ -224,6 +242,24 @@ impl Transport for MemoryTransport {
     fn bytes_framed_in(&self) -> u64 {
         self.bytes_in
     }
+
+    fn set_integrity_key(&mut self, key: Option<u64>) {
+        self.decoder.set_integrity_key(key);
+    }
+
+    fn set_checked_out(&mut self, key: Option<u64>) {
+        self.checked_key = key;
+    }
+
+    fn set_max_frame(&mut self, max: usize) {
+        self.decoder.set_max_frame(max);
+    }
+
+    fn send_wire(&mut self, bytes: &[u8]) -> Result<(), ReconError> {
+        self.bytes_out += bytes.len() as u64;
+        self.outgoing.borrow_mut().extend(bytes.iter().copied());
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -242,6 +278,8 @@ pub struct StreamTransport<R, W> {
     out_buf: VecDeque<u8>,
     scratch: Vec<u8>,
     sequential_io: bool,
+    checked_key: Option<u64>,
+    max_buffered_out: Option<usize>,
     closed: bool,
     bytes_out: u64,
     bytes_in: u64,
@@ -268,6 +306,8 @@ impl<R: Read, W: Write> StreamTransport<R, W> {
             out_buf: out,
             scratch,
             sequential_io: false,
+            checked_key: None,
+            max_buffered_out: None,
             closed: false,
             bytes_out: 0,
             bytes_in: 0,
@@ -297,8 +337,25 @@ impl<R: Read, W: Write> StreamTransport<R, W> {
         self.out_buf.len()
     }
 
+    /// Cap the staged-output buffer: a send that would push it past `cap`
+    /// bytes fails with [`ReconError::ResourceExhausted`] instead of growing
+    /// without bound. This is the server-side defense against a peer that
+    /// requests data but never reads its socket.
+    pub fn set_max_buffered_out(&mut self, cap: usize) {
+        self.max_buffered_out = Some(cap);
+    }
+
     fn use_sequential(&self) -> bool {
         self.sequential_io || sequential_io_forced()
+    }
+
+    fn reserve_out(&self, additional: usize) -> Result<(), ReconError> {
+        match self.max_buffered_out {
+            Some(cap) if self.out_buf.len() + additional > cap => {
+                Err(ReconError::ResourceExhausted { what: "buffered output bytes", limit: cap })
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -311,7 +368,10 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
         // Encode into the reused scratch instead of `to_wire()`'s fresh Vec:
         // at steady state a pooled connection sends without allocating.
         self.scratch.clear();
-        frame.encode(&mut self.scratch);
+        match self.checked_key {
+            Some(key) => frame.encode_checked(&mut self.scratch, key),
+            None => frame.encode(&mut self.scratch),
+        }
         // LEB128 length prefix on the stack (low 7 bits first, 0x80
         // continuation — the `write_uvarint` encoding).
         let mut prefix = [0u8; 10];
@@ -328,6 +388,7 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
             prefix[len] = low | 0x80;
             len += 1;
         }
+        self.reserve_out(len + self.scratch.len())?;
         self.bytes_out += (len + self.scratch.len()) as u64;
         self.out_buf.extend(&prefix[..len]);
         self.out_buf.extend(&self.scratch);
@@ -441,6 +502,25 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
     fn bytes_framed_in(&self) -> u64 {
         self.bytes_in
     }
+
+    fn set_integrity_key(&mut self, key: Option<u64>) {
+        self.decoder.set_integrity_key(key);
+    }
+
+    fn set_checked_out(&mut self, key: Option<u64>) {
+        self.checked_key = key;
+    }
+
+    fn set_max_frame(&mut self, max: usize) {
+        self.decoder.set_max_frame(max);
+    }
+
+    fn send_wire(&mut self, bytes: &[u8]) -> Result<(), ReconError> {
+        self.reserve_out(bytes.len())?;
+        self.bytes_out += bytes.len() as u64;
+        self.out_buf.extend(bytes);
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -455,6 +535,7 @@ pub struct PipeTransport<W> {
     chunks: mpsc::Receiver<std::io::Result<Vec<u8>>>,
     writer: W,
     decoder: FrameDecoder,
+    checked_key: Option<u64>,
     closed: bool,
     bytes_out: u64,
     bytes_in: u64,
@@ -492,6 +573,7 @@ impl<W: Write> PipeTransport<W> {
             chunks: rx,
             writer,
             decoder: FrameDecoder::new(),
+            checked_key: None,
             closed: false,
             bytes_out: 0,
             bytes_in: 0,
@@ -501,7 +583,10 @@ impl<W: Write> PipeTransport<W> {
 
 impl<W: Write> Transport for PipeTransport<W> {
     fn send(&mut self, frame: &Frame) -> Result<(), ReconError> {
-        let wire = frame.to_wire();
+        let wire = match self.checked_key {
+            Some(key) => frame.to_wire_checked(key),
+            None => frame.to_wire(),
+        };
         self.bytes_out += wire.len() as u64;
         self.writer.write_all(&wire).map_err(|e| io_error("pipe write", e))
     }
@@ -538,6 +623,23 @@ impl<W: Write> Transport for PipeTransport<W> {
 
     fn bytes_framed_in(&self) -> u64 {
         self.bytes_in
+    }
+
+    fn set_integrity_key(&mut self, key: Option<u64>) {
+        self.decoder.set_integrity_key(key);
+    }
+
+    fn set_checked_out(&mut self, key: Option<u64>) {
+        self.checked_key = key;
+    }
+
+    fn set_max_frame(&mut self, max: usize) {
+        self.decoder.set_max_frame(max);
+    }
+
+    fn send_wire(&mut self, bytes: &[u8]) -> Result<(), ReconError> {
+        self.bytes_out += bytes.len() as u64;
+        self.writer.write_all(bytes).map_err(|e| io_error("pipe write", e))
     }
 }
 
@@ -590,6 +692,42 @@ mod tests {
         transport.send(&frame).unwrap();
         transport.flush().unwrap();
         assert_eq!(transport.writer, frame.to_wire());
+    }
+
+    #[test]
+    fn checked_sends_verify_across_a_memory_pair() {
+        let key = 0xA5A5_5A5A_u64;
+        let (mut a, mut b) = MemoryTransport::pair();
+        a.set_checked_out(Some(key));
+        b.set_integrity_key(Some(key));
+        let frame = Frame::envelope(4, Envelope::round(1, "m", &31u64));
+        a.send(&frame).unwrap();
+        assert_eq!(b.recv().unwrap(), Some(frame.clone()));
+
+        // Corrupt one byte on the wire via raw injection: detected, not decoded.
+        let mut wire = frame.to_wire_checked(key);
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        a.send_wire(&wire).unwrap();
+        assert!(matches!(b.recv(), Err(ReconError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn stream_transport_output_cap_is_enforced() {
+        let reader = std::io::empty();
+        let mut transport = StreamTransport::new(reader, std::io::sink());
+        transport.set_max_buffered_out(64);
+        let big = Frame::envelope(1, Envelope::round(1, "bulk", &vec![0u64; 64]));
+        match transport.send(&big) {
+            Err(ReconError::ResourceExhausted { what, limit: 64 }) => {
+                assert_eq!(what, "buffered output bytes");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // Small frames still fit, and flushing frees the budget for more.
+        transport.send(&Frame::fin(1)).unwrap();
+        transport.flush().unwrap();
+        transport.send(&Frame::fin(2)).unwrap();
     }
 
     #[test]

@@ -32,7 +32,6 @@
 use crate::sys;
 use std::io;
 use std::os::fd::RawFd;
-use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Which readiness conditions a registration watches.
@@ -91,20 +90,10 @@ pub enum Trigger {
 
 fn default_backend() -> Backend {
     #[cfg(target_os = "linux")]
-    if !env_forces_poll() {
+    if !recon_base::config::poll_backend_forced() {
         return Backend::Epoll;
     }
-    let _ = env_forces_poll; // referenced on every target
     Backend::Poll
-}
-
-fn env_forces_poll() -> bool {
-    static ENV: OnceLock<bool> = OnceLock::new();
-    *ENV.get_or_init(|| {
-        std::env::var("RECON_RUNTIME_FORCE_POLL")
-            .map(|v| !matches!(v.as_str(), "" | "0" | "false"))
-            .unwrap_or(false)
-    })
 }
 
 fn timeout_ms(timeout: Option<Duration>) -> i32 {

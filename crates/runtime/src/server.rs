@@ -32,8 +32,8 @@ use crate::poller::{Backend, Interest, Poller, Trigger};
 use crate::reactor::{ConnId, Reactor, ReactorConfig};
 use crate::sys;
 use recon_base::rng::Xoshiro256;
-use recon_base::ReconError;
-use recon_protocol::{BufferPool, Endpoint, StreamTransport};
+use recon_base::{ReconError, RetryPolicy};
+use recon_protocol::{BufferPool, Endpoint, StreamTransport, Transport as _};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
@@ -102,6 +102,14 @@ impl Default for AcceptMode {
 }
 
 /// Tuning for a [`Server`].
+///
+/// Construct with [`ServerConfig::new`] and chain the builder methods, or use
+/// struct-update syntax — every field stays public. The resource caps exist so
+/// a hostile peer cannot grow a worker's memory without bound: an oversized
+/// length prefix fails with [`ReconError::FrameTooLarge`] before the body is
+/// buffered, a session-registration flood with [`ReconError::ResourceExhausted`],
+/// and a peer that refuses to drain our output is cut off once
+/// [`max_buffered_out`](ServerConfig::max_buffered_out) is reached.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of worker reactors (threads). At least 1.
@@ -117,6 +125,22 @@ pub struct ServerConfig {
     pub accept_mode: AcceptMode,
     /// Seed for the balancer's two random worker choices (balanced mode).
     pub accept_seed: u64,
+    /// Largest frame a peer may send, enforced on the length prefix before
+    /// any body bytes are buffered. Default 16 MiB — far above any frame the
+    /// protocol families produce, far below what exhausts a worker.
+    pub max_frame_bytes: usize,
+    /// Most sessions a single connection may have registered at once
+    /// (excess registrations fail, surfaced to the peer by services that
+    /// answer control requests). Default 1024.
+    pub max_sessions_per_conn: usize,
+    /// Cap on bytes buffered for output per connection, covering peers that
+    /// stop reading while sessions keep producing. Default 32 MiB (always at
+    /// least one max-sized frame plus its prefix).
+    pub max_buffered_out: usize,
+    /// Recovery policy forwarded to every worker's [`ReactorConfig::retry`]:
+    /// its `attempt_deadline`, when set, overrides `session_deadline` as the
+    /// per-session time budget. Default [`RetryPolicy::none`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -128,7 +152,105 @@ impl Default for ServerConfig {
             trigger: Trigger::Edge,
             accept_mode: AcceptMode::default(),
             accept_seed: 0x2C01CE5,
+            max_frame_bytes: 16 << 20,
+            max_sessions_per_conn: 1024,
+            max_buffered_out: 32 << 20,
+            retry: RetryPolicy::none(),
         }
+    }
+}
+
+impl ServerConfig {
+    /// [`ServerConfig::default`], as the root of a builder chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker reactors.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the per-session deadline (`None` disables deadlines).
+    pub fn session_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.session_deadline = deadline;
+        self
+    }
+
+    /// Pin the poller backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Set the readiness delivery mode.
+    pub fn trigger(mut self, trigger: Trigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Set the accept topology.
+    pub fn accept_mode(mut self, mode: AcceptMode) -> Self {
+        self.accept_mode = mode;
+        self
+    }
+
+    /// Seed the balanced-mode two-choice sampler.
+    pub fn accept_seed(mut self, seed: u64) -> Self {
+        self.accept_seed = seed;
+        self
+    }
+
+    /// Cap the per-peer frame size.
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Cap concurrent sessions per connection.
+    pub fn max_sessions_per_conn(mut self, sessions: usize) -> Self {
+        self.max_sessions_per_conn = sessions;
+        self
+    }
+
+    /// Cap buffered output bytes per connection.
+    pub fn max_buffered_out(mut self, bytes: usize) -> Self {
+        self.max_buffered_out = bytes;
+        self
+    }
+
+    /// Set the recovery policy forwarded to the workers.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The resource caps as one bundle, applied to each adopted connection.
+    fn caps(&self) -> ConnCaps {
+        ConnCaps {
+            max_frame_bytes: self.max_frame_bytes,
+            max_sessions_per_conn: self.max_sessions_per_conn,
+            // A connection must always be able to buffer one full frame, or a
+            // legitimate max-sized send would be rejected outright.
+            max_buffered_out: self.max_buffered_out.max(self.max_frame_bytes + 16),
+        }
+    }
+}
+
+/// Per-connection resource caps, applied at adoption time.
+#[derive(Debug, Clone, Copy)]
+struct ConnCaps {
+    max_frame_bytes: usize,
+    max_sessions_per_conn: usize,
+    max_buffered_out: usize,
+}
+
+impl ConnCaps {
+    fn apply(&self, endpoint: &mut TcpEndpoint) {
+        endpoint.transport_mut().set_max_frame(self.max_frame_bytes);
+        endpoint.transport_mut().set_max_buffered_out(self.max_buffered_out);
+        endpoint.set_max_sessions(self.max_sessions_per_conn);
     }
 }
 
@@ -273,7 +395,9 @@ impl Server {
                 trigger: config.trigger,
                 // Disjoint id ranges so connection ids are process-unique.
                 first_conn_id: (worker as ConnId) << 48,
+                retry: config.retry,
             };
+            let caps = config.caps();
             let shard = shard_listeners.as_mut().and_then(Iterator::next);
             let service = factory(worker);
             let stop = Arc::clone(&stop);
@@ -282,6 +406,7 @@ impl Server {
             workers.push(std::thread::spawn(move || {
                 worker_loop(
                     reactor_config,
+                    caps,
                     shard,
                     worker_shared,
                     service,
@@ -411,8 +536,10 @@ fn sharded_listeners(addr: SocketAddr, workers: usize) -> std::io::Result<Vec<Tc
 
 /// One worker: a reactor, its service, its buffer pool, and either its own
 /// sharded listener or the balanced intake handshake.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<S: TcpService>(
     config: ReactorConfig,
+    caps: ConnCaps,
     mut listener: Option<TcpListener>,
     shared: Arc<WorkerShared>,
     mut service: S,
@@ -460,7 +587,7 @@ fn worker_loop<S: TcpService>(
                         Ok((stream, peer)) => {
                             shared.load.fetch_add(1, Ordering::SeqCst);
                             report.accepted += 1;
-                            match adopt(&mut reactor, &mut service, &mut pool, stream, peer) {
+                            match adopt(&mut reactor, caps, &mut service, &mut pool, stream, peer) {
                                 Ok(conn) => service.on_accepted(conn, peer),
                                 Err(_) => {
                                     shared.load.fetch_sub(1, Ordering::SeqCst);
@@ -487,7 +614,7 @@ fn worker_loop<S: TcpService>(
             std::mem::take(&mut *shared.intake.lock().expect("intake lock"));
         for (stream, peer) in streams {
             report.accepted += 1;
-            match adopt(&mut reactor, &mut service, &mut pool, stream, peer) {
+            match adopt(&mut reactor, caps, &mut service, &mut pool, stream, peer) {
                 Ok(conn) => service.on_accepted(conn, peer),
                 Err(_) => {
                     shared.load.fetch_sub(1, Ordering::SeqCst);
@@ -535,6 +662,7 @@ fn worker_loop<S: TcpService>(
 
 fn adopt<S: TcpService>(
     reactor: &mut Reactor<TcpTransport>,
+    caps: ConnCaps,
     service: &mut S,
     pool: &mut BufferPool,
     stream: TcpStream,
@@ -547,6 +675,7 @@ fn adopt<S: TcpService>(
     let reader = stream.try_clone().map_err(|e| io_err("clone stream", e))?;
     let mut endpoint =
         Endpoint::new(StreamTransport::with_buffers(reader, stream, pool.checkout()));
+    caps.apply(&mut endpoint);
     if let Err(e) = service.register(peer, &mut endpoint) {
         pool.put_back(endpoint.transport_mut().take_buffers());
         return Err(e);

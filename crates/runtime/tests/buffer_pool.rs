@@ -58,11 +58,7 @@ fn run_client(addr: SocketAddr) {
 
 #[test]
 fn steady_state_serving_allocates_no_new_connection_buffers() {
-    let config = ServerConfig {
-        workers: 1,
-        session_deadline: Some(Duration::from_secs(15)),
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::new().workers(1).session_deadline(Some(Duration::from_secs(15)));
     let server = Server::bind("127.0.0.1:0", config, |_| OneSender).expect("bind");
     let addr = server.local_addr();
 

@@ -288,14 +288,22 @@ impl<B: StorageBackend + 'static> StoreDaemon<B> {
         store: SketchStore<B>,
         workers: usize,
     ) -> Result<Self, ReconError> {
+        let config = ServerConfig::new()
+            .workers(workers.max(1))
+            .session_deadline(None)
+            .accept_seed(0x5709ED);
+        Self::bind_with(addr, store, config)
+    }
+
+    /// [`StoreDaemon::bind`] with full control over the [`ServerConfig`] —
+    /// deadlines, accept topology, and the per-connection resource caps
+    /// (frame size, session count, buffered output).
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        store: SketchStore<B>,
+        config: ServerConfig,
+    ) -> Result<Self, ReconError> {
         let store = Arc::new(Mutex::new(store));
-        let config = ServerConfig {
-            workers: workers.max(1),
-            session_deadline: None,
-            backend: None,
-            accept_seed: 0x5709ED,
-            ..ServerConfig::default()
-        };
         let server = {
             let store = Arc::clone(&store);
             Server::bind(addr, config, move |_| StoreService::new(Arc::clone(&store)))?

@@ -177,11 +177,8 @@ impl TcpService for ShardSyncService {
 fn start_server(address: &str) -> (Server, mpsc::Receiver<bool>) {
     let (done_tx, done_rx) = mpsc::channel();
     let (shards, params) = shard_setup(&server_table());
-    let config = ServerConfig {
-        workers: WORKERS,
-        session_deadline: Some(Duration::from_secs(60)),
-        ..ServerConfig::default()
-    };
+    let config =
+        ServerConfig::new().workers(WORKERS).session_deadline(Some(Duration::from_secs(60)));
     let server = Server::bind(address, config, |worker| ShardSyncService {
         shards: shards.clone(),
         params: params.clone(),

@@ -160,13 +160,11 @@ fn run_client(
 /// Serve `CLIENTS` concurrent mixed-family connections on `WORKERS` worker
 /// reactors and check every outcome against the blocking driver.
 fn serve_and_verify(backend: Option<Backend>, trigger: Trigger) {
-    let config = ServerConfig {
-        workers: WORKERS,
-        session_deadline: Some(Duration::from_secs(60)),
-        backend,
-        trigger,
-        ..ServerConfig::default()
-    };
+    let mut config = ServerConfig::new()
+        .workers(WORKERS)
+        .session_deadline(Some(Duration::from_secs(60)))
+        .trigger(trigger);
+    config.backend = backend;
     let server = Server::bind("127.0.0.1:0", config, |_| MixedFamilies).expect("bind");
     let addr = server.local_addr();
 
