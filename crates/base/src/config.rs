@@ -39,6 +39,12 @@ pub struct Options {
     /// Pin stream transports to sequential (one buffer per syscall) I/O
     /// instead of `readv`/`writev`, as `RECON_PROTOCOL_FORCE_SEQ_IO` used to.
     pub force_sequential_io: bool,
+    /// Disable the IBLT decode-rescue solver: a stalled peel is a hard
+    /// failure, exactly as before the GF(2) rescue path existed
+    /// (`RECON_IBLT_FORCE_PEEL_ONLY`). Unlike the other flags this changes
+    /// *outcomes* (decodes that rescue would save now fail and are retried by
+    /// amplification), which is precisely what the pinning CI leg wants.
+    pub force_peel_only: bool,
 }
 
 impl Options {
@@ -51,11 +57,13 @@ impl Options {
     /// | `RECON_IBLT_FORCE_SCALAR` | [`Options::force_scalar_kernels`] |
     /// | `RECON_RUNTIME_FORCE_POLL` | [`Options::force_poll_backend`] |
     /// | `RECON_PROTOCOL_FORCE_SEQ_IO` | [`Options::force_sequential_io`] |
+    /// | `RECON_IBLT_FORCE_PEEL_ONLY` | [`Options::force_peel_only`] |
     pub fn from_env() -> Self {
         Self {
             force_scalar_kernels: env_flag("RECON_IBLT_FORCE_SCALAR"),
             force_poll_backend: env_flag("RECON_RUNTIME_FORCE_POLL"),
             force_sequential_io: env_flag("RECON_PROTOCOL_FORCE_SEQ_IO"),
+            force_peel_only: env_flag("RECON_IBLT_FORCE_PEEL_ONLY"),
         }
     }
 
@@ -80,6 +88,7 @@ fn env_options() -> Options {
 static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
 static FORCE_POLL: AtomicBool = AtomicBool::new(false);
 static FORCE_SEQ_IO: AtomicBool = AtomicBool::new(false);
+static FORCE_PEEL_ONLY: AtomicBool = AtomicBool::new(false);
 
 /// Install `options` as the process-wide programmatic setting, replacing any
 /// previous programmatic setting. The environment shim stays in effect: an
@@ -90,6 +99,7 @@ pub fn set(options: Options) {
     FORCE_SCALAR.store(options.force_scalar_kernels, Ordering::Relaxed);
     FORCE_POLL.store(options.force_poll_backend, Ordering::Relaxed);
     FORCE_SEQ_IO.store(options.force_sequential_io, Ordering::Relaxed);
+    FORCE_PEEL_ONLY.store(options.force_peel_only, Ordering::Relaxed);
 }
 
 /// The effective options: the programmatic setting OR'd with the environment
@@ -100,6 +110,7 @@ pub fn current() -> Options {
         force_scalar_kernels: FORCE_SCALAR.load(Ordering::Relaxed) || env.force_scalar_kernels,
         force_poll_backend: FORCE_POLL.load(Ordering::Relaxed) || env.force_poll_backend,
         force_sequential_io: FORCE_SEQ_IO.load(Ordering::Relaxed) || env.force_sequential_io,
+        force_peel_only: FORCE_PEEL_ONLY.load(Ordering::Relaxed) || env.force_peel_only,
     }
 }
 
@@ -118,6 +129,11 @@ pub fn set_force_sequential_io(force: bool) {
     FORCE_SEQ_IO.store(force, Ordering::Relaxed);
 }
 
+/// Programmatically force (or release) peel-only IBLT decoding (no rescue).
+pub fn set_force_peel_only(force: bool) {
+    FORCE_PEEL_ONLY.store(force, Ordering::Relaxed);
+}
+
 /// Effective value of [`Options::force_scalar_kernels`].
 pub fn scalar_kernels_forced() -> bool {
     FORCE_SCALAR.load(Ordering::Relaxed) || env_options().force_scalar_kernels
@@ -131,6 +147,11 @@ pub fn poll_backend_forced() -> bool {
 /// Effective value of [`Options::force_sequential_io`].
 pub fn sequential_io_forced() -> bool {
     FORCE_SEQ_IO.load(Ordering::Relaxed) || env_options().force_sequential_io
+}
+
+/// Effective value of [`Options::force_peel_only`].
+pub fn peel_only_forced() -> bool {
+    FORCE_PEEL_ONLY.load(Ordering::Relaxed) || env_options().force_peel_only
 }
 
 #[cfg(test)]
@@ -149,13 +170,18 @@ mod tests {
             force_scalar_kernels: true,
             force_poll_backend: true,
             force_sequential_io: true,
+            force_peel_only: true,
         });
         assert!(scalar_kernels_forced());
         assert!(poll_backend_forced());
         assert!(sequential_io_forced());
+        assert!(peel_only_forced());
         let all_on = current();
         assert!(
-            all_on.force_scalar_kernels && all_on.force_poll_backend && all_on.force_sequential_io
+            all_on.force_scalar_kernels
+                && all_on.force_poll_backend
+                && all_on.force_sequential_io
+                && all_on.force_peel_only
         );
 
         // Per-flag setters agree with the bulk setter.
@@ -174,5 +200,6 @@ mod tests {
         assert_eq!(opts.force_scalar_kernels, env_flag("RECON_IBLT_FORCE_SCALAR"));
         assert_eq!(opts.force_poll_backend, env_flag("RECON_RUNTIME_FORCE_POLL"));
         assert_eq!(opts.force_sequential_io, env_flag("RECON_PROTOCOL_FORCE_SEQ_IO"));
+        assert_eq!(opts.force_peel_only, env_flag("RECON_IBLT_FORCE_PEEL_ONLY"));
     }
 }

@@ -1,0 +1,149 @@
+//! Decode success and retry cost vs table sizing, with and without the
+//! GF(2) decode-rescue pipeline — the measurement behind the retightened
+//! session sizing (`IbltConfig::tuned_for_u64_keys`).
+//!
+//! For each cells-per-difference factor from 1.1× to 1.5× this runs many
+//! deterministic reconciliation instances (d = 64 differences over a shared
+//! set, Bob's keys fed to the rescue as candidates) and reports:
+//!
+//! * the attempt-0 decode success rate, and
+//! * the mean number of amplification attempts a session would spend
+//!   (fresh-seeded retries, like the session drivers' `Amplification`),
+//!
+//! once with the rescue enabled and once peel-only (`rescue: None`). The mean
+//! attempts are recorded as `iblt_decode_success_vs_sizing/{mode}/{factor}`
+//! (the "ns" field carries attempts — a deterministic, dimensionless cost) so
+//! the `bench-check` gate catches a rescue regression as a blown-up retry
+//! count. Two extra ids pin the serialized digest size of the tuned vs the
+//! classic layout at d = 64, so the sizing itself cannot silently regress.
+//!
+//! The bench also asserts outright that the rescue strictly dominates the
+//! pure peel at every factor — same instances, never a lower success rate.
+
+use criterion::{black_box, record_measurement, smoke_mode, write_json_report};
+use recon_base::rng::{split_seed, Xoshiro256};
+use recon_iblt::{Iblt, IbltConfig};
+
+const D: usize = 64;
+const SHARED: usize = 1_000;
+const MAX_ATTEMPTS: u64 = 6;
+
+/// Build the subtracted table for one instance: `D` differences (1/4 positive,
+/// 3/4 negative) over `SHARED` cancelled keys. Returns the table and Bob's
+/// full key list (the rescue candidates).
+fn instance(cfg: &IbltConfig, cells: usize, seed: u64) -> (Iblt, Vec<u64>) {
+    let mut rng = Xoshiro256::new(seed);
+    let mut table = Iblt::with_cells(cells, cfg);
+    let mut bob = Vec::with_capacity(SHARED + 3 * D / 4);
+    for _ in 0..SHARED {
+        let x = rng.next_u64();
+        table.insert_u64(x);
+        bob.push(x);
+    }
+    for _ in 0..D / 4 {
+        table.insert_u64(rng.next_u64());
+    }
+    for _ in 0..(3 * D / 4) {
+        let x = rng.next_u64();
+        bob.push(x);
+    }
+    for &x in &bob {
+        table.delete_u64(x);
+    }
+    (table, bob)
+}
+
+/// One decode attempt; `rescue` selects the pipeline under test.
+fn attempt_succeeds(cells: usize, rescue: bool, seed: u64) -> bool {
+    let cfg = if rescue {
+        IbltConfig::for_u64_keys(seed).with_hash_count(3)
+    } else {
+        IbltConfig::for_u64_keys(seed).with_hash_count(3).with_rescue(None)
+    };
+    let (mut table, bob) = instance(&cfg, cells, split_seed(seed, 0xDA7A));
+    let decoded = table.decode_in_place_with_candidates_u64(bob.iter().copied());
+    black_box(decoded.complete)
+}
+
+/// Success rate of attempt 0 and mean fresh-seeded attempts until success
+/// (failing all `MAX_ATTEMPTS` charges the full cap, like a failed session).
+fn measure(cells: usize, rescue: bool, trials: u64) -> (f64, f64) {
+    let mut first_successes = 0u64;
+    let mut total_attempts = 0u64;
+    // Both modes run the very same instances (same seeds), so the domination
+    // assertion below is structural — whenever the peel completes, the
+    // rescue-enabled decode of the identical table completes too.
+    for trial in 0..trials {
+        let trial_seed = split_seed(0x512E, trial);
+        let mut attempts = MAX_ATTEMPTS;
+        for attempt in 0..MAX_ATTEMPTS {
+            if attempt_succeeds(cells, rescue, split_seed(trial_seed, attempt)) {
+                attempts = attempt + 1;
+                if attempt == 0 {
+                    first_successes += 1;
+                }
+                break;
+            }
+        }
+        total_attempts += attempts;
+    }
+    (first_successes as f64 / trials as f64, total_attempts as f64 / trials as f64)
+}
+
+fn main() {
+    let trials: u64 = if smoke_mode() { 40 } else { 400 };
+    for factor in [1.1f64, 1.2, 1.3, 1.4, 1.5] {
+        let cells = (factor * D as f64).ceil() as usize;
+        let (peel_rate, peel_attempts) = measure(cells, false, trials);
+        let (rescue_rate, rescue_attempts) = measure(cells, true, trials);
+        println!(
+            "factor {factor:.1} ({cells} cells): peel {:5.1}% / {peel_attempts:.2} attempts, \
+             rescue {:5.1}% / {rescue_attempts:.2} attempts",
+            peel_rate * 100.0,
+            rescue_rate * 100.0,
+        );
+        assert!(
+            rescue_rate >= peel_rate && rescue_attempts <= peel_attempts,
+            "rescue must strictly dominate peel-only at factor {factor:.1}"
+        );
+        record_measurement(
+            &format!("iblt_decode_success_vs_sizing/peel/{factor:.1}"),
+            peel_attempts,
+            trials,
+            None,
+            None,
+        );
+        record_measurement(
+            &format!("iblt_decode_success_vs_sizing/rescue/{factor:.1}"),
+            rescue_attempts,
+            trials,
+            None,
+            None,
+        );
+    }
+
+    // Pin the digest footprint of the retightened sizing against the classic
+    // one: both deterministic constants, so any sizing change shows up as a
+    // baseline diff (and a >3× blow-up fails the gate).
+    let classic = IbltConfig::for_u64_keys(0);
+    let tuned = IbltConfig::tuned_for_u64_keys(0);
+    let classic_bytes = classic.serialized_len(classic.total_cells_for(D));
+    let tuned_bytes = tuned.serialized_len(tuned.total_cells_for(D));
+    println!("digest bytes at d = {D}: classic {classic_bytes}, tuned {tuned_bytes}");
+    assert!(tuned_bytes < classic_bytes, "the tuned layout must be strictly smaller");
+    record_measurement(
+        "iblt_decode_success_vs_sizing/wire_bytes/classic",
+        classic_bytes as f64,
+        1,
+        None,
+        None,
+    );
+    record_measurement(
+        "iblt_decode_success_vs_sizing/wire_bytes/tuned",
+        tuned_bytes as f64,
+        1,
+        None,
+        None,
+    );
+    write_json_report();
+}

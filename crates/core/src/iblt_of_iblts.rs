@@ -83,7 +83,11 @@ impl IbltOfIbltsProtocol {
     }
 
     fn outer_config(&self, d: usize) -> IbltConfig {
-        IbltConfig::for_key_bytes(self.encoding_bytes(d), self.params.role_seed(0xB2))
+        // Retightened sizing backed by the decode-rescue pipeline: Bob's own
+        // child encodings are the candidate pool in `reconcile`, and each
+        // outer cell costs a whole serialized child table, so the tighter
+        // layout saves O(d log u) bits per cell shaved.
+        IbltConfig::tuned_for_key_bytes(self.encoding_bytes(d), self.params.role_seed(0xB2))
     }
 
     /// An empty child table of the right geometry for bound `d`, reusable across
@@ -141,13 +145,21 @@ impl IbltOfIbltsProtocol {
     ) -> Result<SetOfSets, ReconError> {
         let d = digest.child_diff_bound.max(1);
         let mut table = digest.outer.clone();
+        table.adopt_layout(&self.outer_config(d))?;
         let mut scratch = self.child_scratch(d);
         let mut encoding = Vec::with_capacity(self.encoding_bytes(d));
         for child in local.children() {
             self.encode_child_into(child, &mut scratch, &mut encoding);
             table.delete(&encoding);
         }
-        let decoded = table.decode_in_place();
+        // Bob's own child encodings are exactly the candidate pool for the
+        // outer decode's rescue (materialized only if the peel stalls).
+        let decoded = table.decode_in_place_with_candidates(local.children().iter().map(|child| {
+            let mut scratch = self.child_scratch(d);
+            let mut encoding = Vec::with_capacity(self.encoding_bytes(d));
+            self.encode_child_into(child, &mut scratch, &mut encoding);
+            encoding
+        }));
         if !decoded.complete {
             return Err(ReconError::PeelingFailure { remaining_cells: table.nonempty_cells() });
         }
@@ -177,8 +189,11 @@ impl IbltOfIbltsProtocol {
             let (table_a, hash_a) = Self::split_encoding(encoding)?;
             let mut matched = false;
             for (child_b, table_b) in &candidates {
-                let Ok(diff_table) = table_a.subtract(table_b) else { continue };
-                let peeled = diff_table.into_decode();
+                let Ok(mut diff_table) = table_a.subtract(table_b) else { continue };
+                // The negative side of a child difference comes from Bob's own
+                // child set — hand it to the rescue solver as candidates.
+                let peeled =
+                    diff_table.decode_in_place_with_candidates_u64(child_b.iter().copied());
                 if !peeled.complete {
                     continue;
                 }

@@ -65,7 +65,11 @@ impl NaiveProtocol {
     }
 
     fn outer_config(&self) -> IbltConfig {
-        IbltConfig::for_key_bytes(self.key_bytes(), self.params.role_seed(0xA1))
+        // Retightened sizing backed by the decode-rescue pipeline: Bob feeds
+        // his own child encodings to the solver in `reconcile`, and the
+        // session drivers amplify residual failures. At O(h log u) bits per
+        // outer cell the tighter layout is where the savings are largest.
+        IbltConfig::tuned_for_key_bytes(self.key_bytes(), self.params.role_seed(0xA1))
     }
 
     /// Alice's side: encode her parent set for a bound of `d_hat` differing child
@@ -94,12 +98,20 @@ impl NaiveProtocol {
         local: &SetOfSets,
     ) -> Result<SetOfSets, ReconError> {
         let mut table = digest.outer.clone();
+        table.adopt_layout(&self.outer_config())?;
         let mut key = Vec::with_capacity(self.key_bytes());
         for child in local.children() {
             SetOfSets::encode_child_fixed_into(child, self.params.max_child_size, &mut key);
             table.delete(&key);
         }
-        let decoded = table.decode_in_place();
+        // Every negative key is one of Bob's own child encodings, so they are
+        // exactly the candidates the rescue solver wants (materialized only if
+        // the peel stalls).
+        let decoded = table.decode_in_place_with_candidates(local.children().iter().map(|child| {
+            let mut key = Vec::with_capacity(self.key_bytes());
+            SetOfSets::encode_child_fixed_into(child, self.params.max_child_size, &mut key);
+            key
+        }));
         if !decoded.complete {
             return Err(ReconError::PeelingFailure { remaining_cells: table.nonempty_cells() });
         }

@@ -1,0 +1,460 @@
+//! Sparse GF(2) linear algebra for the IBLT decode-rescue path.
+//!
+//! A stalled IBLT peel leaves a residual system over GF(2): every remaining
+//! cell is the XOR of the (key ‖ checksum) vectors of the keys hashed to it,
+//! and every candidate key that might explain a cell is itself such a vector.
+//! Finishing the decode means answering two questions:
+//!
+//! * **subset-XOR**: which subset of candidate vectors XORs to this cell's
+//!   contents? ([`SubsetXorSolver::solve`] — Gaussian elimination with a
+//!   tracked combination mask per basis row, so the answer comes back as the
+//!   set of generator indices, not just "yes"), and
+//! * **basis isolation**: which single-key vectors are *forced* by the
+//!   residual cells alone? (the reduced rows of the same elimination,
+//!   [`SubsetXorSolver::basis_rows`] — a row that survives reduction and
+//!   passes the checksum test is a key the peel could not isolate).
+//!
+//! The solver is a peeling/Gaussian hybrid in the same sense as the IBLT
+//! decoder itself: a generator whose reduced value claims a previously
+//! unclaimed bit position is "peeled" into the basis in O(row) without any
+//! row combination, and only genuinely dependent rows pay for elimination.
+//! Rows are dense bitsets ([`BitVec`], 64 bits per word) because the residual
+//! systems are small (bounded by the decode budget) while row *width* is the
+//! key width — word-parallel XOR is the right shape for that.
+
+/// A fixed-width bit vector backed by `u64` words (little-endian bit order:
+/// bit `i` lives in word `i / 64` at position `i % 64`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    bits: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// The all-zero vector of `bits` bits.
+    pub fn zeros(bits: usize) -> Self {
+        Self { bits, words: vec![0; bits.div_ceil(64)] }
+    }
+
+    /// A vector of `8 * bytes.len()` bits holding `bytes` (byte `i` occupies
+    /// bits `8i..8i+8`, least-significant bit first).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut v = Self::zeros(bytes.len() * 8);
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            v.words[i] = u64::from_le_bytes(word);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// `true` if the vector has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.bits);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// XOR `other` into `self` (widths must match).
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        debug_assert_eq!(self.bits, other.bits, "BitVec width mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_set(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of the set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(i * 64 + bit)
+            })
+        })
+    }
+
+    /// The first `n` bytes of the vector (bits `0..8n`), for reading a solved
+    /// row back out as key bytes.
+    pub fn to_bytes(&self, n: usize) -> Vec<u8> {
+        debug_assert!(n * 8 <= self.words.len() * 64);
+        let mut out = vec![0u8; n];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = (self.words[i / 8] >> (8 * (i % 8))) as u8;
+        }
+        out
+    }
+}
+
+/// One reduced basis row: the pivot bit it owns, its fully reduced value, and
+/// the mask of original generators whose XOR produces that value.
+#[derive(Debug, Clone)]
+struct Pivot {
+    bit: usize,
+    value: BitVec,
+    mask: BitVec,
+}
+
+/// The outcome of a subset-XOR solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubsetSolution {
+    /// The target is outside the span of the generators: no subset works.
+    Inconsistent,
+    /// Exactly one subset of generators XORs to the target (indices ascending).
+    Unique(Vec<usize>),
+    /// The system is consistent but under-determined: `particular` is one
+    /// solution, and any XOR with kernel masks ([`SubsetXorSolver::kernel`])
+    /// yields another. There are `2^kernel_dim` solutions in total.
+    Ambiguous {
+        /// One valid subset (indices ascending).
+        particular: Vec<usize>,
+        /// Dimension of the solution space's kernel.
+        kernel_dim: usize,
+    },
+}
+
+/// Incremental GF(2) Gaussian elimination over generator vectors, tracking for
+/// every basis row which generators combine into it.
+///
+/// Generators are added one at a time ([`SubsetXorSolver::add_generator`]) and
+/// reduced against the maintained row-reduced basis; the basis is kept fully
+/// reduced (each pivot bit appears in exactly one row), so solving for a
+/// target is a single reduction pass. Dependent generators contribute kernel
+/// masks instead of rows, which is what makes solution uniqueness decidable.
+#[derive(Debug, Clone)]
+pub struct SubsetXorSolver {
+    dim: usize,
+    max_generators: usize,
+    generators: usize,
+    pivots: Vec<Pivot>,
+    kernel: Vec<BitVec>,
+}
+
+impl SubsetXorSolver {
+    /// An empty system over vectors of `dim` bits, accepting up to
+    /// `max_generators` generators (the mask width).
+    pub fn new(dim: usize, max_generators: usize) -> Self {
+        Self { dim, max_generators, generators: 0, pivots: Vec::new(), kernel: Vec::new() }
+    }
+
+    /// Number of generators added so far.
+    pub fn generators(&self) -> usize {
+        self.generators
+    }
+
+    /// Rank of the generator set.
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Dimension of the kernel (number of independent dependent combinations).
+    pub fn kernel_dim(&self) -> usize {
+        self.kernel.len()
+    }
+
+    /// The kernel basis: each mask is a nonempty set of generator indices
+    /// whose XOR is zero.
+    pub fn kernel(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        self.kernel.iter().map(|m| m.ones().collect())
+    }
+
+    /// The fully reduced basis row values (each owning a distinct pivot bit).
+    /// For the IBLT rescue these are the candidate single-key vectors the
+    /// residual system forces.
+    pub fn basis_rows(&self) -> impl Iterator<Item = &BitVec> + '_ {
+        self.pivots.iter().map(|p| &p.value)
+    }
+
+    /// Reduce `value`/`mask` in place against the current basis.
+    fn reduce(&self, value: &mut BitVec, mask: &mut BitVec) {
+        for pivot in &self.pivots {
+            if value.get(pivot.bit) {
+                value.xor_assign(&pivot.value);
+                mask.xor_assign(&pivot.mask);
+            }
+        }
+    }
+
+    /// Add the next generator (index `self.generators()`), returning its
+    /// index. Panics if `value` has the wrong width or the generator budget is
+    /// exhausted.
+    pub fn add_generator(&mut self, value: &BitVec) -> usize {
+        assert_eq!(value.len(), self.dim, "generator width mismatch");
+        assert!(self.generators < self.max_generators, "generator budget exhausted");
+        let index = self.generators;
+        self.generators += 1;
+
+        let mut value = value.clone();
+        let mut mask = BitVec::zeros(self.max_generators);
+        mask.set(index, true);
+        self.reduce(&mut value, &mut mask);
+
+        match value.first_set() {
+            None => self.kernel.push(mask),
+            Some(bit) => {
+                // Keep the basis fully reduced: clear the new pivot bit from
+                // every existing row, so reduction stays a single pass.
+                for pivot in &mut self.pivots {
+                    if pivot.value.get(bit) {
+                        pivot.value.xor_assign(&value);
+                        pivot.mask.xor_assign(&mask);
+                    }
+                }
+                self.pivots.push(Pivot { bit, value, mask });
+            }
+        }
+        index
+    }
+
+    /// Solve for the subset of generators whose XOR equals `target`.
+    pub fn solve(&self, target: &BitVec) -> SubsetSolution {
+        assert_eq!(target.len(), self.dim, "target width mismatch");
+        let mut value = target.clone();
+        let mut mask = BitVec::zeros(self.max_generators);
+        self.reduce(&mut value, &mut mask);
+        if !value.is_zero() {
+            return SubsetSolution::Inconsistent;
+        }
+        let particular: Vec<usize> = mask.ones().collect();
+        if self.kernel.is_empty() {
+            SubsetSolution::Unique(particular)
+        } else {
+            SubsetSolution::Ambiguous { particular, kernel_dim: self.kernel.len() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recon_base::rng::Xoshiro256;
+
+    fn random_vec(rng: &mut Xoshiro256, bits: usize) -> BitVec {
+        let mut v = BitVec::zeros(bits);
+        for w in &mut v.words {
+            *w = rng.next_u64();
+        }
+        if !bits.is_multiple_of(64) {
+            let last = v.words.len() - 1;
+            v.words[last] &= (1u64 << (bits % 64)) - 1;
+        }
+        v
+    }
+
+    #[test]
+    fn bitvec_roundtrips_bytes_and_bits() {
+        let bytes = [0xA5u8, 0x01, 0xFF, 0x00, 0x80];
+        let v = BitVec::from_bytes(&bytes);
+        assert_eq!(v.len(), 40);
+        assert!(v.get(0) && !v.get(1) && v.get(2)); // 0xA5 = 0b1010_0101
+        assert_eq!(v.to_bytes(5), bytes);
+        assert_eq!(v.count_ones(), 4 + 1 + 8 + 1); // per-byte popcounts, 0x00 contributes none
+        assert_eq!(v.first_set(), Some(0));
+        let ones: Vec<usize> = v.ones().collect();
+        assert_eq!(ones.len(), v.count_ones());
+        assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        for i in ones {
+            assert!(v.get(i));
+        }
+    }
+
+    #[test]
+    fn bitvec_set_and_xor() {
+        let mut a = BitVec::zeros(100);
+        a.set(0, true);
+        a.set(99, true);
+        let mut b = BitVec::zeros(100);
+        b.set(99, true);
+        b.set(64, true);
+        a.xor_assign(&b);
+        assert!(a.get(0) && a.get(64) && !a.get(99));
+        assert_eq!(a.count_ones(), 2);
+        a.set(0, false);
+        a.set(64, false);
+        assert!(a.is_zero());
+        assert_eq!(a.first_set(), None);
+    }
+
+    #[test]
+    fn unique_solution_recovers_the_subset() {
+        // Independent generators: solution of any target in the span is unique
+        // and must be exactly the subset that built it.
+        let mut rng = Xoshiro256::new(7);
+        for trial in 0..50u64 {
+            let bits = 96 + (trial as usize % 3) * 13;
+            let n = 2 + (trial as usize % 15);
+            let gens: Vec<BitVec> = (0..n).map(|_| random_vec(&mut rng, bits)).collect();
+            let mut solver = SubsetXorSolver::new(bits, n);
+            for g in &gens {
+                solver.add_generator(g);
+            }
+            if solver.kernel_dim() != 0 {
+                continue; // astronomically unlikely at these widths
+            }
+            let subset: Vec<usize> = (0..n).filter(|_| rng.next_u64() & 1 == 1).collect();
+            let mut target = BitVec::zeros(bits);
+            for &i in &subset {
+                target.xor_assign(&gens[i]);
+            }
+            assert_eq!(solver.solve(&target), SubsetSolution::Unique(subset));
+        }
+    }
+
+    #[test]
+    fn out_of_span_target_is_inconsistent() {
+        // Give every generator a zero high bit; a target with it set cannot be
+        // reached.
+        let mut rng = Xoshiro256::new(11);
+        let bits = 80;
+        let mut solver = SubsetXorSolver::new(bits, 8);
+        for _ in 0..8 {
+            let mut g = random_vec(&mut rng, bits);
+            g.set(bits - 1, false);
+            solver.add_generator(&g);
+        }
+        let mut target = BitVec::zeros(bits);
+        target.set(bits - 1, true);
+        assert_eq!(solver.solve(&target), SubsetSolution::Inconsistent);
+    }
+
+    #[test]
+    fn dependent_generators_are_detected_and_enumerable() {
+        let mut rng = Xoshiro256::new(13);
+        let bits = 64;
+        let a = random_vec(&mut rng, bits);
+        let b = random_vec(&mut rng, bits);
+        let mut c = a.clone();
+        c.xor_assign(&b); // c = a ^ b
+        let mut solver = SubsetXorSolver::new(bits, 3);
+        solver.add_generator(&a);
+        solver.add_generator(&b);
+        solver.add_generator(&c);
+        assert_eq!(solver.rank(), 2);
+        assert_eq!(solver.kernel_dim(), 1);
+        let kernel: Vec<Vec<usize>> = solver.kernel().collect();
+        assert_eq!(kernel, vec![vec![0, 1, 2]]);
+
+        match solver.solve(&a) {
+            SubsetSolution::Ambiguous { particular, kernel_dim: 1 } => {
+                // particular ^ kernel = the other representation of `a`.
+                let mut value = BitVec::zeros(bits);
+                for &i in &particular {
+                    value.xor_assign([&a, &b, &c][i]);
+                }
+                assert_eq!(value, a);
+            }
+            other => panic!("expected ambiguous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basis_rows_isolate_forced_vectors() {
+        // Three "cells" containing {x}, {x, y}, {y, z}: reduction must be able
+        // to express x, y and z as basis rows (the candidate-free rescue).
+        let mut rng = Xoshiro256::new(17);
+        let bits = 128;
+        let x = random_vec(&mut rng, bits);
+        let y = random_vec(&mut rng, bits);
+        let z = random_vec(&mut rng, bits);
+        let mut xy = x.clone();
+        xy.xor_assign(&y);
+        let mut yz = y.clone();
+        yz.xor_assign(&z);
+
+        let mut solver = SubsetXorSolver::new(bits, 3);
+        solver.add_generator(&x);
+        solver.add_generator(&xy);
+        solver.add_generator(&yz);
+        assert_eq!(solver.rank(), 3);
+        // The fully reduced rows span the same space; x, y and z must each be
+        // uniquely expressible.
+        for (v, want) in [(&x, vec![0]), (&y, vec![0, 1]), (&z, vec![0, 1, 2])] {
+            assert_eq!(solver.solve(v), SubsetSolution::Unique(want));
+        }
+    }
+
+    #[test]
+    fn proptest_solutions_always_verify() {
+        // Random systems with repetitions: whatever the solver answers must
+        // actually XOR to the target, and Unique answers must be the only
+        // consistent subset when re-checked by brute force (small n).
+        let mut rng = Xoshiro256::new(23);
+        for trial in 0..200u64 {
+            let bits = 16 + (trial as usize % 5) * 7;
+            let n = 1 + (trial as usize % 8);
+            let gens: Vec<BitVec> = (0..n).map(|_| random_vec(&mut rng, bits)).collect();
+            let mut solver = SubsetXorSolver::new(bits, n);
+            for g in &gens {
+                solver.add_generator(g);
+            }
+            let target = random_vec(&mut rng, bits);
+            let brute: Vec<u32> = (0u32..1 << n)
+                .filter(|&mask| {
+                    let mut v = BitVec::zeros(bits);
+                    for (i, g) in gens.iter().enumerate() {
+                        if mask >> i & 1 == 1 {
+                            v.xor_assign(g);
+                        }
+                    }
+                    v == target
+                })
+                .collect();
+            match solver.solve(&target) {
+                SubsetSolution::Inconsistent => assert!(brute.is_empty(), "trial {trial}"),
+                SubsetSolution::Unique(subset) => {
+                    let mask: u32 = subset.iter().map(|&i| 1 << i).sum();
+                    assert_eq!(brute, vec![mask], "trial {trial}");
+                }
+                SubsetSolution::Ambiguous { particular, kernel_dim } => {
+                    let mask: u32 = particular.iter().map(|&i| 1 << i).sum();
+                    assert!(brute.contains(&mask), "trial {trial}");
+                    assert_eq!(brute.len(), 1 << kernel_dim, "trial {trial}");
+                }
+            }
+        }
+    }
+}

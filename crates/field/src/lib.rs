@@ -20,6 +20,8 @@
 //!   division, GCD, evaluation and construction from roots,
 //! * [`linalg`] — Gaussian elimination over GF(2^61 − 1) on a flat row-major
 //!   coefficient bank (the dense `O(d^3)` fallback),
+//! * [`gf2`] — sparse bitset Gaussian elimination over GF(2) with tracked
+//!   combination masks (the IBLT decode-rescue substrate),
 //! * [`structured`] — the `O(d^2)` structured solve for the rational
 //!   interpolation system (Newton interpolation + extended-Euclidean rational
 //!   reconstruction, plus Montgomery batch inversion),
@@ -30,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod fp;
+pub mod gf2;
 pub mod linalg;
 pub mod poly;
 pub mod roots;
 pub mod structured;
 
 pub use fp::{Fp, MODULUS};
+pub use gf2::{BitVec, SubsetSolution, SubsetXorSolver};
 pub use linalg::{solve_consistent, solve_consistent_flat, solve_linear_system};
 pub use poly::Poly;
 pub use roots::find_roots;

@@ -1,0 +1,64 @@
+//! Monte Carlo calibration sweep for the tuned IBLT layout (not shipped wisdom:
+//! run with --release; results feed the TUNED_LAYOUT table in table.rs).
+use recon_base::rng::{split_seed, Xoshiro256};
+use recon_iblt::{Iblt, IbltConfig};
+use std::collections::HashSet;
+
+fn main() {
+    let trials = 400u64;
+    for n_shared in [1000usize, 20000] {
+        println!("--- shared set size {n_shared} ---");
+        for d in [4usize, 8, 16, 32, 64, 128] {
+            for (k, stash) in [(3usize, 3usize), (4, 3)] {
+                for factor in [1.2f64, 1.35, 1.5, 1.7] {
+                    let mut peel_ok = 0u64;
+                    let mut resc_ok = 0u64;
+                    for trial in 0..trials {
+                        let seed = split_seed(0xCA11 + d as u64, trial);
+                        let cfg = IbltConfig::for_u64_keys(seed)
+                            .with_hash_count(k)
+                            .with_cells_per_diff(factor)
+                            .with_min_cells(16)
+                            .with_stash_cells(stash);
+                        let mut rng = Xoshiro256::new(split_seed(trial, d as u64));
+                        let shared: Vec<u64> = (0..n_shared).map(|_| rng.next_u64()).collect();
+                        let only_a: Vec<u64> = (0..d.div_ceil(2)).map(|_| rng.next_u64()).collect();
+                        let only_b: Vec<u64> = (0..d / 2).map(|_| rng.next_u64()).collect();
+                        let mut a = Iblt::with_expected_diff(d, &cfg);
+                        for &x in shared.iter().chain(&only_a) {
+                            a.insert_u64(x);
+                        }
+                        let mut b = Iblt::with_expected_diff(d, &cfg);
+                        for &x in shared.iter().chain(&only_b) {
+                            b.insert_u64(x);
+                        }
+                        let diff = a.subtract(&b).unwrap();
+
+                        let mut tp = diff.clone();
+                        tp.adopt_layout(&cfg.with_rescue(None)).unwrap();
+                        if tp.decode_in_place().complete {
+                            peel_ok += 1;
+                        }
+
+                        let mut tr = diff.clone();
+                        let r = tr.decode_in_place_with_candidates_u64(
+                            shared.iter().chain(&only_b).copied(),
+                        );
+                        if r.complete {
+                            let pos: HashSet<u64> = r.positive_u64().into_iter().collect();
+                            let neg: HashSet<u64> = r.negative_u64().into_iter().collect();
+                            assert_eq!(pos, only_a.iter().copied().collect());
+                            assert_eq!(neg, only_b.iter().copied().collect());
+                            resc_ok += 1;
+                        }
+                    }
+                    println!(
+                        "d={d:4} k={k} stash={stash} f={factor}: peel {:5.1}%  rescue {:5.1}%",
+                        100.0 * peel_ok as f64 / trials as f64,
+                        100.0 * resc_ok as f64 / trials as f64
+                    );
+                }
+            }
+        }
+    }
+}

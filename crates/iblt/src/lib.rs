@@ -31,6 +31,12 @@
 //! * Failure modes are explicit: [`DecodeResult::complete`] distinguishes a clean
 //!   decode from a peeling failure, and checksum verification rejects cells that
 //!   *look* pure but are not.
+//! * Peeling failures are not final: the [`rescue`] module collects the
+//!   residual cells of a stalled peel into a sparse GF(2) system and finishes
+//!   the decode algebraically, verifying every recovered key against its
+//!   checksum before accepting it. This is what lets the tuned sizing
+//!   ([`IbltConfig::tuned_for_u64_keys`]) run near the peeling wall instead of
+//!   at the classic `2.2·d`.
 //!
 //! ## Example
 //!
@@ -59,7 +65,9 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
+pub mod rescue;
 mod table;
 
 pub use kernels::{active_kernel, force_scalar_kernels};
+pub use rescue::{decode_rescues, rescue_failures, DecodeBudget};
 pub use table::{DecodeResult, Iblt, IbltConfig};

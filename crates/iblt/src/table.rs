@@ -15,6 +15,8 @@
 //! cell, little-endian), so tables interoperate across versions.
 
 use crate::kernels;
+use crate::rescue::{self, DecodeBudget};
+use recon_base::config;
 use recon_base::hash::{hash64, hash_bytes, hash_bytes8};
 use recon_base::rng::split_seed;
 use recon_base::wire::{read_uvarint, write_uvarint, Decode, Encode, WireError};
@@ -42,6 +44,22 @@ pub struct IbltConfig {
     pub min_cells: usize,
     /// Public-coin seed; bucket hashes and the checksum hash are derived from it.
     pub seed: u64,
+    /// Number of overflow (stash) cells appended after the partitioned region.
+    /// Every key is additionally hashed into exactly one stash cell, which gives
+    /// the peel (and the rescue solver) one extra equation per key — cheap
+    /// insurance against the 2-core at tight sizing. `0` (the default) keeps
+    /// the classic pure-partition layout.
+    pub stash_cells: usize,
+    /// Budget for the GF(2) decode-rescue pipeline ([`crate::rescue`]); `None`
+    /// makes a stalled peel a hard failure, exactly as before the rescue path
+    /// existed. The effective value is also gated by
+    /// [`recon_base::config::peel_only_forced`].
+    pub rescue: Option<DecodeBudget>,
+    /// Use the retightened per-difference layout table (hash count and
+    /// cells-per-difference chosen by expected difference) instead of the flat
+    /// `hash_count`/`cells_per_diff` pair. Opt-in: the rescue pipeline is what
+    /// makes the tighter sizing safe, so only rescue-aware callers enable it.
+    pub tuned_layout: bool,
 }
 
 impl IbltConfig {
@@ -52,7 +70,41 @@ impl IbltConfig {
 
     /// A configuration for keys of `key_bytes` bytes with default sizing.
     pub fn for_key_bytes(key_bytes: usize, seed: u64) -> Self {
-        Self { key_bytes, hash_count: 4, cells_per_diff: 2.2, min_cells: 24, seed }
+        Self {
+            key_bytes,
+            hash_count: 4,
+            cells_per_diff: 2.2,
+            min_cells: 24,
+            seed,
+            stash_cells: 0,
+            rescue: Some(DecodeBudget::default()),
+            tuned_layout: false,
+        }
+    }
+
+    /// A configuration for 8-byte keys with the retightened, rescue-backed
+    /// sizing: per-difference tuned layout, a small stash, and a lower cell
+    /// floor. See [`IbltConfig::tuned_for_key_bytes`].
+    pub fn tuned_for_u64_keys(seed: u64) -> Self {
+        Self::tuned_for_key_bytes(8, seed)
+    }
+
+    /// A configuration with the retightened, rescue-backed sizing for keys of
+    /// `key_bytes` bytes.
+    ///
+    /// With the decode-rescue pipeline finishing stalled peels, tables can run
+    /// much closer to the peeling wall than the classic `2.2·d` sizing: the
+    /// per-difference layout table picks the hash count and cell factor, a
+    /// small stash gives every key one extra equation, and the cell floor
+    /// drops from 24 to 16. Callers that decode with candidates (set
+    /// reconciliation, SoS outer tables) get the full benefit; peel-only
+    /// decoding of these tables falls back to amplification retries.
+    pub fn tuned_for_key_bytes(key_bytes: usize, seed: u64) -> Self {
+        let mut cfg = Self::for_key_bytes(key_bytes, seed);
+        cfg.tuned_layout = true;
+        cfg.min_cells = 16;
+        cfg.stash_cells = 3;
+        cfg
     }
 
     /// Override the cells-per-difference safety factor (ablation knob for Thm 2.1's
@@ -82,6 +134,24 @@ impl IbltConfig {
         self
     }
 
+    /// Override the number of stash (overflow) cells appended to the table.
+    pub fn with_stash_cells(mut self, stash_cells: usize) -> Self {
+        self.stash_cells = stash_cells;
+        self
+    }
+
+    /// Override (or disable, with `None`) the decode-rescue budget.
+    pub fn with_rescue(mut self, rescue: Option<DecodeBudget>) -> Self {
+        self.rescue = rescue;
+        self
+    }
+
+    /// Enable or disable the retightened per-difference layout table.
+    pub fn with_tuned_layout(mut self, tuned: bool) -> Self {
+        self.tuned_layout = tuned;
+        self
+    }
+
     /// Number of cells allocated for an expected difference of `expected_diff` keys:
     /// `max(min_cells, ceil(cells_per_diff · expected_diff))`, rounded up to a
     /// multiple of `hash_count` so the table partitions evenly.
@@ -89,6 +159,37 @@ impl IbltConfig {
         let target = (self.cells_per_diff * expected_diff as f64).ceil() as usize;
         let m = target.max(self.min_cells).max(self.hash_count);
         m.div_ceil(self.hash_count) * self.hash_count
+    }
+
+    /// The `(hash_count, partitioned cells)` layout for an expected difference
+    /// of `expected_diff` keys.
+    ///
+    /// With [`IbltConfig::tuned_layout`] off this is simply
+    /// `(hash_count, cells_for(expected_diff))`. With it on, the hash count
+    /// and cell factor come from `TUNED_LAYOUT`, a per-difference table
+    /// calibrated (Monte Carlo, see `BENCH.md`) so the rescue-backed decode
+    /// stays reliable while spending far fewer cells than the classic flat
+    /// `2.2·d`. Stash cells are not included — they sit on top of the
+    /// partitioned region.
+    pub fn layout_for(&self, expected_diff: usize) -> (usize, usize) {
+        if !self.tuned_layout {
+            return (self.hash_count, self.cells_for(expected_diff));
+        }
+        let &(_, k, cells_per_diff) = TUNED_LAYOUT
+            .iter()
+            .find(|&&(max_diff, _, _)| expected_diff <= max_diff)
+            .unwrap_or(TUNED_LAYOUT.last().expect("tuned layout table is non-empty"));
+        let target = (cells_per_diff * expected_diff as f64).ceil() as usize;
+        let m = target.max(self.min_cells).max(k);
+        (k, m.div_ceil(k) * k)
+    }
+
+    /// Total cells (partitioned region + stash) a table sized for
+    /// `expected_diff` will allocate — the value to feed into
+    /// [`IbltConfig::serialized_len`] for cost accounting.
+    pub fn total_cells_for(&self, expected_diff: usize) -> usize {
+        let (_, base) = self.layout_for(expected_diff);
+        base + self.stash_cells
     }
 
     /// Serialized size in bytes of a table with `cells` cells under this
@@ -108,6 +209,17 @@ impl IbltConfig {
 fn uvarint_len(v: u64) -> usize {
     recon_base::wire::uvarint_len(v)
 }
+
+/// The retightened per-difference layout: `(max_diff, hash_count,
+/// cells_per_diff)` rows, first match wins. Calibrated by Monte Carlo against
+/// the rescue-backed decode with candidates (400 trials per point at shared
+/// set sizes 1 000 and 20 000; see `BENCH.md` for the sweep): `k = 3` has the
+/// lowest peeling threshold (`c* ≈ 1.22`) and dominated `k = 4` at every
+/// factor up to 1.5×, and the rescue solver covers the near-threshold
+/// variance that historically forced `k = 4` at `2.2·d`. Small differences
+/// stay a little fatter because the `min_cells` floor — not the factor — is
+/// what carries them.
+const TUNED_LAYOUT: &[(usize, usize, f64)] = &[(16, 3, 2.0), (64, 3, 1.6), (usize::MAX, 3, 1.5)];
 
 impl Default for IbltConfig {
     fn default() -> Self {
@@ -189,6 +301,7 @@ fn key_to_u64(key: &[u8]) -> u64 {
 struct HashPlan {
     base_seed: u64,
     check_seed: u64,
+    stash_seed: u64,
     index_seeds: Vec<u64>,
 }
 
@@ -197,6 +310,7 @@ impl HashPlan {
         Self {
             base_seed: split_seed(seed, 0xB0CC),
             check_seed: split_seed(seed, 0xC4EC),
+            stash_seed: split_seed(seed, 0x57A5),
             index_seeds: (0..hash_count).map(|j| split_seed(seed, j as u64 + 1)).collect(),
         }
     }
@@ -238,7 +352,7 @@ fn xor_key(dst: &mut [u8], src: &[u8]) {
 /// module documentation for the flat struct-of-arrays cell bank. The table is cheap
 /// to clone (three flat `Vec`s) and serializes through [`recon_base::wire::Encode`],
 /// which is how its communication cost is measured.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Iblt {
     key_bytes: usize,
     hash_count: usize,
@@ -252,30 +366,62 @@ pub struct Iblt {
     check_sums: Vec<u64>,
     /// Pre-split hash seeds (derived from `seed` and `hash_count`).
     plan: HashPlan,
+    /// Stash (overflow) cells at the tail of the bank; `0` for the classic
+    /// pure-partition layout. Affects hashing, so [`Iblt::subtract`] requires
+    /// both sides to agree.
+    stash_cells: usize,
+    /// Decode-rescue budget ([`crate::rescue`]); decode-side metadata, not
+    /// part of the wire format.
+    rescue: Option<DecodeBudget>,
+}
+
+/// Equality compares the bank and its hashing geometry (key width, hash
+/// count, seed, cells). The stash count and rescue budget are *decode-side
+/// metadata*: a table parsed off the wire compares equal to the local table
+/// that produced it even before [`Iblt::adopt_layout`] restores them.
+impl PartialEq for Iblt {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_bytes == other.key_bytes
+            && self.hash_count == other.hash_count
+            && self.seed == other.seed
+            && self.counts == other.counts
+            && self.key_sums == other.key_sums
+            && self.check_sums == other.check_sums
+    }
 }
 
 impl Iblt {
-    /// Create an empty table with exactly `cells` cells (rounded up to a multiple of
-    /// the hash count).
+    /// Create an empty table whose partitioned region has `cells` cells (rounded
+    /// up to a multiple of the hash count), plus the configuration's stash cells
+    /// on top.
     pub fn with_cells(cells: usize, cfg: &IbltConfig) -> Self {
-        assert!(cfg.hash_count >= 1, "need at least one hash function");
+        Self::build(cfg, cfg.hash_count, cells)
+    }
+
+    /// Create an empty table sized for an expected difference of `expected_diff`
+    /// keys, using the configuration's sizing policy ([`IbltConfig::layout_for`],
+    /// which is [`IbltConfig::cells_for`] unless the tuned layout is enabled).
+    pub fn with_expected_diff(expected_diff: usize, cfg: &IbltConfig) -> Self {
+        let (hash_count, base_cells) = cfg.layout_for(expected_diff);
+        Self::build(cfg, hash_count, base_cells)
+    }
+
+    fn build(cfg: &IbltConfig, hash_count: usize, base_cells: usize) -> Self {
+        assert!(hash_count >= 1, "need at least one hash function");
         assert!(cfg.key_bytes >= 1, "keys must be at least one byte wide");
-        let m = cells.max(cfg.hash_count).div_ceil(cfg.hash_count) * cfg.hash_count;
+        let base = base_cells.max(hash_count).div_ceil(hash_count) * hash_count;
+        let m = base + cfg.stash_cells;
         Self {
             key_bytes: cfg.key_bytes,
-            hash_count: cfg.hash_count,
+            hash_count,
             seed: cfg.seed,
             counts: vec![0; m],
             key_sums: vec![0; m * cfg.key_bytes],
             check_sums: vec![0; m],
-            plan: HashPlan::new(cfg.seed, cfg.hash_count),
+            plan: HashPlan::new(cfg.seed, hash_count),
+            stash_cells: cfg.stash_cells,
+            rescue: cfg.rescue,
         }
-    }
-
-    /// Create an empty table sized for an expected difference of `expected_diff`
-    /// keys, using the configuration's sizing policy ([`IbltConfig::cells_for`]).
-    pub fn with_expected_diff(expected_diff: usize, cfg: &IbltConfig) -> Self {
-        Self::with_cells(cfg.cells_for(expected_diff), cfg)
     }
 
     /// Number of cells.
@@ -296,6 +442,45 @@ impl Iblt {
     /// The public-coin seed this table was built with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Number of stash (overflow) cells at the tail of the bank.
+    pub fn stash_cells(&self) -> usize {
+        self.stash_cells
+    }
+
+    /// The decode-rescue budget this table will use (before the
+    /// [`recon_base::config::peel_only_forced`] gate).
+    pub fn rescue_budget(&self) -> Option<DecodeBudget> {
+        self.rescue
+    }
+
+    /// Cell indices a key touches: `hash_count` partitioned cells plus one
+    /// stash cell when a stash is configured.
+    #[inline]
+    fn index_count(&self) -> usize {
+        self.hash_count + usize::from(self.stash_cells > 0)
+    }
+
+    /// Re-bless a table parsed off the wire with the decode-side layout
+    /// metadata the wire format does not carry: the stash split and the
+    /// rescue budget.
+    ///
+    /// The wire header is authoritative for the hash count (the tuned layout
+    /// varies it per difference size), so only the key width and seed must
+    /// match `cfg`; the stash must also fit (the partitioned remainder stays a
+    /// non-empty multiple of the hash count).
+    pub fn adopt_layout(&mut self, cfg: &IbltConfig) -> Result<(), ReconError> {
+        let base = self.counts.len().checked_sub(cfg.stash_cells);
+        let base_ok = matches!(base, Some(b) if b >= self.hash_count && b % self.hash_count == 0);
+        if cfg.key_bytes != self.key_bytes || cfg.seed != self.seed || !base_ok {
+            return Err(ReconError::InvalidInput(
+                "IBLT layout does not match the configuration being adopted".to_string(),
+            ));
+        }
+        self.stash_cells = cfg.stash_cells;
+        self.rescue = cfg.rescue;
+        Ok(())
     }
 
     /// `true` if every cell is zero (the represented multiset difference is empty).
@@ -327,14 +512,21 @@ impl Iblt {
         hash_key(key, self.plan.check_seed)
     }
 
-    /// Compute the `hash_count` partitioned cell indices of the key with base
-    /// hash `base` into `out` (one batch, no per-index seed derivation).
+    /// Compute the cell indices of the key with base hash `base` into `out`
+    /// (one batch, no per-index seed derivation): `hash_count` partitioned
+    /// indices over the base region, plus one stash index past it when a stash
+    /// is configured. `out.len()` must equal [`Iblt::index_count`].
     #[inline]
     fn fill_indices(&self, base: u64, out: &mut [usize]) {
-        let part = self.counts.len() / self.hash_count;
+        let base_cells = self.counts.len() - self.stash_cells;
+        let part = base_cells / self.hash_count;
         for (j, (slot, &index_seed)) in out.iter_mut().zip(&self.plan.index_seeds).enumerate() {
             let h = hash64(base, index_seed);
             *slot = j * part + (h % part as u64) as usize;
+        }
+        if self.stash_cells > 0 {
+            let h = hash64(base, self.plan.stash_seed);
+            out[self.hash_count] = base_cells + (h % self.stash_cells as u64) as usize;
         }
     }
 
@@ -343,12 +535,13 @@ impl Iblt {
     #[inline]
     fn apply_prehashed(&mut self, key: &[u8], checksum: u64, delta: i64) {
         let base = hash_key(key, self.plan.base_seed);
+        let index_count = self.index_count();
         let mut stack = [0usize; MAX_HASHES_ON_STACK];
         let mut heap: Vec<usize>;
-        let indices: &mut [usize] = if self.hash_count <= MAX_HASHES_ON_STACK {
-            &mut stack[..self.hash_count]
+        let indices: &mut [usize] = if index_count <= MAX_HASHES_ON_STACK {
+            &mut stack[..index_count]
         } else {
-            heap = vec![0; self.hash_count];
+            heap = vec![0; index_count];
             &mut heap
         };
         self.fill_indices(base, indices);
@@ -399,6 +592,7 @@ impl Iblt {
             || self.hash_count != other.hash_count
             || self.seed != other.seed
             || self.counts.len() != other.counts.len()
+            || self.stash_cells != other.stash_cells
         {
             return Err(ReconError::InvalidInput(
                 "cannot combine IBLTs with different geometry or seed".to_string(),
@@ -465,23 +659,108 @@ impl Iblt {
         self.decode_in_place()
     }
 
-    /// Decode (peel) the table in place, without copying the cell bank.
+    /// Decode the table in place, without copying the cell bank: peel first,
+    /// and when the peel stalls on a non-empty 2-core, hand the residual to
+    /// the GF(2) rescue solver ([`crate::rescue`]) before reporting failure.
     ///
-    /// On a complete decode the table is left empty; on a peeling failure it holds
-    /// exactly the 2-core the peel could not clear, so
+    /// On a complete decode the table is left empty; on a failure it holds
+    /// exactly the residual neither the peel nor the rescue could clear, so
     /// [`Iblt::nonempty_cells`] afterwards reports the genuinely undecodable
-    /// remainder (a sharper diagnostic than the pre-peel cell count).
+    /// remainder (a sharper diagnostic than the pre-peel cell count). Without
+    /// candidates the rescue can only use keys it discovers by Gaussian
+    /// elimination on the residual itself; decoders that know their own side
+    /// of the difference should prefer
+    /// [`Iblt::decode_in_place_with_candidates`].
     pub fn decode_in_place(&mut self) -> DecodeResult {
         let mut result = DecodeResult::default();
+        self.peel_in_place(&mut result);
+        if let Some(budget) = self.rescue_in_effect() {
+            rescue::rescue_in_place(self, &mut result, &[], budget);
+        }
+        result.complete = self.is_empty();
+        result
+    }
+
+    /// Decode in place like [`Iblt::decode_in_place`], but give the rescue
+    /// solver the keys the decoder itself contributed (its own set, which is
+    /// where every negative key must come from). The iterator is only
+    /// consumed — and only on the failure path — when the peel stalls, so
+    /// passing a large set is free on the happy path. Keys of the wrong width
+    /// are ignored.
+    pub fn decode_in_place_with_candidates<I, K>(&mut self, negative_candidates: I) -> DecodeResult
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<[u8]>,
+    {
+        let mut result = DecodeResult::default();
+        self.peel_in_place(&mut result);
+        if !self.is_empty() {
+            if let Some(budget) = self.rescue_in_effect() {
+                let owned: Vec<K> = negative_candidates.into_iter().collect();
+                let refs: Vec<&[u8]> = owned
+                    .iter()
+                    .map(|k| k.as_ref())
+                    .filter(|k| k.len() == self.key_bytes)
+                    .collect();
+                rescue::rescue_in_place(self, &mut result, &refs, budget);
+            }
+        }
+        result.complete = self.is_empty();
+        result
+    }
+
+    /// [`Iblt::decode_in_place_with_candidates`] for `u64` candidate keys
+    /// (zero-padded to the table's key width, materialized only when the peel
+    /// actually stalls).
+    pub fn decode_in_place_with_candidates_u64<I>(&mut self, negative_candidates: I) -> DecodeResult
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut result = DecodeResult::default();
+        self.peel_in_place(&mut result);
+        if !self.is_empty() {
+            if let Some(budget) = self.rescue_in_effect() {
+                let kb = self.key_bytes;
+                let keys: Vec<Vec<u8>> = negative_candidates
+                    .into_iter()
+                    .map(|x| {
+                        let mut key = vec![0u8; kb];
+                        key[..8].copy_from_slice(&x.to_le_bytes());
+                        key
+                    })
+                    .collect();
+                let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                rescue::rescue_in_place(self, &mut result, &refs, budget);
+            }
+        }
+        result.complete = self.is_empty();
+        result
+    }
+
+    /// The rescue budget actually in effect for this decode: the table's
+    /// configured budget, unless peel-only decoding is forced process-wide.
+    fn rescue_in_effect(&self) -> Option<DecodeBudget> {
+        if self.is_empty() || config::peel_only_forced() {
+            None
+        } else {
+            self.rescue
+        }
+    }
+
+    /// Run the peeling loop to exhaustion, appending recovered keys to
+    /// `result` (without setting `result.complete`). Public within the crate
+    /// so the rescue solver can alternate algebraic removals with re-peels.
+    pub(crate) fn peel_in_place(&mut self, result: &mut DecodeResult) {
         let mut queue: VecDeque<usize> = VecDeque::with_capacity(self.counts.len() / 2);
         for i in 0..self.counts.len() {
             if self.is_pure(i) {
                 queue.push_back(i);
             }
         }
+        let index_count = self.index_count();
         let mut stack = [0usize; MAX_HASHES_ON_STACK];
         let mut heap =
-            vec![0usize; if self.hash_count > MAX_HASHES_ON_STACK { self.hash_count } else { 0 }];
+            vec![0usize; if index_count > MAX_HASHES_ON_STACK { index_count } else { 0 }];
 
         while let Some(idx) = queue.pop_front() {
             if !self.is_pure(idx) {
@@ -494,13 +773,14 @@ impl Iblt {
             let checksum = self.check_sums[idx];
             // Remove the key from the table: if it was a positive key, delete it; if
             // negative, add it back (as described in Section 2 of the paper). The
-            // partitioned cells of a key are distinct, so each becomes final the
-            // moment it is updated and can be tested for purity right away.
+            // partitioned cells of a key (and its stash cell, which lives past the
+            // partitioned region) are distinct, so each becomes final the moment it
+            // is updated and can be tested for purity right away.
             let delta = if count == 1 { -1 } else { 1 };
             let kb = self.key_bytes;
             let base = hash_key(&key, self.plan.base_seed);
-            let indices: &mut [usize] = if self.hash_count <= MAX_HASHES_ON_STACK {
-                &mut stack[..self.hash_count]
+            let indices: &mut [usize] = if index_count <= MAX_HASHES_ON_STACK {
+                &mut stack[..index_count]
             } else {
                 &mut heap
             };
@@ -519,21 +799,64 @@ impl Iblt {
                 result.negative.push(key);
             }
         }
-
-        result.complete = self.is_empty();
-        result
     }
 
     /// Number of cells that are currently non-empty (diagnostic for peeling
     /// failures).
     pub fn nonempty_cells(&self) -> usize {
-        (0..self.counts.len())
-            .filter(|&i| {
-                self.counts[i] != 0
-                    || self.check_sums[i] != 0
-                    || self.key_sum(i).iter().any(|&b| b != 0)
-            })
-            .count()
+        self.nonempty_cell_indices().len()
+    }
+
+    /// Indices of every currently non-empty cell (the rescue solver's residual
+    /// system).
+    pub(crate) fn nonempty_cell_indices(&self) -> Vec<usize> {
+        (0..self.counts.len()).filter(|&i| !self.cell_is_empty(i)).collect()
+    }
+
+    /// `true` if cell `idx` holds nothing (all three planes zero).
+    #[inline]
+    pub(crate) fn cell_is_empty(&self, idx: usize) -> bool {
+        self.counts[idx] == 0
+            && self.check_sums[idx] == 0
+            && self.key_sum(idx).iter().all(|&b| b == 0)
+    }
+
+    /// The signed count of cell `idx`.
+    #[inline]
+    pub(crate) fn cell_count(&self, idx: usize) -> i64 {
+        self.counts[idx]
+    }
+
+    /// The key-sum plane of cell `idx`.
+    #[inline]
+    pub(crate) fn cell_key_sum(&self, idx: usize) -> &[u8] {
+        self.key_sum(idx)
+    }
+
+    /// The checksum plane of cell `idx`.
+    #[inline]
+    pub(crate) fn cell_check_sum(&self, idx: usize) -> u64 {
+        self.check_sums[idx]
+    }
+
+    /// The checksum of `key` under this table's checksum hash.
+    pub(crate) fn key_checksum(&self, key: &[u8]) -> u64 {
+        self.checksum(key)
+    }
+
+    /// The cell indices `key` hashes to (partitioned cells plus the stash cell
+    /// when configured).
+    pub(crate) fn key_cells(&self, key: &[u8]) -> Vec<usize> {
+        let base = hash_key(key, self.plan.base_seed);
+        let mut indices = vec![0usize; self.index_count()];
+        self.fill_indices(base, &mut indices);
+        indices
+    }
+
+    /// Remove `sign` occurrences of a rescued `key` (checksum already known)
+    /// from every cell it hashes to.
+    pub(crate) fn remove_rescued(&mut self, key: &[u8], checksum: u64, sign: i64) {
+        self.apply_prehashed(key, checksum, -sign);
     }
 
     /// The exact serialized size of this table in bytes.
@@ -599,6 +922,8 @@ impl Iblt {
             .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
             .collect();
         let plan = HashPlan::new(seed, hash_count);
+        // The snapshot format does not carry decode-side metadata; callers
+        // with a stash or a custom budget re-bless via `adopt_layout`.
         Ok(Iblt {
             key_bytes,
             hash_count,
@@ -607,6 +932,8 @@ impl Iblt {
             key_sums: key_plane.to_vec(),
             check_sums,
             plan,
+            stash_cells: 0,
+            rescue: Some(DecodeBudget::default()),
         })
     }
 }
@@ -663,7 +990,21 @@ impl Decode for Iblt {
             check_sums.push(u64::decode(buf)?);
         }
         let plan = HashPlan::new(seed, hash_count);
-        Ok(Iblt { key_bytes, hash_count, seed, counts, key_sums, check_sums, plan })
+        // The wire format is unchanged (byte-identical to every prior version)
+        // and so carries no decode-side metadata: parsed tables start with no
+        // stash and the default rescue budget, and protocol layers that use a
+        // stash re-bless the table with `adopt_layout` before decoding.
+        Ok(Iblt {
+            key_bytes,
+            hash_count,
+            seed,
+            counts,
+            key_sums,
+            check_sums,
+            plan,
+            stash_cells: 0,
+            rescue: Some(DecodeBudget::default()),
+        })
     }
 }
 
@@ -991,5 +1332,94 @@ mod tests {
         let d = diff.decode();
         assert!(d.complete);
         assert_eq!(d.recovered(), 0);
+    }
+
+    #[test]
+    fn stash_layout_survives_wire_roundtrip_via_adopt_layout() {
+        let cfg = IbltConfig::tuned_for_u64_keys(77);
+        let mut original = Iblt::with_expected_diff(12, &cfg);
+        assert_eq!(original.stash_cells(), cfg.stash_cells);
+        let keys: Vec<u64> = (0..40u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        for &k in &keys {
+            original.insert_u64(k);
+        }
+        // The wire format carries no decode-side metadata.
+        let mut parsed = Iblt::from_bytes(&original.to_bytes()).unwrap();
+        assert_eq!(parsed.stash_cells(), 0);
+        parsed.adopt_layout(&cfg).unwrap();
+        assert_eq!(parsed.stash_cells(), cfg.stash_cells);
+        assert_eq!(parsed.rescue_budget(), cfg.rescue);
+        // Same geometry after adoption: deleting the same keys drains the bank
+        // (stash indices included).
+        for &k in &keys {
+            parsed.delete_u64(k);
+        }
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn adopt_layout_rejects_mismatched_configs() {
+        let cfg = IbltConfig::tuned_for_u64_keys(5);
+        let table = Iblt::with_expected_diff(8, &cfg);
+
+        let mut t = table.clone();
+        assert!(t.adopt_layout(&IbltConfig::tuned_for_key_bytes(16, 5)).is_err(), "key width");
+        let mut t = table.clone();
+        assert!(t.adopt_layout(&IbltConfig::tuned_for_u64_keys(6)).is_err(), "seed");
+        // A stash split that leaves the partitioned remainder indivisible by
+        // the hash count (or empty) must be refused.
+        let mut t = table.clone();
+        assert!(t.adopt_layout(&cfg.with_stash_cells(cfg.stash_cells + 1)).is_err());
+        let mut t = table.clone();
+        assert!(t.adopt_layout(&cfg.with_stash_cells(table.cells())).is_err());
+        // And the original config is of course fine.
+        let mut t = table.clone();
+        assert!(t.adopt_layout(&cfg).is_ok());
+    }
+
+    #[test]
+    fn combining_tables_requires_matching_stash_split() {
+        // Same total cell count, different stash split: the keys live in
+        // different partitions, so subtract/add must refuse.
+        let stash_cfg = IbltConfig::for_u64_keys(9).with_hash_count(3).with_stash_cells(3);
+        let flat_cfg = IbltConfig::for_u64_keys(9).with_hash_count(3);
+        let with_stash = Iblt::with_cells(21, &stash_cfg);
+        let without = Iblt::with_cells(24, &flat_cfg);
+        assert_eq!(with_stash.cells(), without.cells());
+        assert!(with_stash.subtract(&without).is_err());
+        let mut acc = with_stash.clone();
+        assert!(acc.add_assign(&without).is_err());
+    }
+
+    #[test]
+    fn tuned_layout_is_tighter_than_classic_and_decodes_with_candidates() {
+        let classic = IbltConfig::for_u64_keys(41);
+        let tuned = IbltConfig::tuned_for_u64_keys(41);
+        for d in [8usize, 32, 128, 512] {
+            assert!(
+                tuned.total_cells_for(d) < classic.total_cells_for(d),
+                "tuned sizing must be strictly tighter at d = {d}"
+            );
+        }
+        // And a tuned table still reconciles: worst-ish case, all-negative
+        // difference at the tight factor, candidates in hand.
+        let mut rng = Xoshiro256::new(0xCAFE);
+        let shared: Vec<u64> = (0..500).map(|_| rng.next_u64()).collect();
+        let extra: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+        let mut table = Iblt::with_expected_diff(32, &tuned);
+        for &x in &shared {
+            table.insert_u64(x);
+        }
+        let local: Vec<u64> = shared.iter().chain(&extra).copied().collect();
+        for &x in &local {
+            table.delete_u64(x);
+        }
+        let decoded = table.decode_in_place_with_candidates_u64(local.iter().copied());
+        assert!(decoded.complete);
+        let mut neg = decoded.negative_u64();
+        neg.sort_unstable();
+        let mut want = extra;
+        want.sort_unstable();
+        assert_eq!(neg, want);
     }
 }

@@ -247,6 +247,128 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Decode rescue vs ground truth
+// ---------------------------------------------------------------------------
+
+/// A reconciliation instance straddling the peeling threshold: a subtracted
+/// table holding `d_pos + d_neg` difference keys over `num_shared` cancelled
+/// ones, at `factor_pct`% cells per difference. Returns the table (built with
+/// `cfg`), Bob's full key list and the sorted ground-truth difference.
+fn rescue_instance(
+    cfg: &IbltConfig,
+    num_shared: usize,
+    d_pos: usize,
+    d_neg: usize,
+    factor_pct: usize,
+    seed: u64,
+) -> (Iblt, Vec<u64>, Vec<u64>, Vec<u64>) {
+    let mut rng = Xoshiro256::new(seed ^ 0x7E5C);
+    let mut next = || rng.next_u64() >> 1;
+    let shared: Vec<u64> = (0..num_shared).map(|_| next()).collect();
+    let alice_extra: Vec<u64> = (0..d_pos).map(|_| next()).collect();
+    let bob_extra: Vec<u64> = (0..d_neg).map(|_| next()).collect();
+    let cells = ((d_pos + d_neg) * factor_pct).div_ceil(100).max(6);
+    let mut table = Iblt::with_cells(cells, cfg);
+    for &x in shared.iter().chain(&alice_extra) {
+        table.insert_u64(x);
+    }
+    let bob: Vec<u64> = shared.iter().chain(&bob_extra).copied().collect();
+    for &x in &bob {
+        table.delete_u64(x);
+    }
+    let mut pos = alice_extra;
+    let mut neg = bob_extra;
+    pos.sort_unstable();
+    neg.sort_unstable();
+    (table, bob, pos, neg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The decode-rescue pipeline, fed the decoder's own keys as candidates:
+    /// whatever it recovers is the exact ground-truth difference — it never
+    /// invents a key, never flips a sign — and it strictly dominates the pure
+    /// peel (every instance the peel completes, the rescue completes too).
+    #[test]
+    fn rescue_recovers_ground_truth_or_fails_cleanly(
+        num_shared in 20usize..300,
+        d_pos in 0usize..10,
+        d_neg in 0usize..24,
+        factor_pct in 100usize..170,
+        stash in 0usize..4,
+        hash_sel in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let cfg = IbltConfig::for_u64_keys(seed ^ 0x3C5)
+            .with_hash_count(3 + hash_sel)
+            .with_stash_cells(stash);
+        let (mut table, bob, want_pos, want_neg) =
+            rescue_instance(&cfg, num_shared, d_pos, d_neg, factor_pct, seed);
+        let (mut peel_table, _, _, _) = rescue_instance(
+            &cfg.with_rescue(None), num_shared, d_pos, d_neg, factor_pct, seed);
+        let peeled = peel_table.decode_in_place();
+
+        let decoded = table.decode_in_place_with_candidates_u64(bob.iter().copied());
+        // Partial recoveries are still sound: every reported key is a real
+        // difference key with the right sign.
+        let mut got_pos = decoded.positive_u64();
+        let mut got_neg = decoded.negative_u64();
+        got_pos.sort_unstable();
+        got_neg.sort_unstable();
+        prop_assert!(got_pos.iter().all(|x| want_pos.binary_search(x).is_ok()));
+        prop_assert!(got_neg.iter().all(|x| want_neg.binary_search(x).is_ok()));
+        if decoded.complete {
+            prop_assert_eq!(got_pos, want_pos);
+            prop_assert_eq!(got_neg, want_neg);
+            prop_assert!(table.is_empty());
+        }
+        // Strict domination: rescue completes at least wherever the peel does.
+        if peeled.complete {
+            prop_assert!(decoded.complete);
+        }
+    }
+
+    /// A corrupted table must never be decoded into wrong keys: flip one bit
+    /// of the serialized cell bank and the decode — peel and rescue alike —
+    /// either reports incomplete or recovers only genuine difference keys. It
+    /// can never report a clean finish, because no subset of keys with valid
+    /// check sums explains a single flipped bit.
+    #[test]
+    fn rescue_never_accepts_keys_from_corrupted_cells(
+        num_shared in 20usize..200,
+        d_pos in 0usize..8,
+        d_neg in 1usize..16,
+        stash in 0usize..4,
+        seed in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let cfg = IbltConfig::for_u64_keys(seed ^ 0x3C6)
+            .with_hash_count(3)
+            .with_stash_cells(stash);
+        let (table, bob, want_pos, want_neg) =
+            rescue_instance(&cfg, num_shared, d_pos, d_neg, 140, seed);
+        let bytes = table.to_bytes();
+        let header = uvarint_len(table.key_bytes() as u64)
+            + uvarint_len(table.hash_count() as u64)
+            + uvarint_len(table.cells() as u64)
+            + 8;
+        let mut corrupted = bytes.clone();
+        let pos = header + (flip as usize) % (bytes.len() - header);
+        corrupted[pos] ^= 1 << (flip % 8) as u8;
+
+        let mut reparsed = Iblt::from_bytes(&corrupted).unwrap();
+        reparsed.adopt_layout(&cfg).unwrap();
+        let decoded = reparsed.decode_in_place_with_candidates_u64(bob.iter().copied());
+        prop_assert!(!decoded.complete, "a flipped bit can never drain to zero");
+        let got_pos = decoded.positive_u64();
+        let got_neg = decoded.negative_u64();
+        prop_assert!(got_pos.iter().all(|x| want_pos.binary_search(x).is_ok()));
+        prop_assert!(got_neg.iter().all(|x| want_neg.binary_search(x).is_ok()));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SIMD vs scalar kernel dispatch
 // ---------------------------------------------------------------------------
 

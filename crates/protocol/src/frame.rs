@@ -253,6 +253,11 @@ impl FrameDecoder {
         self.max_frame = max.min(MAX_FRAME_BYTES);
     }
 
+    /// The per-frame body cap currently in force (see [`Self::set_max_frame`]).
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
     /// Install (or clear) the key used to verify checked frames. Without a
     /// key, receiving a checked frame is a hard transport error; with one,
     /// unchecked frames are still accepted (negotiation is in flight when the

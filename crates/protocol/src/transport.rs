@@ -28,6 +28,11 @@ use std::io::{ErrorKind, IoSlice, IoSliceMut, Read, Write};
 use std::rc::Rc;
 use std::sync::mpsc;
 
+/// Worst-case length of a frame's uvarint length prefix (a full `u64`). Once a
+/// decoder buffers more than `max_frame` plus this, `next_frame` cannot ask
+/// for more bytes: it either yields a complete frame or rejects the prefix.
+const MAX_PREFIX_BYTES: usize = 10;
+
 /// Force every [`StreamTransport`] onto the sequential (one buffer per
 /// syscall) I/O path, process-wide. A thin alias for
 /// [`recon_base::config::set_force_sequential_io`]; the
@@ -423,6 +428,15 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
                 Ok(n) => {
                     self.bytes_in += n as u64;
                     self.decoder.extend(&scratch[..n]);
+                    // A peer streaming bytes faster than we hit WouldBlock
+                    // would otherwise keep this loop (and the decoder buffer)
+                    // growing without the frame cap ever being consulted.
+                    // Past one max-size frame plus its length prefix the
+                    // decoder must either yield a frame or reject the prefix,
+                    // so hand over; the caller loops back for the rest.
+                    if self.decoder.buffered() > self.decoder.max_frame() + MAX_PREFIX_BYTES {
+                        break;
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -451,6 +465,11 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
                     let first = n.min(a.len());
                     self.decoder.extend(&a[..first]);
                     self.decoder.extend(&b[..n - first]);
+                    // See `recv`: bound decoder growth against a peer that
+                    // outpaces WouldBlock, so the frame cap gets a say.
+                    if self.decoder.buffered() > self.decoder.max_frame() + MAX_PREFIX_BYTES {
+                        break;
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,

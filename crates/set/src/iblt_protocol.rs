@@ -74,6 +74,16 @@ impl IbltSetProtocol {
         Self { seed, iblt_cfg: IbltConfig::for_u64_keys(split_seed(seed, 0x5E7)) }
     }
 
+    /// Create a protocol instance with the retightened, rescue-backed sizing
+    /// ([`IbltConfig::tuned_for_u64_keys`]): per-difference layout, a small
+    /// stash, and roughly two-thirds of the classic digest bytes. The session
+    /// builders use this; [`IbltSetProtocol::diff`] feeds Bob's own set to the
+    /// decode-rescue solver, and the amplification loop covers the residual
+    /// failure rate exactly as it covers peeling failures today.
+    pub fn tuned(seed: u64) -> Self {
+        Self::with_config(seed, IbltConfig::tuned_for_u64_keys(0))
+    }
+
     /// Create a protocol instance with a custom IBLT configuration (ablation knob).
     pub fn with_config(seed: u64, mut cfg: IbltConfig) -> Self {
         cfg.seed = split_seed(seed, 0x5E7);
@@ -127,12 +137,18 @@ impl IbltSetProtocol {
     /// the digest's table can decode.
     pub fn diff(&self, digest: &SetDigest, local: &HashSet<u64>) -> Result<SetDiff, ReconError> {
         let mut table = digest.iblt.clone();
+        // A digest parsed off the wire carries no decode-side metadata;
+        // re-bless it with this protocol's stash split and rescue budget.
+        table.adopt_layout(&self.iblt_cfg)?;
         for &x in local {
             table.delete_u64(x);
         }
-        // Peel in place: the clone above is the only copy on this path, and on
-        // failure the table holds exactly the undecodable 2-core.
-        let decoded = table.decode_in_place();
+        // Decode in place: the clone above is the only copy on this path, and
+        // on failure the table holds exactly the residual neither the peel nor
+        // the rescue could clear. Every negative key in the difference is one
+        // of Bob's own elements, so `local` is exactly the candidate set the
+        // rescue solver wants (consumed only if the peel stalls).
+        let decoded = table.decode_in_place_with_candidates_u64(local.iter().copied());
         if !decoded.complete {
             return Err(ReconError::PeelingFailure { remaining_cells: table.nonempty_cells() });
         }

@@ -41,7 +41,7 @@ pub fn iblt_known_alice(
     let set = set.clone();
     let seed = config.seed;
     AmplifiedSender::new(config.amplification.max_attempts, move |attempt| {
-        let protocol = IbltSetProtocol::new(split_seed(seed, 0x2E0 + attempt));
+        let protocol = IbltSetProtocol::tuned(split_seed(seed, 0x2E0 + attempt));
         let digest = protocol.digest(&set, d);
         let label = if attempt == 0 { "set digest (IBLT)" } else { "set digest (replica)" };
         Ok(Envelope::round(TAG_DIGEST, label, &digest))
@@ -60,7 +60,7 @@ pub fn iblt_known_bob(
         config.amplification.max_attempts,
         move |attempt, envelope: Envelope| {
             let digest = envelope.decode_payload()?;
-            let protocol = IbltSetProtocol::new(split_seed(seed, 0x2E0 + attempt));
+            let protocol = IbltSetProtocol::tuned(split_seed(seed, 0x2E0 + attempt));
             protocol.reconcile(&digest, &set)
         },
         retryable_iblt_failure,
@@ -119,7 +119,7 @@ pub fn unknown_alice(set: &HashSet<u64>, config: &SessionConfig) -> impl Party<O
         let estimate = alice_estimator.merge(&bob_estimator)?.estimate();
         // Constant-factor headroom over the estimate; retries double the bound.
         let base_bound = (estimate * 2).max(8);
-        let protocol = IbltSetProtocol::new(split_seed(seed, 0x5E71));
+        let protocol = IbltSetProtocol::tuned(split_seed(seed, 0x5E71));
         AmplifiedSender::new(max_attempts, move |attempt| {
             let bound = base_bound << attempt;
             let digest = protocol.digest(&set, bound);
@@ -142,7 +142,7 @@ pub fn unknown_bob(
     let preamble = [Envelope::round(TAG_ESTIMATOR, "l0 difference estimator", &bob_estimator)];
 
     let set = set.clone();
-    let protocol = IbltSetProtocol::new(split_seed(config.seed, 0x5E71));
+    let protocol = IbltSetProtocol::tuned(split_seed(config.seed, 0x5E71));
     let receiver = AmplifiedReceiver::new(
         config.amplification.max_attempts,
         move |_, envelope: Envelope| {

@@ -54,7 +54,7 @@ impl ReplicaParams {
     /// [`recon_set::session::iblt_known_alice`], so cached digests are
     /// byte-compatible with a cold session run under [`Self::session_config`].
     pub fn protocol_for_attempt(&self, attempt: u64) -> IbltSetProtocol {
-        IbltSetProtocol::new(split_seed(self.seed, 0x2E0 + attempt))
+        IbltSetProtocol::tuned(split_seed(self.seed, 0x2E0 + attempt))
     }
 
     /// The strata-estimator shape clients must build (B-side) for unknown-`d`
@@ -285,7 +285,12 @@ impl Replica {
         let strata = StrataEstimator::decode(&mut buf).map_err(ReconError::Wire)?;
         let mut banks = Vec::with_capacity(params.ladder.len());
         for _ in &params.ladder {
-            banks.push(Iblt::decode_bank(&mut buf).map_err(ReconError::Wire)?);
+            let mut bank = Iblt::decode_bank(&mut buf).map_err(ReconError::Wire)?;
+            // SoA dumps carry no decode-side metadata; restore the protocol's
+            // stash split so replayed mutations land in the same cells a fresh
+            // build would use.
+            bank.adopt_layout(protocol.iblt_config())?;
+            banks.push(bank);
         }
         if !buf.is_empty() {
             return Err(ReconError::InvalidInput("trailing bytes in snapshot".into()));

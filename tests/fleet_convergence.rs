@@ -125,9 +125,14 @@ fn gossip_converges_256_replicas_in_log_rounds() {
 
     let builds_before = full_digest_builds();
     let stats = fleet.run_to_convergence(16).unwrap();
+    // Attempt-0 digests are served from the cached banks; only retry attempts
+    // rebuild. The retightened (rescue-backed) sizing trades a ~0.2% attempt-0
+    // failure rate for smaller digests, so allow a handful of retries across
+    // the ~2500 sessions — anything per-session would be in the thousands.
+    let rebuilds = full_digest_builds() - builds_before;
     assert!(
-        full_digest_builds() - builds_before <= 4,
-        "gossip attempt-0 digests come from the cached banks"
+        rebuilds <= 12,
+        "gossip attempt-0 digests come from the cached banks ({rebuilds} rebuilds)"
     );
 
     // log2(256) = 8 rounds is the floor; the seeded schedule lands near it.
